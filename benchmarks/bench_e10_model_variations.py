@@ -1,0 +1,14 @@
+"""Benchmark E10 — synchronizer overhead, exact size, randomized size estimate."""
+
+from conftest import run_experiment
+
+from repro.experiments import e10_model_variations as experiment
+
+
+def test_e10_model_variations(benchmark):
+    table = run_experiment(
+        benchmark, experiment.run, sizes=(36, 64, 100), seeds=(1, 2, 3)
+    )
+    for row in table.rows:
+        assert row[1] <= 2.0 + 1e-9  # Corollary 4: ≤ 2× messages
+        assert row[4] is True        # Section 7.3: exact n

@@ -1,0 +1,12 @@
+"""Benchmark E6 — randomized global-sensitive-function computation (Section 5.1)."""
+
+from conftest import run_experiment
+
+from repro.experiments import e06_global_randomized as experiment
+
+
+def test_e6_global_randomized(benchmark):
+    table = run_experiment(
+        benchmark, experiment.run, sizes=(64, 144, 256), seeds=(1, 2, 3)
+    )
+    assert all(row[-1] for row in table.rows)

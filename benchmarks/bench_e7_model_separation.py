@@ -1,0 +1,12 @@
+"""Benchmark E7 — model separation (Theorem 2 / Corollary 3)."""
+
+from conftest import run_experiment
+
+from repro.experiments import e07_model_separation as experiment
+
+
+def test_e7_model_separation(benchmark):
+    table = run_experiment(benchmark, experiment.run, sizes=(128, 256, 512))
+    # at the largest size the multimedia network beats both single media
+    last = table.rows[-1]
+    assert last[-2] > 1.0 and last[-1] > 1.0

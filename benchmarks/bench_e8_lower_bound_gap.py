@@ -1,0 +1,12 @@
+"""Benchmark E8 — the Ω(min{d, √n}) lower bound and the upper/lower gap."""
+
+from conftest import run_experiment
+
+from repro.experiments import e08_lower_bound_gap as experiment
+
+
+def test_e8_lower_bound_gap(benchmark):
+    table = run_experiment(
+        benchmark, experiment.run, params=((8, 8), (16, 8), (16, 16))
+    )
+    assert all(row[-2] for row in table.rows)

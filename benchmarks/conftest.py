@@ -1,0 +1,22 @@
+"""Benchmark configuration.
+
+Each ``bench_eNN_*.py`` file regenerates one experiment of EXPERIMENTS.md:
+the benchmarked callable runs the experiment sweep (on slightly reduced sizes
+so a full `pytest benchmarks/ --benchmark-only` stays in the minutes range)
+and the rendered table is attached to the benchmark's ``extra_info`` and
+printed, so the rows the paper-claim reproduction rests on are visible in the
+benchmark output.
+"""
+
+from __future__ import annotations
+
+
+def run_experiment(benchmark, experiment_run, **kwargs):
+    """Benchmark ``experiment_run(**kwargs)`` and print its table once."""
+    table = benchmark.pedantic(
+        lambda: experiment_run(**kwargs), iterations=1, rounds=1
+    )
+    rendered = table.render()
+    benchmark.extra_info["table"] = rendered
+    print("\n" + rendered)
+    return table

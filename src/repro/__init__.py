@@ -1,0 +1,35 @@
+"""Reproduction of *The Power of Multimedia: Combining Point-to-Point and
+Multiaccess Networks* (Afek, Landau, Schieber, Yung — PODC 1988 / Information
+and Computation 84, 1990).
+
+The package provides:
+
+* a faithful simulation of the **multimedia network** model (synchronous
+  point-to-point network + slotted collision channel) — :mod:`repro.sim`;
+* topology generators, including the paper's ray graphs — :mod:`repro.topology`;
+* the protocol building blocks (collision resolution, symmetry breaking,
+  tree primitives) — :mod:`repro.protocols`;
+* the paper's algorithms: deterministic and randomized network partitioning,
+  global-sensitive-function computation, the multimedia MST, lower bounds and
+  the Section 7 model variations — :mod:`repro.core`;
+* the experiment harness reproducing every quantitative claim —
+  :mod:`repro.experiments`.
+
+Quickstart::
+
+    from repro import topology
+    from repro.core.global_function import INTEGER_ADDITION, compute_global_function
+
+    graph = topology.ring_graph(64)
+    result = compute_global_function(
+        graph, INTEGER_ADDITION, {v: v for v in graph.nodes()},
+        method="randomized", seed=7,
+    )
+    print(result.value, result.total_rounds)
+"""
+
+__version__ = "1.0.0"
+
+from repro import analysis, core, protocols, sim, topology  # noqa: F401
+
+__all__ = ["analysis", "core", "protocols", "sim", "topology", "__version__"]

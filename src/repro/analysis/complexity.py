@@ -1,0 +1,99 @@
+"""The paper's complexity bound formulas, used as reference curves.
+
+Experiments fit measured round and message counts against these functions; a
+claim "the algorithm runs in O(f(n))" is reproduced by showing that the ratio
+measured / f(n) stays bounded (and roughly constant) as ``n`` grows.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Sequence
+
+from repro.protocols.symmetry.cole_vishkin import log_star
+from repro.core.partition.randomized import ln_star
+
+__all__ = [
+    "log_star",
+    "ln_star",
+    "det_partition_time_bound",
+    "det_partition_message_bound",
+    "rand_partition_time_bound",
+    "rand_partition_message_bound",
+    "global_det_time_bound",
+    "global_rand_time_bound",
+    "mst_time_bound",
+    "mst_message_bound",
+    "ratio_to_bound",
+]
+
+
+def det_partition_time_bound(n: int) -> float:
+    """O(√n · log* n) — deterministic partition running time (Section 3)."""
+    if n < 1:
+        raise ValueError("n must be positive")
+    return math.sqrt(n) * max(1, log_star(max(2, n)))
+
+
+def det_partition_message_bound(n: int, m: int) -> float:
+    """O(m + n · log n · log* n) — deterministic partition messages (Section 3)."""
+    if n < 1 or m < 0:
+        raise ValueError("invalid n or m")
+    return m + n * max(1.0, math.log2(max(2, n))) * max(1, log_star(max(2, n)))
+
+
+def rand_partition_time_bound(n: int) -> float:
+    """O(√n · log* n) — randomized partition running time (Section 4)."""
+    return det_partition_time_bound(n)
+
+
+def rand_partition_message_bound(n: int, m: int) -> float:
+    """O(m + n · log* n) — randomized partition messages (Section 4)."""
+    if n < 1 or m < 0:
+        raise ValueError("invalid n or m")
+    return m + n * max(1, log_star(max(2, n)))
+
+
+def global_det_time_bound(n: int) -> float:
+    """O(√(n log n log* n)) — deterministic global function time (Section 5.1)."""
+    if n < 2:
+        return 1.0
+    return math.sqrt(n * math.log2(n) * max(1, log_star(n)))
+
+
+def global_rand_time_bound(n: int) -> float:
+    """O(√n log* n) — randomized global function expected time (Section 5.1)."""
+    if n < 2:
+        return 1.0
+    return math.sqrt(n) * max(1, log_star(n))
+
+
+def mst_time_bound(n: int) -> float:
+    """O(√n · log n) — multimedia MST running time (Section 6)."""
+    if n < 2:
+        return 1.0
+    return math.sqrt(n) * math.log2(n)
+
+
+def mst_message_bound(n: int, m: int) -> float:
+    """O(m + n log n log* n) — multimedia MST messages (Section 6)."""
+    return det_partition_message_bound(n, m)
+
+
+def ratio_to_bound(measured: Sequence[float], bound: Sequence[float]) -> list:
+    """Return the element-wise ratios measured[i] / bound[i].
+
+    A reproduction of an O(f(n)) claim succeeds when these ratios do not grow
+    with ``n`` (they may oscillate within a constant band).
+
+    Raises:
+        ValueError: if the sequences have different lengths or a bound is zero.
+    """
+    if len(measured) != len(bound):
+        raise ValueError("sequences must have the same length")
+    ratios = []
+    for value, reference in zip(measured, bound):
+        if reference == 0:
+            raise ValueError("bound values must be non-zero")
+        ratios.append(value / reference)
+    return ratios

@@ -1,0 +1,63 @@
+"""Plain-text table formatting for the experiment reports.
+
+Every experiment module prints its results in the same tabular shape that
+EXPERIMENTS.md records, so re-running a benchmark reproduces the documented
+rows verbatim (up to randomness noted per experiment).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Sequence
+
+
+@dataclass
+class Table:
+    """A simple column-aligned table.
+
+    Attributes:
+        title: printed above the table.
+        columns: column headers.
+        rows: one list of cell values per row (converted with ``str``).
+    """
+
+    title: str
+    columns: List[str]
+    rows: List[List[object]] = field(default_factory=list)
+
+    def add_row(self, *cells: object) -> None:
+        """Append a row.
+
+        Raises:
+            ValueError: if the number of cells does not match the headers.
+        """
+        if len(cells) != len(self.columns):
+            raise ValueError(
+                f"expected {len(self.columns)} cells, got {len(cells)}"
+            )
+        self.rows.append(list(cells))
+
+    def render(self) -> str:
+        """Return the table as aligned plain text."""
+        return format_table(self.title, self.columns, self.rows)
+
+
+def _format_cell(value: object) -> str:
+    if isinstance(value, float):
+        return f"{value:.2f}"
+    return str(value)
+
+
+def format_table(title: str, columns: Sequence[str], rows: Sequence[Sequence[object]]) -> str:
+    """Render ``rows`` under ``columns`` with a title line and a rule."""
+    formatted_rows = [[_format_cell(cell) for cell in row] for row in rows]
+    widths = [len(column) for column in columns]
+    for row in formatted_rows:
+        for index, cell in enumerate(row):
+            widths[index] = max(widths[index], len(cell))
+    header = "  ".join(column.ljust(widths[index]) for index, column in enumerate(columns))
+    rule = "-" * len(header)
+    lines = [title, rule, header, rule]
+    for row in formatted_rows:
+        lines.append("  ".join(cell.ljust(widths[index]) for index, cell in enumerate(row)))
+    return "\n".join(lines)

@@ -1,0 +1,58 @@
+"""Small summary-statistics helpers used by the experiment harness.
+
+Kept dependency-free (no numpy) so the core library stays pure-stdlib; the
+tests cross-check these against numpy where it is available.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Sequence
+
+
+def mean(values: Sequence[float]) -> float:
+    """Return the arithmetic mean.
+
+    Raises:
+        ValueError: if ``values`` is empty.
+    """
+    if not values:
+        raise ValueError("cannot average zero values")
+    return sum(values) / len(values)
+
+
+def population_std(values: Sequence[float]) -> float:
+    """Return the population standard deviation (zero for a single value)."""
+    if not values:
+        raise ValueError("cannot take the deviation of zero values")
+    centre = mean(values)
+    return math.sqrt(sum((value - centre) ** 2 for value in values) / len(values))
+
+
+@dataclass(frozen=True)
+class Summary:
+    """Five-number-ish summary of a sample."""
+
+    count: int
+    mean: float
+    std: float
+    minimum: float
+    maximum: float
+
+
+def summarize(values: Sequence[float]) -> Summary:
+    """Return a :class:`Summary` of ``values``.
+
+    Raises:
+        ValueError: if ``values`` is empty.
+    """
+    if not values:
+        raise ValueError("cannot summarise zero values")
+    return Summary(
+        count=len(values),
+        mean=mean(values),
+        std=population_std(values),
+        minimum=min(values),
+        maximum=max(values),
+    )

@@ -1,0 +1,20 @@
+"""The paper's primary contribution.
+
+Subpackages:
+
+* :mod:`repro.core.partition` — the deterministic (Section 3) and randomized
+  (Section 4) algorithms that partition a multimedia network into O(√n)
+  rooted fragments of radius O(√n), plus the forest data structures and the
+  invariant validators.
+* :mod:`repro.core.global_function` — computing global sensitive functions
+  (Section 5): the commutative-semigroup abstraction, the two-stage multimedia
+  algorithms, and the point-to-point-only / channel-only baselines used in
+  the model-separation experiments.
+* :mod:`repro.core.mst` — the multimedia minimum-spanning-tree algorithm
+  (Section 6), the sequential Kruskal reference and the synchronous
+  point-to-point-only baseline.
+* :mod:`repro.core.lower_bounds` — the analytic lower bounds of Section 5.2
+  and the ray-graph experiment helpers.
+* :mod:`repro.core.size_estimation` — the deterministic network-size
+  computation and the Greenberg–Ladner randomized estimate (Sections 7.3/7.4).
+"""

@@ -1,0 +1,27 @@
+"""Minimum spanning tree algorithms.
+
+* :mod:`repro.core.mst.kruskal` — the sequential reference (the distributed
+  results are checked against it; with distinct weights the MST is unique).
+* :mod:`repro.core.mst.multimedia_mst` — the Section 6 algorithm: partition
+  into initial fragments, schedule their cores on the channel, then repeat
+  Borůvka/Kruskal-style merge phases in which every initial fragment
+  announces its current fragment's candidate edge over the channel.
+  O(√n log n) time, O(m + n log n log* n) messages.
+* :mod:`repro.core.mst.ghs_baseline` — the point-to-point-only synchronous
+  baseline (Gallager–Humblet–Spira-style fragment merging without the
+  channel), used by experiment E9 to show the multimedia speed-up on
+  high-diameter topologies.
+"""
+
+from repro.core.mst.kruskal import kruskal_mst, MSTEdges
+from repro.core.mst.multimedia_mst import MultimediaMST, MultimediaMSTResult
+from repro.core.mst.ghs_baseline import PointToPointMST, PointToPointMSTResult
+
+__all__ = [
+    "kruskal_mst",
+    "MSTEdges",
+    "MultimediaMST",
+    "MultimediaMSTResult",
+    "PointToPointMST",
+    "PointToPointMSTResult",
+]

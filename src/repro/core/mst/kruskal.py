@@ -1,0 +1,104 @@
+"""Sequential Kruskal MST — the correctness reference (Kruskal, 1956).
+
+The paper's Section 6 algorithm "is actually an implementation of the
+sequential algorithm of Kruskal"; this module provides that sequential
+algorithm (with union-find) so the distributed results can be checked edge
+for edge.  With distinct weights the MST is unique, which makes the check
+exact.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Hashable, List, Set, Tuple
+
+from repro.topology.graph import Edge, WeightedGraph, edge_key
+from repro.topology.properties import is_connected
+
+NodeId = Hashable
+
+
+@dataclass
+class MSTEdges:
+    """A minimum spanning tree described by its edge set.
+
+    Attributes:
+        edges: the chosen edges.
+        total_weight: sum of the chosen edges' weights.
+    """
+
+    edges: List[Edge]
+    total_weight: float
+
+    def edge_keys(self) -> Set[Tuple[NodeId, NodeId]]:
+        """Return the canonical undirected keys of the chosen edges."""
+        return {edge.key() for edge in self.edges}
+
+    def __len__(self) -> int:
+        return len(self.edges)
+
+
+class _UnionFind:
+    def __init__(self, nodes) -> None:
+        self._parent: Dict[NodeId, NodeId] = {node: node for node in nodes}
+        self._rank: Dict[NodeId, int] = {node: 0 for node in nodes}
+
+    def find(self, node: NodeId) -> NodeId:
+        root = node
+        while self._parent[root] != root:
+            root = self._parent[root]
+        while self._parent[node] != root:
+            self._parent[node], node = root, self._parent[node]
+        return root
+
+    def union(self, a: NodeId, b: NodeId) -> bool:
+        ra, rb = self.find(a), self.find(b)
+        if ra == rb:
+            return False
+        if self._rank[ra] < self._rank[rb]:
+            ra, rb = rb, ra
+        self._parent[rb] = ra
+        if self._rank[ra] == self._rank[rb]:
+            self._rank[ra] += 1
+        return True
+
+
+def kruskal_mst(graph: WeightedGraph) -> MSTEdges:
+    """Return the minimum spanning tree of a connected weighted graph.
+
+    Ties between equal weights are broken by the canonical edge key so the
+    result is deterministic even when weights repeat (the distributed
+    algorithms additionally assume distinct weights).
+
+    Raises:
+        ValueError: if the graph is empty or disconnected.
+    """
+    if graph.num_nodes() == 0:
+        raise ValueError("the MST of an empty graph is undefined")
+    if not is_connected(graph):
+        raise ValueError("the graph is disconnected; no spanning tree exists")
+    union_find = _UnionFind(graph.nodes())
+    chosen: List[Edge] = []
+    total = 0.0
+    for edge in sorted(graph.edges(), key=lambda e: (e.weight, repr(e.key()))):
+        if union_find.union(edge.u, edge.v):
+            chosen.append(edge)
+            total += edge.weight
+    return MSTEdges(edges=chosen, total_weight=total)
+
+
+def same_tree(first: MSTEdges, second: MSTEdges) -> bool:
+    """Return ``True`` when two MSTs consist of exactly the same edges."""
+    return first.edge_keys() == second.edge_keys()
+
+
+def spanning_tree_weight(graph: WeightedGraph, keys: Set[Tuple[NodeId, NodeId]]) -> float:
+    """Return the total weight of the edges named by ``keys`` in ``graph``.
+
+    Raises:
+        KeyError: if a key does not name an edge of the graph.
+    """
+    total = 0.0
+    for u, v in keys:
+        total += graph.weight(u, v)
+    return total

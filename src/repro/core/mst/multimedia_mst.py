@@ -1,0 +1,258 @@
+"""Minimum spanning tree in a multimedia network (Section 6).
+
+Three stages:
+
+1. **Partition** — the deterministic Section 3 algorithm builds initial
+   fragments (subtrees of the MST, size ≥ √n, radius ≤ 8√n).
+2. **Scheduling** — the cores of the initial fragments obtain a channel
+   schedule with Capetanakis' deterministic resolution (O(√n log n) slots).
+3. **Merging** — repeated phases on *current fragments* (initially the
+   initial fragments).  In each phase every initial fragment converge-casts
+   the minimum-weight link leaving its *current* fragment (no inter-fragment
+   communication needed, because every node knows which initial fragment is
+   across each incident link and which initial fragments make up each current
+   fragment); then every core broadcasts its candidate over the channel in
+   its scheduled slot, every node locally determines the minimum outgoing
+   link of every current fragment, and the current fragments are merged along
+   those links.  The number of current fragments at least halves per phase,
+   so there are O(log n) phases of O(√n) time each.
+
+Total: O(√n log n) time and O(m + n log n log* n) messages.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, Hashable, List, Optional, Set, Tuple
+
+from repro.core.mst.kruskal import MSTEdges, kruskal_mst
+from repro.core.partition.deterministic import DeterministicPartitioner
+from repro.core.partition.forest import SpanningForest
+from repro.protocols.collision.base import run_contention
+from repro.protocols.collision.capetanakis import CapetanakisContender
+from repro.sim.metrics import MetricsRecorder, MetricsSnapshot
+from repro.topology.graph import Edge, WeightedGraph, edge_key
+from repro.topology.properties import is_connected
+
+NodeId = Hashable
+
+
+@dataclass
+class MergePhaseRecord:
+    """Statistics of one merge phase of the third stage."""
+
+    phase: int
+    current_fragments_before: int
+    current_fragments_after: int
+    rounds: int
+    messages: int
+
+
+@dataclass
+class MultimediaMSTResult:
+    """Result of the multimedia MST algorithm.
+
+    Attributes:
+        mst: the computed spanning tree edges.
+        metrics: combined accounting of all three stages.
+        initial_fragments: number of initial fragments of stage 1.
+        scheduling_slots: channel slots used by stage 2.
+        merge_phases: per-phase records of stage 3.
+        partition_rounds: rounds spent in stage 1.
+    """
+
+    mst: MSTEdges
+    metrics: MetricsSnapshot
+    initial_fragments: int
+    scheduling_slots: int
+    merge_phases: List[MergePhaseRecord]
+    partition_rounds: int
+
+    @property
+    def total_rounds(self) -> int:
+        """Return the end-to-end time in rounds/slots."""
+        return self.metrics.rounds
+
+
+class MultimediaMST:
+    """Runs the Section 6 algorithm on a weighted multimedia network."""
+
+    def __init__(
+        self,
+        graph: WeightedGraph,
+        metrics: Optional[MetricsRecorder] = None,
+    ) -> None:
+        """Create the solver.
+
+        Args:
+            graph: connected topology with distinct link weights.
+
+        Raises:
+            ValueError: if the graph is empty, disconnected, or has repeated
+                weights (the paper assumes distinct weights w.l.o.g.).
+        """
+        if graph.num_nodes() == 0:
+            raise ValueError("cannot compute the MST of an empty network")
+        if not is_connected(graph):
+            raise ValueError("the topology must be connected")
+        weights = [edge.weight for edge in graph.edges()]
+        if len(weights) != len(set(weights)):
+            raise ValueError(
+                "link weights must be distinct; use assign_distinct_weights()"
+            )
+        self._graph = graph
+        self._n = graph.num_nodes()
+        self._metrics = metrics if metrics is not None else MetricsRecorder()
+
+    # ------------------------------------------------------------------
+    def run(self) -> MultimediaMSTResult:
+        """Execute the three stages and return the MST."""
+        # ---------------- stage 1: initial fragments ----------------------
+        rounds_before = self._metrics.rounds
+        partitioner = DeterministicPartitioner(self._graph, metrics=self._metrics)
+        partition = partitioner.run()
+        forest = partition.forest
+        partition_rounds = self._metrics.rounds - rounds_before
+
+        # ---------------- stage 2: schedule the cores ---------------------
+        self._metrics.set_phase("scheduling")
+        universe = max(
+            self._n, max((int(core) for core in forest.cores), default=0) + 1
+        )
+        contenders = [
+            CapetanakisContender(identity=int(core), universe_size=universe, payload=core)
+            for core in forest.cores
+        ]
+        schedule_outcome = run_contention(contenders, metrics=self._metrics)
+        schedule = schedule_outcome.order
+        scheduling_slots = schedule_outcome.slots_used
+        self._metrics.set_phase(None)
+
+        # ---------------- stage 3: merge current fragments ----------------
+        mst_keys, merge_records = self._merge_stage(forest, schedule)
+        mst_edges = [
+            Edge(u, v, self._graph.weight(u, v)) for u, v in sorted(mst_keys, key=repr)
+        ]
+        mst = MSTEdges(
+            edges=mst_edges, total_weight=sum(edge.weight for edge in mst_edges)
+        )
+        return MultimediaMSTResult(
+            mst=mst,
+            metrics=self._metrics.snapshot(),
+            initial_fragments=forest.num_fragments(),
+            scheduling_slots=scheduling_slots,
+            merge_phases=merge_records,
+            partition_rounds=partition_rounds,
+        )
+
+    # ------------------------------------------------------------------
+    def _merge_stage(
+        self,
+        forest: SpanningForest,
+        schedule: List[NodeId],
+    ) -> Tuple[Set[Tuple[NodeId, NodeId]], List[MergePhaseRecord]]:
+        """Run the Kruskal-style merge phases and return the MST edge keys."""
+        self._metrics.set_phase("merge")
+        initial_of: Dict[NodeId, NodeId] = {
+            node: forest.core_of(node) for node in self._graph.nodes()
+        }
+        initial_members: Dict[NodeId, List[NodeId]] = {
+            fragment.core: fragment.members for fragment in forest.fragments
+        }
+        initial_radius: Dict[NodeId, int] = {
+            fragment.core: fragment.radius for fragment in forest.fragments
+        }
+        # the MST edges inside the initial fragments are already known
+        mst_keys: Set[Tuple[NodeId, NodeId]] = {
+            edge_key(child, parent) for child, parent in forest.tree_edges()
+        }
+
+        # "first, each node finds out which initial fragment is on the other
+        # side of each of its incident links": one exchange per link
+        self._metrics.record_round(1)
+        self._metrics.record_messages(2 * self._graph.num_edges())
+
+        # every node knows the composition of every current fragment; we track
+        # it centrally as a mapping initial fragment -> current fragment id
+        current_of: Dict[NodeId, NodeId] = {core: core for core in initial_members}
+
+        records: List[MergePhaseRecord] = []
+        phase = 0
+        while len(set(current_of.values())) > 1:
+            phase += 1
+            messages_start = self._metrics.point_to_point_messages
+            currents_before = len(set(current_of.values()))
+            rounds = 0
+
+            # Step 1: every initial fragment converge-casts the minimum-weight
+            # link leaving its *current* fragment (pure point-to-point work)
+            candidate_per_initial: Dict[NodeId, Tuple[float, NodeId, NodeId]] = {}
+            for core, members in initial_members.items():
+                best: Optional[Tuple[float, NodeId, NodeId]] = None
+                for node in members:
+                    for neighbor in self._graph.neighbors(node):
+                        if current_of[initial_of[neighbor]] == current_of[core]:
+                            continue
+                        candidate = (self._graph.weight(node, neighbor), node, neighbor)
+                        if best is None or candidate < best:
+                            best = candidate
+                if best is not None:
+                    candidate_per_initial[core] = best
+                self._metrics.record_messages(2 * max(0, len(members) - 1))
+            rounds += 2 * max(initial_radius.values(), default=0)
+
+            # Step 2: the cores broadcast their candidates in their scheduled
+            # slots; every node hears everything and updates locally
+            rounds += len(schedule)
+            self._metrics.record_round(rounds)
+
+            # every node now computes the minimum outgoing link of every
+            # current fragment and merges along those links (local work)
+            best_per_current: Dict[NodeId, Tuple[float, NodeId, NodeId]] = {}
+            for core, candidate in candidate_per_initial.items():
+                current = current_of[core]
+                if current not in best_per_current or candidate < best_per_current[current]:
+                    best_per_current[current] = candidate
+            merge_map: Dict[NodeId, NodeId] = {}
+            for current, (weight, u, v) in best_per_current.items():
+                mst_keys.add(edge_key(u, v))
+                merge_map[current] = current_of[initial_of[v]]
+
+            # contract the merge graph (union along chosen links)
+            current_of = _contract(current_of, merge_map)
+
+            records.append(
+                MergePhaseRecord(
+                    phase=phase,
+                    current_fragments_before=currents_before,
+                    current_fragments_after=len(set(current_of.values())),
+                    rounds=rounds,
+                    messages=self._metrics.point_to_point_messages - messages_start,
+                )
+            )
+        self._metrics.set_phase(None)
+        return mst_keys, records
+
+
+def _contract(
+    current_of: Dict[NodeId, NodeId],
+    merge_map: Dict[NodeId, NodeId],
+) -> Dict[NodeId, NodeId]:
+    """Union current fragments along the chosen minimum outgoing links."""
+    parent: Dict[NodeId, NodeId] = {}
+    currents = set(current_of.values())
+    for current in currents:
+        parent[current] = current
+
+    def find(x: NodeId) -> NodeId:
+        while parent[x] != x:
+            parent[x] = parent[parent[x]]
+            x = parent[x]
+        return x
+
+    for source, target in merge_map.items():
+        rs, rt = find(source), find(target)
+        if rs != rt:
+            parent[rs] = rt
+    return {initial: find(current) for initial, current in current_of.items()}

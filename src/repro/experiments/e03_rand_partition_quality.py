@@ -1,0 +1,63 @@
+"""E3 — randomized partition quality (Section 4, Theorem 1).
+
+Claims reproduced: the randomized partitioning algorithm outputs a spanning
+forest of trees of radius at most 4√n, and the expected number of trees is
+O(√n).  The table reports the across-seed mean number of trees and the worst
+observed radius.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Sequence
+
+from repro.analysis.reporting import Table
+from repro.analysis.statistics import mean
+from repro.core.partition.randomized import RandomizedPartitioner
+from repro.core.partition.validation import validate_partition
+from repro.experiments.harness import make_topology
+
+DEFAULT_SIZES = (64, 144, 256, 400)
+DEFAULT_SEEDS = (1, 2, 3, 4, 5)
+
+
+def run(
+    sizes: Sequence[int] = DEFAULT_SIZES,
+    seeds: Sequence[int] = DEFAULT_SEEDS,
+    topology: str = "grid",
+) -> Table:
+    """Run the sweep and return the E3 table."""
+    table = Table(
+        title="E3  Randomized partition quality "
+        "(bounds: radius ≤ 4√n, E[#trees] = O(√n))",
+        columns=[
+            "n", "sqrt_n", "mean_fragments", "fragments/sqrt_n",
+            "max_radius", "radius_bound", "structure_ok",
+        ],
+    )
+    for n in sizes:
+        graph = make_topology(topology, n, seed=11)
+        sqrt_n = math.sqrt(graph.num_nodes())
+        fragment_counts = []
+        worst_radius = 0
+        structure_ok = True
+        for seed in seeds:
+            result = RandomizedPartitioner(graph, seed=seed).run()
+            report = validate_partition(result.forest, graph)
+            structure_ok = structure_ok and report.ok
+            fragment_counts.append(result.num_fragments)
+            worst_radius = max(worst_radius, result.forest.max_radius())
+        table.add_row(
+            graph.num_nodes(),
+            round(sqrt_n, 1),
+            mean(fragment_counts),
+            mean(fragment_counts) / sqrt_n,
+            worst_radius,
+            round(4 * sqrt_n, 1),
+            structure_ok,
+        )
+    return table
+
+
+if __name__ == "__main__":
+    print(run().render())

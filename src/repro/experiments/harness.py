@@ -1,0 +1,67 @@
+"""Shared configuration and topology sweeps for the experiments."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Sequence
+
+from repro.topology.generators import (
+    grid_graph,
+    random_geometric_graph,
+    ring_graph,
+)
+from repro.topology.graph import WeightedGraph
+from repro.topology.weights import assign_distinct_weights
+
+
+@dataclass
+class ExperimentConfig:
+    """Instance sizes and seeds shared by the experiment sweeps.
+
+    The defaults are sized so the full suite runs in a few minutes on a
+    laptop; pass larger ``sizes`` to push the asymptotics further.
+    """
+
+    sizes: Sequence[int] = (64, 144, 256, 400)
+    seeds: Sequence[int] = (1, 2, 3)
+    topology: str = "grid"
+
+    def graphs(self) -> List[WeightedGraph]:
+        """Return one weighted graph per configured size."""
+        return [make_topology(self.topology, n, seed=11) for n in self.sizes]
+
+
+def make_topology(kind: str, n: int, seed: int = 0) -> WeightedGraph:
+    """Return a connected weighted topology of ``kind`` with ≈``n`` nodes.
+
+    Supported kinds: ``grid`` (⌊√n⌋ × ⌊√n⌋), ``ring``, ``geometric``.
+
+    Raises:
+        ValueError: on an unknown kind.
+    """
+    if kind == "grid":
+        side = max(2, round(n ** 0.5))
+        graph = grid_graph(side, side)
+    elif kind == "ring":
+        graph = ring_graph(max(3, n))
+    elif kind == "geometric":
+        graph = random_geometric_graph(n, seed=seed)
+    else:
+        raise ValueError(f"unknown topology kind {kind!r}")
+    return assign_distinct_weights(graph, seed=seed)
+
+
+def sweep_sizes(
+    sizes: Sequence[int],
+    runner: Callable[[WeightedGraph], Dict[str, float]],
+    topology: str = "grid",
+    seed: int = 11,
+) -> List[Dict[str, float]]:
+    """Run ``runner`` on one topology per size and collect its row dictionaries."""
+    rows: List[Dict[str, float]] = []
+    for n in sizes:
+        graph = make_topology(topology, n, seed=seed)
+        row = {"n": graph.num_nodes(), "m": graph.num_edges()}
+        row.update(runner(graph))
+        rows.append(row)
+    return rows

@@ -1,0 +1,17 @@
+"""Distributed protocol building blocks used by the paper's algorithms.
+
+Three families:
+
+* :mod:`repro.protocols.collision` — multiaccess-channel conflict-resolution
+  protocols (Capetanakis deterministic tree splitting, Metcalfe–Boggs
+  randomized access, Greenberg–Ladner multiplicity estimation, channel leader
+  election).  The paper uses these to schedule the O(√n) fragment roots on
+  the channel.
+* :mod:`repro.protocols.symmetry` — deterministic symmetry breaking on rooted
+  forests (Cole–Vishkin deterministic coin tossing, Goldberg–Plotkin–Shannon
+  3-colouring, and the MIS recolouring of Steps 4–5 of the deterministic
+  partitioning algorithm).
+* :mod:`repro.protocols.spanning` — point-to-point tree primitives
+  (distributed BFS, broadcast-and-respond / PIF, GHS-style fragment
+  bookkeeping and the synchronous point-to-point-only MST baseline).
+"""

@@ -1,0 +1,44 @@
+"""Multiaccess-channel conflict-resolution protocols.
+
+All protocols here are *channel-only*: they never use the point-to-point
+network.  They come in two forms:
+
+* a **contender state machine** (:class:`~repro.protocols.collision.base.ChannelContender`)
+  that larger algorithms embed to schedule a set of contenders (e.g. fragment
+  roots) on the channel slot by slot, and
+* a :class:`~repro.sim.node.NodeProtocol` wrapper so each protocol can also be
+  run stand-alone on a :class:`~repro.sim.multimedia.MultimediaNetwork` for
+  unit tests and the model-variation experiments.
+"""
+
+from repro.protocols.collision.base import (
+    ChannelContender,
+    ContenderProtocol,
+    ScheduleOutcome,
+    run_contention,
+)
+from repro.protocols.collision.capetanakis import CapetanakisContender
+from repro.protocols.collision.metcalfe_boggs import MetcalfeBoggsContender
+from repro.protocols.collision.greenberg_ladner import (
+    GreenbergLadnerEstimator,
+    estimate_multiplicity,
+)
+from repro.protocols.collision.leader_election import (
+    BitByBitLeaderElection,
+    RandomizedLeaderElection,
+    elect_leader,
+)
+
+__all__ = [
+    "ChannelContender",
+    "ContenderProtocol",
+    "ScheduleOutcome",
+    "run_contention",
+    "CapetanakisContender",
+    "MetcalfeBoggsContender",
+    "GreenbergLadnerEstimator",
+    "estimate_multiplicity",
+    "BitByBitLeaderElection",
+    "RandomizedLeaderElection",
+    "elect_leader",
+]

@@ -1,0 +1,200 @@
+"""Common machinery for channel conflict-resolution protocols.
+
+A *contender* is a node that has something to broadcast (in the paper: a
+fragment root holding a partial result).  A conflict-resolution protocol
+schedules the contenders so that each one eventually gets a ``success`` slot.
+The :class:`ChannelContender` interface captures one contender's local state
+machine: each slot it decides whether to transmit, then observes the slot
+outcome.  Crucially, the decision may depend only on information the model
+makes public — the node's own identity/payload and the sequence of slot
+outcomes so far — so that *every* node (contender or not) can follow the
+protocol's progress by listening.
+
+:func:`run_contention` drives a set of contenders against a
+:class:`~repro.sim.channel.SlottedChannel` directly (no point-to-point
+network involved), which is how the larger algorithms account for their
+channel stage; :class:`ContenderProtocol` wraps a contender as a
+:class:`~repro.sim.node.NodeProtocol` so the same state machines also run on
+the full simulator.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, Hashable, List, Optional, Sequence, Tuple
+
+from repro.sim.channel import SlottedChannel
+from repro.sim.errors import ProtocolError
+from repro.sim.events import ChannelEvent, Message
+from repro.sim.metrics import MetricsRecorder
+from repro.sim.node import NodeContext, NodeProtocol
+
+NodeId = Hashable
+
+
+class ChannelContender:
+    """One contender's state machine for a conflict-resolution protocol."""
+
+    def __init__(self, identity: NodeId, payload: Any = None) -> None:
+        self.identity = identity
+        self.payload = payload
+        self._succeeded_in_slot: Optional[int] = None
+
+    # ------------------------------------------------------------------
+    # protocol interface
+    # ------------------------------------------------------------------
+    def wants_to_transmit(self, slot: int) -> bool:
+        """Return ``True`` when this contender transmits in the given slot."""
+        raise NotImplementedError
+
+    def observe(self, event: ChannelEvent, transmitted: bool) -> None:
+        """Update local state after the slot resolves.
+
+        Args:
+            event: the (public) outcome of the slot.
+            transmitted: whether *this* contender transmitted in the slot.
+        """
+        if transmitted and event.is_success():
+            self._succeeded_in_slot = event.slot
+
+    @property
+    def resolved(self) -> bool:
+        """Return ``True`` once this contender has had a successful slot."""
+        return self._succeeded_in_slot is not None
+
+    @property
+    def success_slot(self) -> Optional[int]:
+        """Return the slot in which this contender succeeded, if any."""
+        return self._succeeded_in_slot
+
+
+@dataclass
+class ScheduleOutcome:
+    """Result of scheduling a set of contenders on the channel.
+
+    Attributes:
+        slots_used: total number of channel slots consumed.
+        order: the contenders' identities in the order they succeeded.
+        broadcasts: the payloads heard, in broadcast order.
+        collisions: number of collision slots.
+        idle: number of idle slots.
+    """
+
+    slots_used: int
+    order: List[NodeId]
+    broadcasts: List[Any]
+    collisions: int
+    idle: int
+
+
+def run_contention(
+    contenders: Sequence[ChannelContender],
+    max_slots: int = 1_000_000,
+    metrics: Optional[MetricsRecorder] = None,
+    channel: Optional[SlottedChannel] = None,
+    start_slot: int = 0,
+) -> ScheduleOutcome:
+    """Schedule ``contenders`` on a slotted channel until all are resolved.
+
+    Every contender observes every slot (all nodes hear the channel), so the
+    protocols can rely on common knowledge of the slot-outcome history.
+
+    Raises:
+        ProtocolError: if the contenders fail to resolve within ``max_slots``
+            slots, which indicates a protocol bug or an unreachable schedule.
+    """
+    channel = channel if channel is not None else SlottedChannel(metrics=metrics)
+    order: List[NodeId] = []
+    broadcasts: List[Any] = []
+    collisions = 0
+    idle = 0
+    slot = start_slot
+    used = 0
+    while any(not contender.resolved for contender in contenders):
+        if used >= max_slots:
+            raise ProtocolError(
+                f"contention did not resolve within {max_slots} slots"
+            )
+        writes: List[Tuple[NodeId, Any]] = []
+        transmitted: Dict[NodeId, bool] = {}
+        for contender in contenders:
+            wants = (not contender.resolved) and contender.wants_to_transmit(slot)
+            transmitted[id(contender)] = wants
+            if wants:
+                writes.append((contender.identity, contender.payload))
+        event = channel.resolve_slot(slot, writes)
+        public = event.public_view()
+        for contender in contenders:
+            contender.observe(public, transmitted[id(contender)])
+        if event.is_success():
+            order.append(event.writer)
+            broadcasts.append(event.payload)
+        elif event.is_collision():
+            collisions += 1
+        else:
+            idle += 1
+        if metrics is not None:
+            metrics.record_round(1)
+        slot += 1
+        used += 1
+    return ScheduleOutcome(
+        slots_used=used,
+        order=order,
+        broadcasts=broadcasts,
+        collisions=collisions,
+        idle=idle,
+    )
+
+
+class ContenderProtocol(NodeProtocol):
+    """Run a :class:`ChannelContender` as a node protocol on the simulator.
+
+    Non-contending nodes simply listen and halt once they have heard the
+    expected number of successful broadcasts (when that number is known) or
+    once an externally supplied predicate fires.
+    """
+
+    def __init__(
+        self,
+        ctx: NodeContext,
+        contender: Optional[ChannelContender],
+        expected_successes: Optional[int] = None,
+    ) -> None:
+        super().__init__(ctx)
+        self._contender = contender
+        self._expected = expected_successes
+        self._heard: List[Any] = []
+        self._slot = 0
+
+    @property
+    def heard(self) -> List[Any]:
+        """Return every payload heard on the channel so far."""
+        return list(self._heard)
+
+    def on_start(self) -> None:
+        self._maybe_transmit()
+
+    def on_round(self, inbox: List[Message], channel: ChannelEvent) -> None:
+        if channel.is_success():
+            self._heard.append(channel.payload)
+        if self._contender is not None:
+            transmitted = self._last_transmitted
+            self._contender.observe(channel, transmitted)
+        if self._expected is not None and len(self._heard) >= self._expected:
+            self.halt(self._heard)
+            return
+        if self._contender is not None and self._contender.resolved and self._expected is None:
+            self.halt(self._heard)
+            return
+        self._slot += 1
+        self._maybe_transmit()
+
+    _last_transmitted = False
+
+    def _maybe_transmit(self) -> None:
+        self._last_transmitted = False
+        if self._contender is None or self._contender.resolved:
+            return
+        if self._contender.wants_to_transmit(self._slot):
+            self.channel_write(self._contender.payload)
+            self._last_transmitted = True

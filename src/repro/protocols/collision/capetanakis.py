@@ -1,0 +1,137 @@
+"""Capetanakis' deterministic tree conflict-resolution protocol (1979).
+
+The protocol resolves a conflict among contenders with distinct identifiers
+drawn from a known universe ``{0, …, 2^b − 1}`` by a depth-first traversal of
+the binary trie of identifier prefixes.  A shared stack of identifier
+intervals — reconstructible by every listener from the public slot outcomes —
+starts with the whole universe.  In each slot the interval on top of the
+stack is "enabled": every unresolved contender whose identifier lies in it
+transmits.
+
+* **collision** → the interval is split in half and both halves are pushed
+  (left half processed first);
+* **success** → that contender is scheduled, the interval is done;
+* **idle** → the interval contains no contender, it is done.
+
+For ``k`` contenders out of a universe of size ``2^b`` the traversal uses
+O(k·b) = O(k log n) slots, which is exactly the bound the paper invokes when
+it schedules the O(√n) fragment roots deterministically in O(√n log n) time
+(Sections 5 and 6).
+
+The implementation is a :class:`ChannelContender`, so both contenders and
+passive listeners (who only need the shared stack) can follow the protocol;
+the stack evolution depends only on the publicly observable slot states.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable, List, Optional, Tuple
+
+from repro.protocols.collision.base import ChannelContender
+from repro.sim.events import ChannelEvent
+
+NodeId = Hashable
+
+
+def universe_bits(universe_size: int) -> int:
+    """Return the number of identifier bits needed for ``universe_size`` ids."""
+    if universe_size < 1:
+        raise ValueError("the identifier universe must be non-empty")
+    return max(1, (universe_size - 1).bit_length())
+
+
+class _SharedStack:
+    """The interval stack every participant reconstructs from slot outcomes."""
+
+    def __init__(self, universe_size: int) -> None:
+        self.intervals: List[Tuple[int, int]] = [(0, universe_size)]
+
+    def current(self) -> Optional[Tuple[int, int]]:
+        return self.intervals[-1] if self.intervals else None
+
+    def advance(self, event: ChannelEvent) -> None:
+        if not self.intervals:
+            return
+        low, high = self.intervals.pop()
+        if event.is_collision():
+            mid = (low + high) // 2
+            # push right half first so the left half is processed next
+            if mid < high:
+                self.intervals.append((mid, high))
+            if low < mid:
+                self.intervals.append((low, mid))
+        # success and idle both retire the interval
+
+
+class CapetanakisContender(ChannelContender):
+    """One contender's view of the deterministic tree-splitting protocol.
+
+    Args:
+        identity: the contender's identifier; must be an integer in
+            ``[0, universe_size)`` and distinct from every other contender's.
+        universe_size: size of the identifier universe known to all nodes
+            (the paper uses the O(log n)-bit processor identifiers, so the
+            universe has polynomial size).
+        payload: what to broadcast when scheduled.
+
+    Raises:
+        ValueError: if the identity lies outside the universe.
+    """
+
+    def __init__(self, identity: int, universe_size: int, payload=None) -> None:
+        if not 0 <= identity < universe_size:
+            raise ValueError(
+                f"identity {identity} outside universe [0, {universe_size})"
+            )
+        super().__init__(identity, payload)
+        self._stack = _SharedStack(universe_size)
+        self._universe = universe_size
+
+    def wants_to_transmit(self, slot: int) -> bool:
+        interval = self._stack.current()
+        if interval is None:
+            return False
+        low, high = interval
+        return low <= self.identity < high
+
+    def observe(self, event: ChannelEvent, transmitted: bool) -> None:
+        super().observe(event, transmitted)
+        self._stack.advance(event)
+
+    @property
+    def pending_intervals(self) -> int:
+        """Return the number of identifier intervals still to be explored."""
+        return len(self._stack.intervals)
+
+
+class CapetanakisListener:
+    """A passive participant that tracks the shared stack and heard payloads.
+
+    Non-contending nodes use this to know when the resolution is over: the
+    protocol terminates exactly when the shared stack empties.
+    """
+
+    def __init__(self, universe_size: int) -> None:
+        self._stack = _SharedStack(universe_size)
+        self.heard: List = []
+
+    def observe(self, event: ChannelEvent) -> None:
+        """Track one resolved slot."""
+        if event.is_success():
+            self.heard.append(event.payload)
+        self._stack.advance(event)
+
+    @property
+    def finished(self) -> bool:
+        """Return ``True`` once every identifier interval has been retired."""
+        return not self._stack.intervals
+
+
+def deterministic_schedule_bound(num_contenders: int, universe_size: int) -> int:
+    """Return the worst-case slot bound O(k log N) for the tree protocol.
+
+    Used by the experiments to compare measured slot counts against the bound
+    the paper charges for root scheduling.
+    """
+    bits = universe_bits(universe_size)
+    return max(1, 2 * num_contenders * (bits + 1))

@@ -1,0 +1,117 @@
+"""Greenberg–Ladner multiplicity estimation (1983) on a collision channel.
+
+Section 7.4 of the paper uses this protocol to estimate the number of
+processors ``n`` when it is not known in advance:
+
+    "All the nodes start together rounds of coin tosses; at round ``i`` each
+    coin has probability ``1/2^i`` for head.  A special busy tone is
+    transmitted by all the nodes which flipped head.  The estimation
+    terminates as soon as there is an idle slot.  When it terminates all
+    nodes know ``k``, the number of rounds; ``2^k`` is then, with high
+    probability, a good estimate (up to a multiplicative factor) for the
+    number of processors."
+
+The same primitive estimates the multiplicity of any set of contenders (e.g.
+how many fragment roots exist), which the Las-Vegas variant of the randomized
+partitioning algorithm relies on.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass
+from typing import Hashable, List, Optional, Sequence
+
+from repro.sim.channel import SlottedChannel
+from repro.sim.events import ChannelEvent, Message
+from repro.sim.metrics import MetricsRecorder
+from repro.sim.node import NodeContext, NodeProtocol
+
+NodeId = Hashable
+
+
+@dataclass
+class MultiplicityEstimate:
+    """Outcome of one Greenberg–Ladner estimation run.
+
+    Attributes:
+        rounds: the number of slots used (the first idle slot terminates the
+            run and is included in the count).
+        estimate: ``2^(rounds − 1)``, the estimate of the multiplicity; zero
+            participants yield an estimate of 0 (the very first slot is idle).
+    """
+
+    rounds: int
+    estimate: int
+
+
+def estimate_multiplicity(
+    num_participants: int,
+    rng: Optional[random.Random] = None,
+    metrics: Optional[MetricsRecorder] = None,
+    max_rounds: int = 128,
+) -> MultiplicityEstimate:
+    """Run the estimation protocol over ``num_participants`` synchronized nodes.
+
+    This is the channel-only core of the protocol (no point-to-point traffic),
+    driven directly against a :class:`~repro.sim.channel.SlottedChannel`.
+
+    Raises:
+        ValueError: if ``num_participants`` is negative.
+    """
+    if num_participants < 0:
+        raise ValueError("cannot estimate a negative multiplicity")
+    rng = rng if rng is not None else random.Random()
+    channel = SlottedChannel(metrics=metrics)
+    still_flipping = num_participants
+    for round_index in range(1, max_rounds + 1):
+        probability = 1.0 / (2.0 ** round_index)
+        writers = [
+            (f"p{i}", "busy")
+            for i in range(still_flipping)
+            if rng.random() < probability
+        ]
+        event = channel.resolve_slot(round_index - 1, writers)
+        if metrics is not None:
+            metrics.record_round(1)
+        if event.is_idle():
+            return MultiplicityEstimate(
+                rounds=round_index, estimate=2 ** (round_index - 1)
+            )
+    return MultiplicityEstimate(rounds=max_rounds, estimate=2 ** max_rounds)
+
+
+def estimate_error_factor(true_value: int, estimate: int) -> float:
+    """Return the multiplicative error ``max(est/true, true/est)`` of an estimate."""
+    if true_value <= 0 or estimate <= 0:
+        return math.inf
+    return max(estimate / true_value, true_value / estimate)
+
+
+class GreenbergLadnerEstimator(NodeProtocol):
+    """Node-protocol form of the estimation, runnable on the full simulator.
+
+    Every node participates; round ``i`` of the protocol occupies channel
+    slot ``i − 1``.  When the first idle slot is observed every node halts
+    with the common estimate ``2^(rounds − 1)`` as its result.
+    """
+
+    def __init__(self, ctx: NodeContext) -> None:
+        super().__init__(ctx)
+        self._round = 1
+
+    def _flip_and_maybe_write(self) -> None:
+        probability = 1.0 / (2.0 ** self._round)
+        if self.ctx.rng.random() < probability:
+            self.channel_write("busy")
+
+    def on_start(self) -> None:
+        self._flip_and_maybe_write()
+
+    def on_round(self, inbox: List[Message], channel: ChannelEvent) -> None:
+        if channel.is_idle() and channel.slot >= 0:
+            self.halt(MultiplicityEstimate(rounds=self._round, estimate=2 ** (self._round - 1)))
+            return
+        self._round += 1
+        self._flip_and_maybe_write()

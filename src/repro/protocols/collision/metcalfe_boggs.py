@@ -1,0 +1,85 @@
+"""Randomized channel access in the style of Metcalfe and Boggs (Ethernet, 1976).
+
+The paper's randomized global-computation stage schedules the ≈√n fragment
+roots on the channel using randomized access: because the algorithm has an
+estimate ``k`` of the number of contenders, each unresolved contender simply
+transmits in every slot with probability ``1/k̂`` where ``k̂`` is the current
+estimate of the number of *remaining* contenders.  A slot is successful with
+probability ``≈ 1/e``, so each contender is scheduled in O(1) expected slots
+and all ``k`` contenders are scheduled in O(k) expected slots — the bound the
+paper uses ("O(1) expected time per root", Section 5.1).
+
+Every participant can maintain the same estimate because the number of
+successes so far is public information (success slots are heard by all), so
+the protocol needs no extra coordination.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Hashable, Optional
+
+from repro.protocols.collision.base import ChannelContender
+from repro.sim.events import ChannelEvent
+
+NodeId = Hashable
+
+
+class MetcalfeBoggsContender(ChannelContender):
+    """Randomized p-persistent contender with a shared contender-count estimate.
+
+    Args:
+        identity: the contender's identifier (used only for bookkeeping).
+        estimated_contenders: the publicly known estimate ``k`` of how many
+            contenders there are.  The paper supplies this from the expected
+            number of trees in the partition (≈√n).
+        rng: private random source.
+        payload: what to broadcast when scheduled.
+
+    Raises:
+        ValueError: if ``estimated_contenders`` is not positive.
+    """
+
+    def __init__(
+        self,
+        identity: NodeId,
+        estimated_contenders: int,
+        rng: Optional[random.Random] = None,
+        payload=None,
+    ) -> None:
+        if estimated_contenders < 1:
+            raise ValueError("the contender estimate must be at least 1")
+        super().__init__(identity, payload)
+        self._initial_estimate = estimated_contenders
+        self._successes_seen = 0
+        self._rng = rng if rng is not None else random.Random()
+
+    @property
+    def remaining_estimate(self) -> int:
+        """Return the current estimate of unresolved contenders (at least 1)."""
+        return max(1, self._initial_estimate - self._successes_seen)
+
+    def wants_to_transmit(self, slot: int) -> bool:
+        probability = 1.0 / self.remaining_estimate
+        return self._rng.random() < probability
+
+    def observe(self, event: ChannelEvent, transmitted: bool) -> None:
+        super().observe(event, transmitted)
+        if event.is_success():
+            self._successes_seen += 1
+
+
+def expected_slots_per_success(estimate: int) -> float:
+    """Return the expected number of slots per success for ``estimate`` contenders.
+
+    With ``k`` contenders each transmitting with probability ``1/k`` the
+    per-slot success probability is ``(1 − 1/k)^{k−1} ≥ 1/e``, so the expected
+    number of slots until a success is at most ``e``.  Experiments compare the
+    measured slot counts against ``e·k``.
+    """
+    if estimate < 1:
+        raise ValueError("estimate must be at least 1")
+    if estimate == 1:
+        return 1.0
+    p_success = (1.0 - 1.0 / estimate) ** (estimate - 1)
+    return 1.0 / p_success

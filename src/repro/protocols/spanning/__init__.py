@@ -1,0 +1,42 @@
+"""Point-to-point tree primitives.
+
+These are the "local stage" building blocks of the paper's algorithms:
+distributed breadth-first-search tree growth (used by the randomized
+partitioning algorithm and by the point-to-point baselines) and
+broadcast-and-respond / propagation of information with feedback (PIF,
+Segall 1983), the primitive behind Step 1 of the deterministic partition and
+the local stage of the global-sensitive-function algorithms.  The module also
+provides plain-graph tree utilities (re-rooting, depths, children maps) used
+by the orchestrated fragment algorithms.
+"""
+
+from repro.protocols.spanning.bfs import BFSTreeProtocol, build_bfs_forest
+from repro.protocols.spanning.broadcast_convergecast import (
+    TreeAggregationProtocol,
+    simulate_broadcast,
+    simulate_convergecast,
+    simulate_pif,
+)
+from repro.protocols.spanning.tree_utils import (
+    children_map,
+    node_depths,
+    reroot,
+    subtree_sizes,
+    tree_edges,
+    validate_parent_map,
+)
+
+__all__ = [
+    "BFSTreeProtocol",
+    "build_bfs_forest",
+    "TreeAggregationProtocol",
+    "simulate_broadcast",
+    "simulate_convergecast",
+    "simulate_pif",
+    "children_map",
+    "node_depths",
+    "reroot",
+    "subtree_sizes",
+    "tree_edges",
+    "validate_parent_map",
+]

@@ -1,0 +1,158 @@
+"""Distributed breadth-first-search tree growth.
+
+In the synchronous model a BFS tree rooted at a node can be grown in ``D``
+rounds (``D`` = eccentricity of the root) with one message per link: every
+newly labelled node announces its label to its neighbours, and an unlabelled
+node adopts the smallest label it hears, breaking ties by root identifier
+(Gallager, 1982).  The randomized partitioning algorithm grows many BFS trees
+simultaneously from its local centres, with a depth limit of ``4√n``
+(Section 4, Step 2), and nodes may later switch to a different tree if that
+strictly reduces their label.
+
+Two entry points:
+
+* :class:`BFSTreeProtocol` — the per-node protocol, run on the simulator.
+* :func:`build_bfs_forest` — a sequential reference used by validators and by
+  orchestrated algorithms that charge the (well-known) cost of a synchronous
+  BFS analytically: ``depth`` rounds and at most one message per link per
+  direction.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Dict, Hashable, List, Optional, Set, Tuple
+
+from repro.sim.events import ChannelEvent, Message
+from repro.sim.node import NodeContext, NodeProtocol
+from repro.topology.graph import WeightedGraph
+
+NodeId = Hashable
+
+
+def build_bfs_forest(
+    graph: WeightedGraph,
+    roots: List[NodeId],
+    depth_limit: Optional[int] = None,
+) -> Tuple[Dict[NodeId, Optional[NodeId]], Dict[NodeId, NodeId], Dict[NodeId, int]]:
+    """Grow BFS trees from ``roots`` simultaneously (sequential reference).
+
+    Ties between roots reaching a node at the same distance are broken in
+    favour of the smaller root (by ``repr`` order, matching the protocol's
+    "least id" rule).
+
+    Args:
+        graph: the point-to-point topology.
+        roots: the tree roots (local centres).
+        depth_limit: maximum label assigned; nodes farther than this from
+            every root remain unlabelled.
+
+    Returns:
+        ``(parents, root_of, labels)`` — only labelled nodes appear.
+
+    Raises:
+        ValueError: if ``roots`` is empty or contains a node not in the graph.
+    """
+    if not roots:
+        raise ValueError("need at least one BFS root")
+    for root in roots:
+        if not graph.has_node(root):
+            raise ValueError(f"root {root!r} is not a node of the graph")
+    ordered_roots = sorted(roots, key=repr)
+    parents: Dict[NodeId, Optional[NodeId]] = {}
+    root_of: Dict[NodeId, NodeId] = {}
+    labels: Dict[NodeId, int] = {}
+    queue = deque()
+    for root in ordered_roots:
+        parents[root] = None
+        root_of[root] = root
+        labels[root] = 0
+        queue.append(root)
+    while queue:
+        node = queue.popleft()
+        if depth_limit is not None and labels[node] >= depth_limit:
+            continue
+        for neighbor in graph.neighbors(node):
+            if neighbor in labels:
+                continue
+            labels[neighbor] = labels[node] + 1
+            parents[neighbor] = node
+            root_of[neighbor] = root_of[node]
+            queue.append(neighbor)
+    return parents, root_of, labels
+
+
+class BFSTreeProtocol(NodeProtocol):
+    """Per-node protocol growing BFS trees from the nodes marked as roots.
+
+    Inputs (via ``ctx.extra``):
+        ``is_root`` (bool): whether this node is a BFS root.
+        ``depth_limit`` (int, optional): maximum label to adopt.
+        ``num_rounds`` (int, optional): how many rounds to run before halting;
+            defaults to ``depth_limit`` when given, else ``n``.
+
+    Output (``result``): a dictionary with ``root``, ``parent`` and ``label``
+    (``root`` is ``None`` for nodes no tree reached within the limits).
+
+    A node adopts a new ``(label, root)`` pair only when it strictly improves
+    — smaller label, or equal label with a smaller root identifier — and
+    announces every improvement to its neighbours, exactly the rule of
+    Section 4, Step 2.
+    """
+
+    def __init__(self, ctx: NodeContext) -> None:
+        super().__init__(ctx)
+        self._is_root = bool(ctx.extra.get("is_root", False))
+        self._depth_limit = ctx.extra.get("depth_limit")
+        default_rounds = (
+            self._depth_limit
+            if self._depth_limit is not None
+            else (ctx.n if ctx.n is not None else 1)
+        )
+        # +2 rounds of slack: one for the final announcements to land and one
+        # for the adopting nodes to settle
+        self._deadline = int(ctx.extra.get("num_rounds", default_rounds)) + 2
+        self._round = 0
+        self._label: Optional[int] = 0 if self._is_root else None
+        self._root: Optional[NodeId] = ctx.node_id if self._is_root else None
+        self._parent: Optional[NodeId] = None
+
+    def _announce(self) -> None:
+        if self._label is None:
+            return
+        self.send_to_all_neighbors(("bfs", self._root, self._label))
+
+    def on_start(self) -> None:
+        if self._is_root:
+            self._announce()
+
+    def on_round(self, inbox: List[Message], channel: ChannelEvent) -> None:
+        self._round += 1
+        improved = False
+        for message in inbox:
+            kind, root, label = message.payload
+            if kind != "bfs":
+                continue
+            candidate_label = label + 1
+            if self._depth_limit is not None and candidate_label > self._depth_limit:
+                continue
+            if self._better(candidate_label, root):
+                self._label = candidate_label
+                self._root = root
+                self._parent = message.sender
+                improved = True
+        if improved:
+            self._announce()
+        if self._round >= self._deadline:
+            self.halt(
+                {"root": self._root, "parent": self._parent, "label": self._label}
+            )
+
+    def _better(self, candidate_label: int, candidate_root: NodeId) -> bool:
+        if self._label is None:
+            return True
+        if candidate_label < self._label:
+            return True
+        if candidate_label == self._label and self._root is not None:
+            return repr(candidate_root) < repr(self._root)
+        return False

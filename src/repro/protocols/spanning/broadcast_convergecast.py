@@ -1,0 +1,171 @@
+"""Broadcast-and-respond on a rooted tree (PIF, Segall 1983).
+
+The paper's local computations all reduce to this primitive: the root
+broadcasts a request down its tree, every node answers after hearing from all
+its children, and answers are combined on the way up with an associative,
+commutative operation.  On a tree of radius ``r`` with ``s`` nodes the
+primitive takes ``2r`` rounds and ``2(s − 1)`` messages — the counts the
+paper charges for Step 1 of the deterministic partition and for the local
+stage of the global-sensitive-function algorithms.
+
+Two forms are provided:
+
+* :class:`TreeAggregationProtocol` — the per-node protocol, run on the
+  simulator.  Each node is told its parent and children (established by a
+  partitioning algorithm beforehand) and its local value.
+* :func:`simulate_pif` / :func:`simulate_convergecast` /
+  :func:`simulate_broadcast` — sequential references returning both the
+  aggregate(s) and the exact time/message cost of the distributed execution;
+  the orchestrated algorithms use these to charge their local stages.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, Hashable, List, Optional, Tuple
+
+from repro.protocols.spanning.tree_utils import (
+    children_map,
+    node_depths,
+    roots_of,
+)
+from repro.sim.events import ChannelEvent, Message
+from repro.sim.node import NodeContext, NodeProtocol
+
+NodeId = Hashable
+ParentMap = Dict[NodeId, Optional[NodeId]]
+Combine = Callable[[Any, Any], Any]
+
+
+@dataclass
+class PIFCost:
+    """Exact cost of one broadcast-and-respond on a forest.
+
+    Attributes:
+        rounds: time units (2 × the deepest tree's radius, plus one when the
+            result is redistributed to the leaves).
+        messages: point-to-point messages (2 per tree edge, plus one per edge
+            for redistribution when requested).
+    """
+
+    rounds: int
+    messages: int
+
+
+def simulate_convergecast(
+    parents: ParentMap,
+    values: Dict[NodeId, Any],
+    combine: Combine,
+) -> Tuple[Dict[NodeId, Any], PIFCost]:
+    """Aggregate ``values`` up every tree of the forest.
+
+    Returns:
+        ``(root → aggregate of its tree, cost)`` where the cost covers the
+        upward wave only (``radius`` rounds, one message per tree edge).
+    """
+    children = children_map(parents)
+    depths = node_depths(parents)
+    aggregates: Dict[NodeId, Any] = {}
+
+    order = sorted(parents, key=lambda node: -depths[node])
+    partial: Dict[NodeId, Any] = {}
+    for node in order:
+        value = values[node]
+        for child in children[node]:
+            value = combine(value, partial[child])
+        partial[node] = value
+    for root in roots_of(parents):
+        aggregates[root] = partial[root]
+    radius = max(depths.values()) if depths else 0
+    messages = sum(1 for parent in parents.values() if parent is not None)
+    return aggregates, PIFCost(rounds=radius, messages=messages)
+
+
+def simulate_broadcast(parents: ParentMap) -> PIFCost:
+    """Return the cost of broadcasting one message from every root to its tree."""
+    depths = node_depths(parents)
+    radius = max(depths.values()) if depths else 0
+    messages = sum(1 for parent in parents.values() if parent is not None)
+    return PIFCost(rounds=radius, messages=messages)
+
+
+def simulate_pif(
+    parents: ParentMap,
+    values: Dict[NodeId, Any],
+    combine: Combine,
+    redistribute: bool = False,
+) -> Tuple[Dict[NodeId, Any], PIFCost]:
+    """Broadcast-and-respond: request down, aggregate up, optionally result down.
+
+    Returns:
+        ``(root → aggregate, cost)``; the cost is the full broadcast +
+        convergecast (+ redistribution when ``redistribute`` is set).
+    """
+    aggregates, up = simulate_convergecast(parents, values, combine)
+    down = simulate_broadcast(parents)
+    rounds = up.rounds + down.rounds
+    messages = up.messages + down.messages
+    if redistribute:
+        rounds += down.rounds
+        messages += down.messages
+    return aggregates, PIFCost(rounds=rounds, messages=messages)
+
+
+class TreeAggregationProtocol(NodeProtocol):
+    """Per-node broadcast-and-respond over an already-established forest.
+
+    Inputs (via ``ctx.extra``):
+        ``parent``: this node's parent in the forest (``None`` for roots).
+        ``children``: list of this node's children.
+        ``value``: the local operand.
+        ``combine``: the semigroup operation (a two-argument callable shared
+            by all nodes).
+        ``redistribute`` (bool): when set, each root broadcasts the aggregate
+            back down so every node halts knowing its tree's aggregate.
+
+    Output (``result``): the tree aggregate for roots (and for every node
+    when ``redistribute`` is set); ``None`` otherwise.
+    """
+
+    def __init__(self, ctx: NodeContext) -> None:
+        super().__init__(ctx)
+        self._parent: Optional[NodeId] = ctx.extra.get("parent")
+        self._children: Tuple[NodeId, ...] = tuple(ctx.extra.get("children", ()))
+        self._combine: Combine = ctx.extra["combine"]
+        self._value: Any = ctx.extra["value"]
+        self._redistribute: bool = bool(ctx.extra.get("redistribute", False))
+        self._pending = set(self._children)
+        self._accumulated = self._value
+        self._reported = False
+
+    def _maybe_report(self) -> None:
+        if self._pending or self._reported:
+            return
+        self._reported = True
+        if self._parent is not None:
+            self.send(self._parent, ("aggregate", self._accumulated))
+            if not self._redistribute:
+                self.halt(None)
+        else:
+            if self._redistribute:
+                for child in self._children:
+                    self.send(child, ("final", self._accumulated))
+            self.halt(self._accumulated)
+
+    def on_start(self) -> None:
+        # leaves can report immediately
+        self._maybe_report()
+
+    def on_round(self, inbox: List[Message], channel: ChannelEvent) -> None:
+        for message in inbox:
+            kind, payload = message.payload
+            if kind == "aggregate":
+                if message.sender in self._pending:
+                    self._pending.discard(message.sender)
+                    self._accumulated = self._combine(self._accumulated, payload)
+            elif kind == "final":
+                for child in self._children:
+                    self.send(child, ("final", payload))
+                self.halt(payload)
+                return
+        self._maybe_report()

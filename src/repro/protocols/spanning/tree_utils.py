@@ -1,0 +1,178 @@
+"""Utilities for trees represented as parent maps.
+
+Throughout the library a rooted tree (or forest) over the point-to-point
+topology is represented as a mapping ``node → parent`` with roots mapping to
+``None``.  These helpers compute the derived quantities the algorithms and
+the validators need: children lists, depths, subtree sizes, re-rooting (used
+when fragments merge over a selected outgoing edge), and structural
+validation.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Dict, Hashable, List, Optional, Set, Tuple
+
+NodeId = Hashable
+ParentMap = Dict[NodeId, Optional[NodeId]]
+
+
+def validate_parent_map(parents: ParentMap) -> None:
+    """Check that ``parents`` describes a forest (no cycles, closed under parents).
+
+    Raises:
+        ValueError: if a referenced parent is missing or a cycle exists.
+    """
+    for node, parent in parents.items():
+        if parent is not None and parent not in parents:
+            raise ValueError(f"parent {parent!r} of {node!r} is not in the map")
+    for start in parents:
+        seen: Set[NodeId] = set()
+        current = start
+        while current is not None:
+            if current in seen:
+                raise ValueError("parent map contains a cycle")
+            seen.add(current)
+            current = parents[current]
+
+
+def children_map(parents: ParentMap) -> Dict[NodeId, List[NodeId]]:
+    """Return ``node → list of children`` for a parent map."""
+    children: Dict[NodeId, List[NodeId]] = {node: [] for node in parents}
+    for node, parent in parents.items():
+        if parent is not None:
+            children[parent].append(node)
+    return children
+
+
+def roots_of(parents: ParentMap) -> List[NodeId]:
+    """Return every root (node whose parent is ``None``)."""
+    return [node for node, parent in parents.items() if parent is None]
+
+
+def node_depths(parents: ParentMap) -> Dict[NodeId, int]:
+    """Return each node's depth (hop distance to its root)."""
+    depths: Dict[NodeId, int] = {}
+
+    def depth(node: NodeId) -> int:
+        chain = []
+        current = node
+        while current not in depths:
+            chain.append(current)
+            parent = parents[current]
+            if parent is None:
+                depths[current] = 0
+                break
+            current = parent
+        for member in reversed(chain):
+            parent = parents[member]
+            if parent is None:
+                depths[member] = 0
+            else:
+                depths[member] = depths[parent] + 1
+        return depths[node]
+
+    for node in parents:
+        depth(node)
+    return depths
+
+
+def tree_radius(parents: ParentMap) -> int:
+    """Return the maximum depth over all nodes (the forest's radius from roots)."""
+    if not parents:
+        return 0
+    return max(node_depths(parents).values())
+
+
+def subtree_sizes(parents: ParentMap) -> Dict[NodeId, int]:
+    """Return each node's subtree size (itself plus all descendants)."""
+    children = children_map(parents)
+    sizes: Dict[NodeId, int] = {}
+    # iterative post-order to avoid recursion limits on path-like trees
+    for root in roots_of(parents):
+        stack: List[Tuple[NodeId, bool]] = [(root, False)]
+        while stack:
+            node, processed = stack.pop()
+            if processed:
+                sizes[node] = 1 + sum(sizes[child] for child in children[node])
+            else:
+                stack.append((node, True))
+                for child in children[node]:
+                    stack.append((child, False))
+    return sizes
+
+
+def tree_edges(parents: ParentMap) -> List[Tuple[NodeId, NodeId]]:
+    """Return the (child, parent) edges of the forest."""
+    return [(node, parent) for node, parent in parents.items() if parent is not None]
+
+
+def members_by_root(parents: ParentMap) -> Dict[NodeId, List[NodeId]]:
+    """Return ``root → list of nodes in its tree`` (roots included)."""
+    result: Dict[NodeId, List[NodeId]] = {root: [] for root in roots_of(parents)}
+    root_of: Dict[NodeId, NodeId] = {}
+
+    def find_root(node: NodeId) -> NodeId:
+        chain = []
+        current = node
+        while current not in root_of:
+            parent = parents[current]
+            if parent is None:
+                root_of[current] = current
+                break
+            chain.append(current)
+            current = parent
+        root = root_of[current]
+        for member in chain:
+            root_of[member] = root
+        return root
+
+    for node in parents:
+        result[find_root(node)].append(node)
+    return result
+
+
+def reroot(parents: ParentMap, members: List[NodeId], new_root: NodeId) -> None:
+    """Re-root the tree containing ``members`` at ``new_root`` in place.
+
+    Only the parent pointers along the path from ``new_root`` to the old root
+    are reversed; all other pointers stay valid.  ``members`` is accepted (but
+    not required to be exhaustive) purely for interface symmetry with the
+    distributed operation, which broadcasts the re-rooting along the tree.
+
+    Raises:
+        KeyError: if ``new_root`` is not in the parent map.
+    """
+    if new_root not in parents:
+        raise KeyError(f"{new_root!r} is not part of the forest")
+    path: List[NodeId] = []
+    current: Optional[NodeId] = new_root
+    while current is not None:
+        path.append(current)
+        current = parents[current]
+    # reverse parent pointers along the path
+    for index in range(len(path) - 1, 0, -1):
+        parents[path[index]] = path[index - 1]
+    parents[new_root] = None
+
+
+def path_to_root(parents: ParentMap, node: NodeId) -> List[NodeId]:
+    """Return the path from ``node`` to its root, inclusive."""
+    path = [node]
+    current = parents[node]
+    while current is not None:
+        path.append(current)
+        current = parents[current]
+    return path
+
+
+def breadth_first_order(parents: ParentMap, root: NodeId) -> List[NodeId]:
+    """Return the nodes of ``root``'s tree in breadth-first order."""
+    children = children_map(parents)
+    order: List[NodeId] = []
+    queue = deque([root])
+    while queue:
+        node = queue.popleft()
+        order.append(node)
+        queue.extend(children[node])
+    return order

@@ -1,0 +1,42 @@
+"""Deterministic symmetry breaking on rooted forests.
+
+The deterministic partitioning algorithm (Section 3) caps the radius of the
+fragments it builds by 3-colouring the "fragment forest" F with the parallel
+algorithm of Goldberg, Plotkin and Shannon (1987) — itself based on the
+deterministic coin tossing of Cole and Vishkin (1986) — and then extracting a
+maximal independent set that contains every root (Steps 4 and 5 of the paper).
+These routines are formulated vertex-locally: a vertex's new colour depends
+only on its own state and its parent's colour, so each step corresponds to
+one round of parent→child communication, which the caller charges at the
+fragment level (O(2^i) time per round in phase ``i``).
+"""
+
+from repro.protocols.symmetry.cole_vishkin import (
+    cole_vishkin_step,
+    color_bit_length,
+    log_star,
+)
+from repro.protocols.symmetry.three_coloring import (
+    ColoringResult,
+    is_legal_coloring,
+    three_color_rooted_forest,
+)
+from repro.protocols.symmetry.mis import (
+    MISResult,
+    is_independent_set,
+    is_maximal_independent_set,
+    mis_from_three_coloring,
+)
+
+__all__ = [
+    "cole_vishkin_step",
+    "color_bit_length",
+    "log_star",
+    "ColoringResult",
+    "is_legal_coloring",
+    "three_color_rooted_forest",
+    "MISResult",
+    "is_independent_set",
+    "is_maximal_independent_set",
+    "mis_from_three_coloring",
+]

@@ -1,0 +1,119 @@
+"""Cole–Vishkin deterministic coin tossing (1986).
+
+One *deterministic coin tossing* step takes a legal colouring of a rooted
+forest with colours drawn from ``{0, …, K−1}`` and produces a legal colouring
+with O(log K) colours: every non-root vertex finds the least significant bit
+position at which its colour differs from its parent's and encodes
+``(position, own bit value)`` as its new colour; the root pretends its parent
+differs at position 0.  Iterating the step reduces ``n`` initial colours (the
+node identifiers) to a constant number of colours in ``log* n + O(1)`` steps,
+which is where the ubiquitous ``log* n`` factors in the paper's complexity
+bounds come from.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable, Optional
+
+NodeId = Hashable
+
+
+def log_star(n: float) -> int:
+    """Return ``log* n``: the number of times ``log2`` must be applied to reach ≤ 1.
+
+    The paper defines log* n as the minimum integer ``i`` such that applying
+    ``log`` ``i`` times to ``n`` yields a value ≤ 1 (all logarithms base 2).
+
+    Raises:
+        ValueError: if ``n`` is not positive.
+    """
+    import math
+
+    if n <= 0:
+        raise ValueError("log* is only defined for positive arguments")
+    count = 0
+    value = float(n)
+    while value > 1.0:
+        value = math.log2(value)
+        count += 1
+    return count
+
+
+def color_bit_length(num_colors: int) -> int:
+    """Return the number of bits needed to write colours in ``{0..num_colors−1}``."""
+    if num_colors < 1:
+        raise ValueError("need at least one colour")
+    return max(1, (num_colors - 1).bit_length())
+
+
+def _differing_bit(a: int, b: int, bits: int) -> int:
+    """Return the least significant bit position at which ``a`` and ``b`` differ.
+
+    When ``a == b`` (which a legal colouring forbids between parent and
+    child) the position ``bits`` is returned so the caller can detect it.
+    """
+    diff = a ^ b
+    if diff == 0:
+        return bits
+    return (diff & -diff).bit_length() - 1
+
+
+def cole_vishkin_step(
+    colors: Dict[NodeId, int],
+    parents: Dict[NodeId, Optional[NodeId]],
+    num_colors: int,
+) -> Dict[NodeId, int]:
+    """Apply one deterministic coin-tossing step to a legal forest colouring.
+
+    Args:
+        colors: current legal colouring (child colour ≠ parent colour).
+        parents: rooted-forest structure; roots map to ``None``.
+        num_colors: an upper bound on the current number of colours (the new
+            colours lie in ``{0, …, 2·⌈log2 num_colors⌉ − 1}``).
+
+    Returns:
+        The new colouring (a fresh dictionary).
+
+    Raises:
+        ValueError: if the input colouring is not legal.
+    """
+    bits = color_bit_length(num_colors)
+    new_colors: Dict[NodeId, int] = {}
+    for node, parent in parents.items():
+        own = colors[node]
+        if parent is None:
+            # the root behaves as if its parent differed at bit position 0
+            new_colors[node] = (own & 1)
+            continue
+        position = _differing_bit(own, colors[parent], bits)
+        if position >= bits:
+            raise ValueError(
+                f"illegal colouring: node {node!r} and its parent share colour {own}"
+            )
+        bit_value = (own >> position) & 1
+        new_colors[node] = 2 * position + bit_value
+    return new_colors
+
+
+def colors_after_step(num_colors: int) -> int:
+    """Return the colour-count bound after one Cole–Vishkin step."""
+    return 2 * color_bit_length(num_colors)
+
+
+def steps_to_constant(num_colors: int, target: int = 6) -> int:
+    """Return how many CV steps reduce ``num_colors`` colours to at most ``target``.
+
+    Used by the complexity accounting: the deterministic partition charges one
+    parent→child communication round per step.
+    """
+    if target < 6:
+        raise ValueError("the CV iteration cannot go below six colours by itself")
+    steps = 0
+    current = num_colors
+    while current > target:
+        nxt = colors_after_step(current)
+        steps += 1
+        if nxt >= current:
+            break
+        current = nxt
+    return steps

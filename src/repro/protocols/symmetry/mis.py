@@ -1,0 +1,179 @@
+"""Maximal independent set containing all roots, from a 3-colouring.
+
+Steps 4 and 5 of the deterministic partitioning algorithm (Section 3) turn a
+legal 3-colouring of the fragment forest F into a maximal independent set
+(MIS) that contains the root of every tree of F.  With the colours named
+red, green and blue, the recolouring proceeds as follows (all reads use the
+colours of the *previous* step, so each step is one communication round):
+
+* **Step 4 (shift-down with red roots).**  Every vertex other than a root or
+  a root's child adopts its parent's colour.  If a root is red, each of its
+  children picks a colour different from red and from its own; otherwise the
+  root's children adopt the root's colour and the root becomes red.
+* **Step 5 (greedy completion).**  Every blue vertex with no red neighbour
+  becomes red; then every green vertex with no red neighbour becomes red.
+
+The red vertices then form an MIS of F that includes every root, so any path
+in F between two red vertices has length at most three — the fact Step 6 of
+the partitioning algorithm uses to cut every tree of F into subtrees of
+constant radius.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Hashable, List, Optional, Set
+
+NodeId = Hashable
+
+RED = 0
+GREEN = 1
+BLUE = 2
+
+#: Number of parent→child communication rounds Steps 4 and 5 need: one for the
+#: shift-down, one for the blue pass and one for the green pass.
+MIS_COMMUNICATION_ROUNDS = 3
+
+
+@dataclass
+class MISResult:
+    """The MIS produced by Steps 4–5 and the recoloured forest.
+
+    Attributes:
+        independent_set: the red vertices (contains every root of the forest).
+        colors: the final colouring (red vertices are exactly the MIS).
+        communication_rounds: rounds of parent↔child communication used.
+    """
+
+    independent_set: Set[NodeId]
+    colors: Dict[NodeId, int]
+    communication_rounds: int
+
+
+def _children_map(parents: Dict[NodeId, Optional[NodeId]]) -> Dict[NodeId, List[NodeId]]:
+    children: Dict[NodeId, List[NodeId]] = {node: [] for node in parents}
+    for node, parent in parents.items():
+        if parent is not None:
+            children[parent].append(node)
+    return children
+
+
+def _neighbors(
+    node: NodeId,
+    parents: Dict[NodeId, Optional[NodeId]],
+    children: Dict[NodeId, List[NodeId]],
+) -> List[NodeId]:
+    result = list(children[node])
+    parent = parents[node]
+    if parent is not None:
+        result.append(parent)
+    return result
+
+
+def mis_from_three_coloring(
+    parents: Dict[NodeId, Optional[NodeId]],
+    colors: Dict[NodeId, int],
+) -> MISResult:
+    """Run Steps 4 and 5 of the partitioning algorithm on forest ``parents``.
+
+    Args:
+        parents: rooted forest (roots map to ``None``).
+        colors: a legal 3-colouring with colours in ``{0, 1, 2}`` (0 = red).
+
+    Returns:
+        The :class:`MISResult`; the red set is a maximal independent set of
+        the forest and contains every root.
+
+    Raises:
+        ValueError: if the colouring is illegal or uses colours outside
+            ``{0, 1, 2}``.
+    """
+    for node, parent in parents.items():
+        if colors[node] not in (RED, GREEN, BLUE):
+            raise ValueError(f"vertex {node!r} has a colour outside {{0,1,2}}")
+        if parent is not None and colors[node] == colors[parent]:
+            raise ValueError("the supplied colouring is not legal")
+
+    children = _children_map(parents)
+    roots = [node for node, parent in parents.items() if parent is None]
+    root_children = {child for root in roots for child in children[root]}
+
+    # ------------------------------------------------------------------
+    # Step 4: shift-down that leaves every root red.
+    # ------------------------------------------------------------------
+    step4: Dict[NodeId, int] = {}
+    for node, parent in parents.items():
+        if parent is None:
+            # roots are handled below (they may need to turn red)
+            continue
+        if node in root_children:
+            continue
+        step4[node] = colors[parents[node]]
+    for root in roots:
+        if colors[root] == RED:
+            step4[root] = RED
+            for child in children[root]:
+                step4[child] = _color_other_than(RED, colors[child])
+        else:
+            step4[root] = RED
+            for child in children[root]:
+                step4[child] = colors[root]
+
+    # ------------------------------------------------------------------
+    # Step 5: promote blue then green vertices with no red neighbour.
+    # ------------------------------------------------------------------
+    step5 = dict(step4)
+    for node in parents:
+        if step4[node] != BLUE:
+            continue
+        if all(step4[neighbor] != RED for neighbor in _neighbors(node, parents, children)):
+            step5[node] = RED
+    final = dict(step5)
+    for node in parents:
+        if step5[node] != GREEN:
+            continue
+        if all(step5[neighbor] != RED for neighbor in _neighbors(node, parents, children)):
+            final[node] = RED
+
+    independent = {node for node, color in final.items() if color == RED}
+    return MISResult(
+        independent_set=independent,
+        colors=final,
+        communication_rounds=MIS_COMMUNICATION_ROUNDS,
+    )
+
+
+def _color_other_than(first: int, second: int) -> int:
+    for candidate in (GREEN, BLUE, RED):
+        if candidate != first and candidate != second:
+            return candidate
+    raise AssertionError("two excluded colours always leave one of three available")
+
+
+def is_independent_set(
+    parents: Dict[NodeId, Optional[NodeId]],
+    vertices: Set[NodeId],
+) -> bool:
+    """Return ``True`` when no two vertices of ``vertices`` are adjacent in the forest."""
+    for node, parent in parents.items():
+        if parent is not None and node in vertices and parent in vertices:
+            return False
+    return True
+
+
+def is_maximal_independent_set(
+    parents: Dict[NodeId, Optional[NodeId]],
+    vertices: Set[NodeId],
+) -> bool:
+    """Return ``True`` when ``vertices`` is independent and cannot be extended."""
+    if not is_independent_set(parents, vertices):
+        return False
+    children = _children_map(parents)
+    for node in parents:
+        if node in vertices:
+            continue
+        if not any(
+            neighbor in vertices for neighbor in _neighbors(node, parents, children)
+        ):
+            return False
+    return True

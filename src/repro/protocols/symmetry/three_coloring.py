@@ -1,0 +1,163 @@
+"""Goldberg–Plotkin–Shannon 3-colouring of a rooted forest (1987).
+
+Step 3 of the deterministic partitioning algorithm 3-colours the fragment
+forest F.  The GPS algorithm does this in ``O(log* n)`` parent→child
+communication rounds:
+
+1. start from the (distinct) vertex identifiers as colours;
+2. apply Cole–Vishkin deterministic coin-tossing steps until at most six
+   colours remain (``log* n + O(1)`` steps);
+3. eliminate colours 5, 4 and 3 one at a time with a *shift-down + recolour*
+   step: every non-root vertex adopts its parent's colour (so all siblings
+   agree), the root picks a colour in ``{0,1,2}`` different from its own, and
+   every vertex currently holding the colour being eliminated picks the
+   smallest colour in ``{0,1,2}`` used by neither its parent nor its
+   (now unanimous) children.
+
+Every step reads only a vertex's own state and its parent's colour, so each
+step costs one round of communication from parents to children; the result
+records the number of such rounds for the caller's complexity accounting.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Hashable, List, Optional
+
+from repro.protocols.symmetry.cole_vishkin import (
+    cole_vishkin_step,
+    colors_after_step,
+)
+
+NodeId = Hashable
+
+
+@dataclass
+class ColoringResult:
+    """A legal colouring of a rooted forest together with its round count.
+
+    Attributes:
+        colors: mapping vertex → colour in ``{0, 1, 2}``.
+        communication_rounds: number of parent→child communication rounds the
+            distributed execution of the algorithm needs (CV iterations plus
+            the three shift-down rounds); the deterministic partition charges
+            ``O(2^i)`` time and ``O(fragment sizes)`` messages per round.
+    """
+
+    colors: Dict[NodeId, int]
+    communication_rounds: int
+
+
+def _children_map(parents: Dict[NodeId, Optional[NodeId]]) -> Dict[NodeId, List[NodeId]]:
+    children: Dict[NodeId, List[NodeId]] = {node: [] for node in parents}
+    for node, parent in parents.items():
+        if parent is not None:
+            children[parent].append(node)
+    return children
+
+
+def is_legal_coloring(
+    colors: Dict[NodeId, int],
+    parents: Dict[NodeId, Optional[NodeId]],
+) -> bool:
+    """Return ``True`` when no vertex shares a colour with its parent."""
+    for node, parent in parents.items():
+        if parent is not None and colors[node] == colors[parent]:
+            return False
+    return True
+
+
+def three_color_rooted_forest(
+    parents: Dict[NodeId, Optional[NodeId]],
+    identifiers: Optional[Dict[NodeId, int]] = None,
+) -> ColoringResult:
+    """3-colour a rooted forest with the GPS algorithm.
+
+    Args:
+        parents: rooted-forest structure; roots map to ``None``.  Every parent
+            referenced must itself be a key of the mapping.
+        identifiers: distinct non-negative integers used as initial colours;
+            defaults to enumerating the vertices.  In the paper these are the
+            fragment (core) identifiers, which are distinct by construction.
+
+    Returns:
+        A :class:`ColoringResult` with colours in ``{0, 1, 2}``.
+
+    Raises:
+        ValueError: if a parent is missing from the map, identifiers repeat,
+            or the structure contains a cycle.
+    """
+    _validate_forest(parents)
+    if identifiers is None:
+        identifiers = {node: index for index, node in enumerate(parents)}
+    if len(set(identifiers.values())) != len(identifiers):
+        raise ValueError("initial identifiers must be distinct")
+
+    colors = {node: int(identifiers[node]) for node in parents}
+    if not parents:
+        return ColoringResult(colors={}, communication_rounds=0)
+    num_colors = max(colors.values()) + 1
+    rounds = 0
+
+    # Phase 1: Cole–Vishkin until at most six colours remain.
+    while num_colors > 6:
+        colors = cole_vishkin_step(colors, parents, num_colors)
+        next_bound = colors_after_step(num_colors)
+        rounds += 1
+        if next_bound >= num_colors:
+            break
+        num_colors = next_bound
+
+    # Phase 2: eliminate colours 5, 4, 3 via shift-down + recolour.
+    children = _children_map(parents)
+    for eliminated in (5, 4, 3):
+        shifted: Dict[NodeId, int] = {}
+        for node, parent in parents.items():
+            if parent is None:
+                shifted[node] = _smallest_excluding({colors[node]})
+            else:
+                shifted[node] = colors[parent]
+        colors = shifted
+        recolored = dict(colors)
+        for node in parents:
+            if colors[node] != eliminated:
+                continue
+            forbidden = set()
+            parent = parents[node]
+            if parent is not None:
+                forbidden.add(colors[parent])
+            for child in children[node]:
+                forbidden.add(colors[child])
+            recolored[node] = _smallest_excluding(forbidden)
+        colors = recolored
+        rounds += 1
+
+    if not is_legal_coloring(colors, parents):
+        raise AssertionError("GPS colouring produced an illegal colouring")
+    if any(color > 2 for color in colors.values()):
+        raise AssertionError("GPS colouring did not reach three colours")
+    return ColoringResult(colors=colors, communication_rounds=rounds)
+
+
+def _smallest_excluding(forbidden) -> int:
+    for candidate in (0, 1, 2, 3):
+        if candidate not in forbidden:
+            return candidate
+    raise AssertionError("three forbidden colours cannot exclude all of {0,1,2,3}")
+
+
+def _validate_forest(parents: Dict[NodeId, Optional[NodeId]]) -> None:
+    for node, parent in parents.items():
+        if parent is not None and parent not in parents:
+            raise ValueError(f"parent {parent!r} of {node!r} is not a vertex")
+    # cycle detection by walking each vertex towards its root
+    for start in parents:
+        seen = set()
+        current = start
+        while current is not None:
+            if current in seen:
+                raise ValueError("the parent map contains a cycle")
+            seen.add(current)
+            current = parents[current]
+            if len(seen) > len(parents):
+                raise ValueError("the parent map contains a cycle")

@@ -1,0 +1,75 @@
+"""The slotted multiaccess (collision) channel.
+
+Section 2 of the paper: every node can write to and read from each slot; a
+slot is *idle* when no node writes, *success* when exactly one node writes
+(its message is then heard by all nodes), and *collision* when two or more
+nodes write (detected by all nodes, contents lost).
+"""
+
+from __future__ import annotations
+
+from typing import Hashable, List, Optional, Sequence, Tuple
+
+from repro.sim.events import ChannelEvent, SlotState
+from repro.sim.metrics import MetricsRecorder
+
+NodeId = Hashable
+
+
+class SlottedChannel:
+    """Resolves one slot at a time and keeps a history of slot outcomes."""
+
+    def __init__(self, metrics: Optional[MetricsRecorder] = None) -> None:
+        self._metrics = metrics
+        self._history: List[ChannelEvent] = []
+
+    @property
+    def slots_elapsed(self) -> int:
+        """Return how many slots have been resolved so far."""
+        return len(self._history)
+
+    @property
+    def history(self) -> Tuple[ChannelEvent, ...]:
+        """Return every resolved slot, oldest first."""
+        return tuple(self._history)
+
+    def resolve_slot(
+        self,
+        slot: int,
+        writes: Sequence[Tuple[NodeId, object]],
+    ) -> ChannelEvent:
+        """Resolve slot ``slot`` given the attempted ``(writer, payload)`` writes.
+
+        Returns the full (non-public) :class:`ChannelEvent`; the simulator
+        hands nodes the :meth:`ChannelEvent.public_view`.
+        """
+        writers = tuple(writer for writer, _ in writes)
+        if len(writes) == 0:
+            event = ChannelEvent(slot=slot, state=SlotState.IDLE)
+        elif len(writes) == 1:
+            writer, payload = writes[0]
+            event = ChannelEvent(
+                slot=slot,
+                state=SlotState.SUCCESS,
+                payload=payload,
+                writer=writer,
+                writers=writers,
+            )
+        else:
+            event = ChannelEvent(
+                slot=slot, state=SlotState.COLLISION, writers=writers
+            )
+        self._history.append(event)
+        if self._metrics is not None:
+            self._metrics.record_slot(event.state, len(writes))
+        return event
+
+    def successes(self) -> List[ChannelEvent]:
+        """Return the slots that resolved to SUCCESS, oldest first."""
+        return [event for event in self._history if event.is_success()]
+
+    def utilisation(self) -> float:
+        """Return the fraction of elapsed slots that carried a successful broadcast."""
+        if not self._history:
+            return 0.0
+        return len(self.successes()) / len(self._history)

@@ -1,0 +1,95 @@
+"""A minimal discrete-event engine for the asynchronous executions of Section 7.
+
+The synchronous simulations in :mod:`repro.sim.multimedia` do not need an
+event queue (time advances one round at a time).  The asynchronous execution
+used by the channel-synchronizer experiments does: point-to-point messages
+experience arbitrary-but-finite delays, so deliveries are scheduled as timed
+events and processed in timestamp order.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Callable, List, Optional
+
+
+@dataclass(order=True)
+class _ScheduledEvent:
+    time: float
+    sequence: int
+    action: Callable[[], None] = field(compare=False)
+
+
+class EventQueue:
+    """A time-ordered queue of zero-argument callbacks.
+
+    Ties are broken by insertion order so that executions are fully
+    deterministic given a seed.
+    """
+
+    def __init__(self) -> None:
+        self._heap: List[_ScheduledEvent] = []
+        self._counter = itertools.count()
+        self._now = 0.0
+
+    @property
+    def now(self) -> float:
+        """Return the timestamp of the most recently executed event."""
+        return self._now
+
+    def schedule(self, delay: float, action: Callable[[], None]) -> None:
+        """Schedule ``action`` to run ``delay`` time units from now.
+
+        Raises:
+            ValueError: if ``delay`` is negative.
+        """
+        if delay < 0:
+            raise ValueError("cannot schedule an event in the past")
+        event = _ScheduledEvent(self._now + delay, next(self._counter), action)
+        heapq.heappush(self._heap, event)
+
+    def schedule_at(self, time: float, action: Callable[[], None]) -> None:
+        """Schedule ``action`` at absolute ``time`` (not before now)."""
+        if time < self._now:
+            raise ValueError("cannot schedule an event in the past")
+        event = _ScheduledEvent(time, next(self._counter), action)
+        heapq.heappush(self._heap, event)
+
+    def is_empty(self) -> bool:
+        """Return ``True`` when no events remain."""
+        return not self._heap
+
+    def peek_time(self) -> Optional[float]:
+        """Return the timestamp of the next event, or ``None`` when empty."""
+        return self._heap[0].time if self._heap else None
+
+    def run_next(self) -> bool:
+        """Execute the next event.  Returns ``False`` when the queue is empty."""
+        if not self._heap:
+            return False
+        event = heapq.heappop(self._heap)
+        self._now = event.time
+        event.action()
+        return True
+
+    def run_until(self, time: float) -> None:
+        """Execute every event with timestamp ``<= time``."""
+        while self._heap and self._heap[0].time <= time:
+            self.run_next()
+        self._now = max(self._now, time)
+
+    def run_all(self, max_events: int = 10_000_000) -> int:
+        """Drain the queue; returns the number of events executed.
+
+        Raises:
+            RuntimeError: if more than ``max_events`` events execute, which
+                indicates a non-terminating schedule.
+        """
+        executed = 0
+        while self.run_next():
+            executed += 1
+            if executed > max_events:
+                raise RuntimeError("event queue did not drain; runaway schedule")
+        return executed

@@ -1,0 +1,36 @@
+"""Exception hierarchy for the simulator and the protocols running on it."""
+
+from __future__ import annotations
+
+
+class SimulationError(Exception):
+    """Base class for every error raised by the simulation substrate."""
+
+
+class SimulationTimeout(SimulationError):
+    """Raised when a simulation exceeds its configured maximum number of rounds.
+
+    Protocols in this library are designed to terminate; hitting the round
+    limit therefore indicates either a protocol bug or a limit that is too
+    small for the instance size, and the error message reports both.
+    """
+
+    def __init__(self, rounds: int, pending: int) -> None:
+        self.rounds = rounds
+        self.pending = pending
+        super().__init__(
+            f"simulation did not terminate within {rounds} rounds; "
+            f"{pending} node(s) still active"
+        )
+
+
+class ProtocolError(SimulationError):
+    """Raised when a node protocol violates the model.
+
+    Examples: sending a message to a non-neighbour, writing twice to the same
+    channel slot, or sending two messages over the same link in one round.
+    """
+
+
+class TopologyError(SimulationError):
+    """Raised when a network is constructed from an unusable topology."""

@@ -1,0 +1,205 @@
+"""The multimedia network: synchronous point-to-point network + slotted channel.
+
+This module contains the simulation driver used by every algorithm in the
+library.  One *time unit* advances both media: each node may send one message
+per incident link (delivered next round) and may attempt one write to the
+current channel slot (whose idle/success/collision outcome every node
+observes at the start of the next round).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, Hashable, List, Optional
+
+from repro.sim.channel import SlottedChannel
+from repro.sim.errors import SimulationTimeout
+from repro.sim.events import ChannelEvent, idle_event
+from repro.sim.metrics import MetricsRecorder, MetricsSnapshot
+from repro.sim.network import PointToPointNetwork
+from repro.sim.node import NodeContext, NodeProtocol
+from repro.topology.graph import WeightedGraph
+
+NodeId = Hashable
+ProtocolFactory = Callable[[NodeContext], NodeProtocol]
+
+DEFAULT_MAX_ROUNDS = 1_000_000
+
+
+@dataclass
+class SimulationResult:
+    """The outcome of one simulation run.
+
+    Attributes:
+        rounds: number of time units elapsed until every node halted.
+        metrics: snapshot of the shared complexity accountant.
+        results: each node's declared local output.
+        protocols: the protocol instances themselves, for tests that want to
+            inspect internal state after the run.
+        channel_history: every resolved channel slot, oldest first.
+    """
+
+    rounds: int
+    metrics: MetricsSnapshot
+    results: Dict[NodeId, Any]
+    protocols: Dict[NodeId, NodeProtocol]
+    channel_history: tuple
+
+    def result_values(self) -> List[Any]:
+        """Return the node outputs in node-id order (for convenience)."""
+        return [self.results[node] for node in sorted(self.results, key=repr)]
+
+
+class MultimediaNetwork:
+    """A multimedia network over a fixed point-to-point topology.
+
+    The object can be reused for several runs; each run gets fresh protocol
+    instances and (unless a shared recorder is supplied per run) charges the
+    network-level :class:`MetricsRecorder` owned by this object.
+    """
+
+    def __init__(
+        self,
+        graph: WeightedGraph,
+        seed: Optional[int] = None,
+        n_known: bool = True,
+    ) -> None:
+        """Create a multimedia network.
+
+        Args:
+            graph: the point-to-point topology; all its nodes are also
+                attached to the multiaccess channel.
+            seed: master seed from which per-node private random sources are
+                derived (deterministic given the seed).
+            n_known: whether nodes are told ``n``.  The paper assumes ``n``
+                is known (Section 2) and Section 7 removes the assumption;
+                the size-estimation protocols run with ``n_known=False``.
+        """
+        self._graph = graph
+        self._seed = seed
+        self._n_known = n_known
+
+    @property
+    def graph(self) -> WeightedGraph:
+        """Return the point-to-point topology."""
+        return self._graph
+
+    @property
+    def num_nodes(self) -> int:
+        """Return ``n``."""
+        return self._graph.num_nodes()
+
+    @property
+    def num_links(self) -> int:
+        """Return ``m``."""
+        return self._graph.num_edges()
+
+    # ------------------------------------------------------------------
+    # running protocols
+    # ------------------------------------------------------------------
+    def build_contexts(
+        self,
+        inputs: Optional[Dict[NodeId, Dict[str, Any]]] = None,
+    ) -> Dict[NodeId, NodeContext]:
+        """Build one :class:`NodeContext` per node.
+
+        Args:
+            inputs: optional per-node ``extra`` dictionaries (e.g. the local
+                operand of a global sensitive function).
+        """
+        master = random.Random(self._seed)
+        contexts: Dict[NodeId, NodeContext] = {}
+        n = self.num_nodes if self._n_known else None
+        for node in self._graph.nodes():
+            neighbors = tuple(self._graph.neighbors(node))
+            weights = {v: self._graph.weight(node, v) for v in neighbors}
+            contexts[node] = NodeContext(
+                node_id=node,
+                neighbors=neighbors,
+                link_weights=weights,
+                n=n,
+                rng=random.Random(master.randrange(2**63)),
+                extra=dict(inputs.get(node, {})) if inputs else {},
+            )
+        return contexts
+
+    def run(
+        self,
+        protocol_factory: ProtocolFactory,
+        inputs: Optional[Dict[NodeId, Dict[str, Any]]] = None,
+        max_rounds: int = DEFAULT_MAX_ROUNDS,
+        metrics: Optional[MetricsRecorder] = None,
+        stop_when: Optional[Callable[[Dict[NodeId, NodeProtocol]], bool]] = None,
+    ) -> SimulationResult:
+        """Run one protocol instance on every node until all of them halt.
+
+        Args:
+            protocol_factory: callable building a node's protocol from its
+                :class:`NodeContext`.
+            inputs: optional per-node ``extra`` input dictionaries.
+            max_rounds: safety bound; exceeded means a protocol bug.
+            metrics: an externally owned recorder to charge (used when an
+                algorithm composes several runs); a fresh one is created
+                otherwise.
+            stop_when: optional predicate over the protocol map that ends the
+                run early (used by open-ended protocols such as estimation
+                loops driven from outside).
+
+        Returns:
+            A :class:`SimulationResult`.
+
+        Raises:
+            SimulationTimeout: if the protocols do not all halt in time.
+        """
+        recorder = metrics if metrics is not None else MetricsRecorder()
+        network = PointToPointNetwork(self._graph, metrics=recorder)
+        channel = SlottedChannel(metrics=recorder)
+        contexts = self.build_contexts(inputs)
+        protocols: Dict[NodeId, NodeProtocol] = {
+            node: protocol_factory(ctx) for node, ctx in contexts.items()
+        }
+
+        last_event: ChannelEvent = idle_event(-1)
+        rounds_used = 0
+        for round_index in range(max_rounds):
+            all_halted = all(p.halted for p in protocols.values())
+            if all_halted and not network.has_in_flight():
+                break
+            if stop_when is not None and stop_when(protocols):
+                break
+
+            inboxes = network.deliver(round_index)
+            writes = []
+            public_event = last_event.public_view()
+            for node, protocol in protocols.items():
+                if protocol.halted:
+                    continue
+                if round_index == 0:
+                    protocol.on_start()
+                    # nodes may also react immediately in round 0
+                    inbox = inboxes.get(node, [])
+                    if inbox:
+                        protocol.on_round(inbox, public_event)
+                else:
+                    protocol.on_round(inboxes.get(node, []), public_event)
+                outbox, payload, wrote = protocol._collect_actions()
+                if outbox:
+                    network.accept_sends(node, outbox, round_index)
+                if wrote:
+                    writes.append((node, payload))
+            last_event = channel.resolve_slot(round_index, writes)
+            recorder.record_round(1)
+            rounds_used = round_index + 1
+        else:
+            pending = sum(1 for p in protocols.values() if not p.halted)
+            raise SimulationTimeout(max_rounds, pending)
+
+        results = {node: protocol.result for node, protocol in protocols.items()}
+        return SimulationResult(
+            rounds=rounds_used,
+            metrics=recorder.snapshot(),
+            results=results,
+            protocols=protocols,
+            channel_history=channel.history,
+        )

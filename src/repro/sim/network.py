@@ -1,0 +1,125 @@
+"""The synchronous point-to-point message-passing network.
+
+The network delivers every message exactly one round after it was sent
+(synchronous model, Section 2).  It validates that messages travel only over
+existing links and charges every delivery to the shared
+:class:`~repro.sim.metrics.MetricsRecorder`.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Dict, Hashable, List, Optional, Sequence, Tuple
+
+from repro.sim.errors import ProtocolError, TopologyError
+from repro.sim.events import Message
+from repro.sim.metrics import MetricsRecorder
+from repro.topology.graph import WeightedGraph
+from repro.topology.properties import is_connected
+
+NodeId = Hashable
+
+
+class PointToPointNetwork:
+    """Synchronous store-and-forward delivery over a fixed topology."""
+
+    def __init__(
+        self,
+        graph: WeightedGraph,
+        metrics: Optional[MetricsRecorder] = None,
+        require_connected: bool = True,
+    ) -> None:
+        """Create a network over ``graph``.
+
+        Args:
+            graph: the point-to-point topology.
+            metrics: shared complexity accountant; when omitted a private one
+                is created (accessible via :attr:`metrics`).
+            require_connected: the paper's model assumes a connected network;
+                set to ``False`` only for targeted unit tests.
+
+        Raises:
+            TopologyError: if the graph is empty or (when required) not
+                connected.
+        """
+        if graph.num_nodes() == 0:
+            raise TopologyError("cannot build a network over an empty graph")
+        if require_connected and not is_connected(graph):
+            raise TopologyError("the point-to-point topology must be connected")
+        self._graph = graph
+        self.metrics = metrics if metrics is not None else MetricsRecorder()
+        self._in_flight: Dict[NodeId, List[Message]] = defaultdict(list)
+        self._delivered_total = 0
+
+    @property
+    def graph(self) -> WeightedGraph:
+        """Return the underlying topology."""
+        return self._graph
+
+    @property
+    def num_nodes(self) -> int:
+        """Return the number of processors ``n``."""
+        return self._graph.num_nodes()
+
+    @property
+    def num_links(self) -> int:
+        """Return the number of point-to-point links ``m``."""
+        return self._graph.num_edges()
+
+    @property
+    def delivered_total(self) -> int:
+        """Return the number of messages delivered since construction."""
+        return self._delivered_total
+
+    def accept_sends(
+        self,
+        sender: NodeId,
+        sends: Sequence[Tuple[NodeId, object]],
+        round_index: int,
+    ) -> None:
+        """Accept the messages ``sender`` emits in ``round_index``.
+
+        The messages will be delivered at the start of round
+        ``round_index + 1``.
+
+        Raises:
+            ProtocolError: if a destination is not adjacent to ``sender``.
+        """
+        for receiver, payload in sends:
+            if not self._graph.has_edge(sender, receiver):
+                raise ProtocolError(
+                    f"node {sender!r} attempted to send over a non-existent "
+                    f"link to {receiver!r}"
+                )
+            message = Message(
+                sender=sender,
+                receiver=receiver,
+                payload=payload,
+                round_sent=round_index,
+            )
+            self._in_flight[receiver].append(message)
+            self.metrics.record_messages(1)
+
+    def deliver(self, round_index: int) -> Dict[NodeId, List[Message]]:
+        """Return and clear the inboxes for the start of ``round_index``.
+
+        Only messages sent in earlier rounds are delivered; in the
+        synchronous model that is every in-flight message.
+        """
+        inboxes: Dict[NodeId, List[Message]] = {}
+        for receiver, queue in list(self._in_flight.items()):
+            ready = [msg for msg in queue if msg.round_sent < round_index]
+            if not ready:
+                continue
+            remaining = [msg for msg in queue if msg.round_sent >= round_index]
+            if remaining:
+                self._in_flight[receiver] = remaining
+            else:
+                del self._in_flight[receiver]
+            inboxes[receiver] = ready
+            self._delivered_total += len(ready)
+        return inboxes
+
+    def has_in_flight(self) -> bool:
+        """Return ``True`` when undelivered messages remain in the network."""
+        return any(self._in_flight.values())

@@ -1,0 +1,186 @@
+"""Per-node protocol base class and the context the simulator hands to it.
+
+Every distributed algorithm in this library is written as a subclass of
+:class:`NodeProtocol`: one instance per processor, holding only that
+processor's local state.  The simulator drives all instances in lock-step
+rounds.  In each round a node
+
+1. observes the messages delivered to it (sent by neighbours in the previous
+   round) and the resolution of the previous channel slot,
+2. updates its local state,
+3. queues at most one message per incident link and at most one channel write
+   for the current slot, and
+4. optionally declares itself finished via :meth:`NodeProtocol.halt`.
+
+The node may consult only the information the model grants it: its own
+identifier, its list of incident links (with weights), the total number of
+nodes ``n`` (the paper assumes ``n`` is known; Section 7 shows how to remove
+that assumption, and the size-estimation protocols take ``n_known=False``),
+and a private random source.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Any, Dict, Hashable, List, Optional, Tuple
+
+from repro.sim.errors import ProtocolError
+from repro.sim.events import ChannelEvent, Message
+
+NodeId = Hashable
+
+
+@dataclass
+class NodeContext:
+    """Everything a node is allowed to know about its environment.
+
+    Attributes:
+        node_id: this processor's unique identifier (O(log n) bits).
+        neighbors: identifiers of the processors adjacent in the
+            point-to-point topology, in a fixed (but arbitrary) local order.
+        link_weights: weight of the link to each neighbour.  Algorithms that
+            do not use weights simply ignore this.
+        n: the number of processors in the network, when known.
+        rng: a private seeded random source for randomized protocols.
+        extra: free-form per-node inputs (e.g. the local operand of a global
+            sensitive function).
+    """
+
+    node_id: NodeId
+    neighbors: Tuple[NodeId, ...]
+    link_weights: Dict[NodeId, float]
+    n: Optional[int]
+    rng: random.Random
+    extra: Dict[str, Any] = field(default_factory=dict)
+
+    def degree(self) -> int:
+        """Return the number of incident point-to-point links."""
+        return len(self.neighbors)
+
+    def sorted_incident_links(self) -> List[Tuple[float, NodeId]]:
+        """Return ``(weight, neighbour)`` pairs sorted by weight then id.
+
+        This is the "ordered list of links" each node scans in Step 2 of the
+        deterministic partitioning algorithm.
+        """
+        return sorted(
+            ((self.link_weights[v], v) for v in self.neighbors),
+            key=lambda pair: (pair[0], repr(pair[1])),
+        )
+
+
+class NodeProtocol:
+    """Base class for one processor's side of a distributed algorithm.
+
+    Subclasses override :meth:`on_start` (called once, before round 0's
+    sends are collected) and :meth:`on_round` (called every round with the
+    newly delivered messages and the previous slot's outcome).  Within those
+    callbacks they may call :meth:`send`, :meth:`send_to_all_neighbors`,
+    :meth:`channel_write` and :meth:`halt`.
+
+    A node that has halted is no longer scheduled, but messages addressed to
+    it are still delivered and retained; this mirrors a processor that has
+    terminated its algorithm while its network interface keeps absorbing
+    late traffic.
+    """
+
+    def __init__(self, ctx: NodeContext) -> None:
+        self.ctx = ctx
+        self._outbox: List[Tuple[NodeId, Any]] = []
+        self._channel_payload: Optional[Any] = None
+        self._channel_write_pending = False
+        self._halted = False
+        self._result: Any = None
+
+    # ------------------------------------------------------------------
+    # API for subclasses
+    # ------------------------------------------------------------------
+    @property
+    def node_id(self) -> NodeId:
+        """Return this processor's identifier."""
+        return self.ctx.node_id
+
+    @property
+    def neighbors(self) -> Tuple[NodeId, ...]:
+        """Return the identifiers of this processor's neighbours."""
+        return self.ctx.neighbors
+
+    def send(self, neighbor: NodeId, payload: Any) -> None:
+        """Queue ``payload`` for delivery to ``neighbor`` next round.
+
+        Raises:
+            ProtocolError: if ``neighbor`` is not adjacent, or a message has
+                already been queued on that link this round (the model allows
+                one message per link per round).
+        """
+        if neighbor not in self.ctx.link_weights:
+            raise ProtocolError(
+                f"node {self.node_id!r} tried to send to non-neighbour {neighbor!r}"
+            )
+        if any(dest == neighbor for dest, _ in self._outbox):
+            raise ProtocolError(
+                f"node {self.node_id!r} queued two messages to {neighbor!r} "
+                "in the same round"
+            )
+        self._outbox.append((neighbor, payload))
+
+    def send_to_all_neighbors(self, payload: Any) -> None:
+        """Queue ``payload`` on every incident link."""
+        for neighbor in self.ctx.neighbors:
+            self.send(neighbor, payload)
+
+    def channel_write(self, payload: Any) -> None:
+        """Attempt to broadcast ``payload`` in the current channel slot.
+
+        Raises:
+            ProtocolError: if a write has already been queued for this slot.
+        """
+        if self._channel_write_pending:
+            raise ProtocolError(
+                f"node {self.node_id!r} attempted two channel writes in one slot"
+            )
+        self._channel_write_pending = True
+        self._channel_payload = payload
+
+    def halt(self, result: Any = None) -> None:
+        """Declare the local algorithm finished with an optional ``result``."""
+        self._halted = True
+        self._result = result
+
+    def set_result(self, result: Any) -> None:
+        """Record the local output without halting (used by multi-stage runs)."""
+        self._result = result
+
+    # ------------------------------------------------------------------
+    # callbacks to override
+    # ------------------------------------------------------------------
+    def on_start(self) -> None:
+        """Called once before the first round; queue initial sends here."""
+
+    def on_round(self, inbox: List[Message], channel: ChannelEvent) -> None:
+        """Called each round with newly delivered messages and slot feedback."""
+        raise NotImplementedError
+
+    # ------------------------------------------------------------------
+    # simulator-facing plumbing
+    # ------------------------------------------------------------------
+    @property
+    def halted(self) -> bool:
+        """Return ``True`` once the node has called :meth:`halt`."""
+        return self._halted
+
+    @property
+    def result(self) -> Any:
+        """Return the node's declared local output (``None`` until set)."""
+        return self._result
+
+    def _collect_actions(self) -> Tuple[List[Tuple[NodeId, Any]], Optional[Any], bool]:
+        """Return and clear the queued sends and channel write for this round."""
+        outbox = self._outbox
+        payload = self._channel_payload
+        wrote = self._channel_write_pending
+        self._outbox = []
+        self._channel_payload = None
+        self._channel_write_pending = False
+        return outbox, payload, wrote

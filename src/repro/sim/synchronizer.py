@@ -1,0 +1,206 @@
+"""The channel synchronizer of Section 7.1.
+
+A synchronizer (Awerbuch, 1985) lets a synchronous algorithm run on an
+asynchronous point-to-point network.  The paper observes that the multiaccess
+channel gives a particularly cheap synchronizer:
+
+* every algorithm message is acknowledged on the point-to-point link it
+  arrived on;
+* a node transmits a **busy tone** on the channel as long as any message it
+  sent is still unacknowledged;
+* an **idle** channel slot is interpreted as the clock pulse that starts the
+  next simulated round.
+
+Corollary 4 of the paper: the resulting execution at most doubles the message
+complexity (because of the acknowledgements) and multiplies the time
+complexity by at most a constant factor.  :class:`ChannelSynchronizer` runs a
+synchronous :class:`~repro.sim.node.NodeProtocol` set over an asynchronous
+network with bounded random link delays and reports both cost measures so the
+experiment can verify the corollary empirically.
+
+The synchronous algorithm may itself use the channel; following Section 7.2
+we assume an FDMA-provided second channel for the busy tones, so algorithm
+channel writes are resolved once per simulated round on the primary channel.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, Hashable, List, Optional
+
+from repro.sim.channel import SlottedChannel
+from repro.sim.engine import EventQueue
+from repro.sim.errors import SimulationTimeout
+from repro.sim.events import ChannelEvent, Message, idle_event
+from repro.sim.metrics import MetricsRecorder
+from repro.sim.node import NodeContext, NodeProtocol
+from repro.topology.graph import WeightedGraph
+
+NodeId = Hashable
+ProtocolFactory = Callable[[NodeContext], NodeProtocol]
+
+
+@dataclass
+class SynchronizerReport:
+    """Cost breakdown of one synchronized asynchronous execution.
+
+    Attributes:
+        pulses: number of simulated synchronous rounds generated.
+        asynchronous_time: total asynchronous time units elapsed.
+        algorithm_messages: point-to-point messages sent by the algorithm.
+        ack_messages: acknowledgements added by the synchronizer.
+        busy_tone_slots: channel slots occupied by busy tones.
+        results: each node's declared output.
+    """
+
+    pulses: int
+    asynchronous_time: float
+    algorithm_messages: int
+    ack_messages: int
+    busy_tone_slots: int
+    results: Dict[NodeId, Any]
+
+    @property
+    def total_messages(self) -> int:
+        """Algorithm messages plus acknowledgements."""
+        return self.algorithm_messages + self.ack_messages
+
+    @property
+    def message_overhead_factor(self) -> float:
+        """Ratio of total to algorithm messages (Corollary 4 bounds this by 2)."""
+        if self.algorithm_messages == 0:
+            return 1.0
+        return self.total_messages / self.algorithm_messages
+
+
+class ChannelSynchronizer:
+    """Run a synchronous protocol on an asynchronous network using the channel."""
+
+    def __init__(
+        self,
+        graph: WeightedGraph,
+        max_link_delay: int = 3,
+        seed: Optional[int] = None,
+        n_known: bool = True,
+    ) -> None:
+        """Create a synchronizer over ``graph``.
+
+        Args:
+            graph: the point-to-point topology.
+            max_link_delay: every message (and acknowledgement) experiences an
+                integer delay drawn uniformly from ``[1, max_link_delay]``
+                asynchronous time units.
+            seed: master seed for delays and per-node random sources.
+            n_known: whether nodes are told ``n``.
+        """
+        if max_link_delay < 1:
+            raise ValueError("max_link_delay must be at least 1")
+        self._graph = graph
+        self._max_delay = max_link_delay
+        self._seed = seed
+        self._n_known = n_known
+
+    def run(
+        self,
+        protocol_factory: ProtocolFactory,
+        inputs: Optional[Dict[NodeId, Dict[str, Any]]] = None,
+        max_pulses: int = 1_000_000,
+    ) -> SynchronizerReport:
+        """Execute the protocol until every node halts.
+
+        Raises:
+            SimulationTimeout: if the pulse budget is exhausted.
+        """
+        master = random.Random(self._seed)
+        delay_rng = random.Random(master.randrange(2**63))
+        contexts: Dict[NodeId, NodeContext] = {}
+        n = self._graph.num_nodes() if self._n_known else None
+        for node in self._graph.nodes():
+            neighbors = tuple(self._graph.neighbors(node))
+            weights = {v: self._graph.weight(node, v) for v in neighbors}
+            contexts[node] = NodeContext(
+                node_id=node,
+                neighbors=neighbors,
+                link_weights=weights,
+                n=n,
+                rng=random.Random(master.randrange(2**63)),
+                extra=dict(inputs.get(node, {})) if inputs else {},
+            )
+        protocols = {node: protocol_factory(ctx) for node, ctx in contexts.items()}
+
+        queue = EventQueue()
+        channel = SlottedChannel()
+        pending_inbox: Dict[NodeId, List[Message]] = {node: [] for node in protocols}
+        unacked: Dict[NodeId, int] = {node: 0 for node in protocols}
+        counters = {"algorithm": 0, "ack": 0, "busy_slots": 0}
+
+        def deliver(message: Message) -> None:
+            pending_inbox[message.receiver].append(message)
+            # acknowledgement travels back over the same link
+            counters["ack"] += 1
+            delay = delay_rng.randint(1, self._max_delay)
+            queue.schedule(delay, lambda s=message.sender: ack(s))
+
+        def ack(sender: NodeId) -> None:
+            unacked[sender] -= 1
+
+        def dispatch(node: NodeId, protocol: NodeProtocol, pulse: int) -> None:
+            outbox, payload, wrote = protocol._collect_actions()
+            for receiver, msg_payload in outbox:
+                counters["algorithm"] += 1
+                unacked[node] += 1
+                message = Message(node, receiver, msg_payload, pulse)
+                delay = delay_rng.randint(1, self._max_delay)
+                queue.schedule(delay, lambda m=message: deliver(m))
+            if wrote:
+                channel_writes.append((node, payload))
+
+        channel_writes: List = []
+        last_event: ChannelEvent = idle_event(-1)
+
+        # pulse 0: on_start
+        for node, protocol in protocols.items():
+            protocol.on_start()
+            dispatch(node, protocol, 0)
+        pulses = 1
+
+        while pulses < max_pulses:
+            if all(p.halted for p in protocols.values()) and queue.is_empty():
+                break
+            # advance asynchronous time one slot at a time; the busy tone is
+            # raised while any message remains unacknowledged or in flight
+            while True:
+                slot_end = queue.now + 1.0
+                queue.run_until(slot_end)
+                busy = any(count > 0 for count in unacked.values()) or not queue.is_empty()
+                if busy:
+                    counters["busy_slots"] += 1
+                else:
+                    break
+            # idle slot observed: generate the next pulse
+            event = channel.resolve_slot(pulses - 1, channel_writes)
+            channel_writes = []
+            public = event.public_view()
+            for node, protocol in protocols.items():
+                if protocol.halted:
+                    continue
+                inbox = pending_inbox[node]
+                pending_inbox[node] = []
+                protocol.on_round(inbox, public)
+                dispatch(node, protocol, pulses)
+            last_event = public
+            pulses += 1
+        else:
+            pending = sum(1 for p in protocols.values() if not p.halted)
+            raise SimulationTimeout(max_pulses, pending)
+
+        del last_event
+        return SynchronizerReport(
+            pulses=pulses,
+            asynchronous_time=queue.now,
+            algorithm_messages=counters["algorithm"],
+            ack_messages=counters["ack"],
+            busy_tone_slots=counters["busy_slots"],
+            results={node: protocol.result for node, protocol in protocols.items()},
+        )

@@ -1,0 +1,63 @@
+"""Topology substrate: weighted graphs, generators, and graph-theoretic properties.
+
+The multimedia network model of Afek, Landau, Schieber and Yung (1988/1990)
+assumes an arbitrary-topology point-to-point network.  This package provides
+the graph data structure used throughout the reproduction, a collection of
+topology generators (including the ray graphs used in the paper's lower-bound
+argument, Section 5.2), utilities to assign the distinct link weights assumed
+by the MST-related algorithms, and graph-property helpers (diameter, radius,
+connectivity) needed by the experiments.
+"""
+
+from repro.topology.graph import Edge, WeightedGraph
+from repro.topology.generators import (
+    complete_graph,
+    erdos_renyi_graph,
+    grid_graph,
+    hypercube_graph,
+    path_graph,
+    random_geometric_graph,
+    random_tree,
+    ray_graph,
+    ring_graph,
+    torus_graph,
+)
+from repro.topology.properties import (
+    breadth_first_levels,
+    connected_components,
+    diameter,
+    eccentricity,
+    graph_radius,
+    is_connected,
+    shortest_path_lengths,
+)
+from repro.topology.weights import (
+    assign_distinct_weights,
+    assign_random_weights,
+    ensure_distinct_weights,
+)
+
+__all__ = [
+    "Edge",
+    "WeightedGraph",
+    "complete_graph",
+    "erdos_renyi_graph",
+    "grid_graph",
+    "hypercube_graph",
+    "path_graph",
+    "random_geometric_graph",
+    "random_tree",
+    "ray_graph",
+    "ring_graph",
+    "torus_graph",
+    "breadth_first_levels",
+    "connected_components",
+    "diameter",
+    "eccentricity",
+    "graph_radius",
+    "is_connected",
+    "shortest_path_lengths",
+    "assign_distinct_weights",
+    "assign_random_weights",
+    "ensure_distinct_weights",
+]

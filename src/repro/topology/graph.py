@@ -1,0 +1,239 @@
+"""Undirected weighted graph used as the point-to-point topology.
+
+The graph is deliberately small and explicit: node identifiers are arbitrary
+hashable values (the simulator uses integers), edges are undirected and carry
+a weight, and adjacency is kept as an ordered mapping so that iteration order
+is deterministic.  Determinism matters because the paper's algorithms break
+ties by node identifier and because every experiment must be reproducible
+from a seed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Hashable, Iterable, Iterator, List, Optional, Tuple
+
+NodeId = Hashable
+
+
+def edge_key(u: NodeId, v: NodeId) -> Tuple[NodeId, NodeId]:
+    """Return the canonical (sorted) key for the undirected edge ``{u, v}``."""
+    return (u, v) if repr(u) <= repr(v) else (v, u)
+
+
+@dataclass(frozen=True)
+class Edge:
+    """An undirected weighted edge.
+
+    Attributes:
+        u: one endpoint.
+        v: the other endpoint.
+        weight: the link weight.  The paper assumes distinct weights for the
+            MST-related algorithms; :mod:`repro.topology.weights` provides
+            helpers to enforce that.
+    """
+
+    u: NodeId
+    v: NodeId
+    weight: float = 1.0
+
+    def endpoints(self) -> Tuple[NodeId, NodeId]:
+        """Return both endpoints as a tuple."""
+        return (self.u, self.v)
+
+    def other(self, node: NodeId) -> NodeId:
+        """Return the endpoint different from ``node``.
+
+        Raises:
+            ValueError: if ``node`` is not an endpoint of this edge.
+        """
+        if node == self.u:
+            return self.v
+        if node == self.v:
+            return self.u
+        raise ValueError(f"{node!r} is not an endpoint of {self!r}")
+
+    def key(self) -> Tuple[NodeId, NodeId]:
+        """Return the canonical undirected key of this edge."""
+        return edge_key(self.u, self.v)
+
+
+class WeightedGraph:
+    """An undirected weighted graph with deterministic iteration order.
+
+    The class intentionally exposes only the operations the distributed
+    algorithms and the simulator need: adding nodes and edges, neighbour
+    queries, weight lookups, and a handful of whole-graph accessors.
+    """
+
+    def __init__(self) -> None:
+        self._adjacency: Dict[NodeId, Dict[NodeId, float]] = {}
+        self._edge_count = 0
+
+    # ------------------------------------------------------------------
+    # construction
+    # ------------------------------------------------------------------
+    def add_node(self, node: NodeId) -> None:
+        """Add ``node`` to the graph (no-op if already present)."""
+        if node not in self._adjacency:
+            self._adjacency[node] = {}
+
+    def add_nodes(self, nodes: Iterable[NodeId]) -> None:
+        """Add every node in ``nodes``."""
+        for node in nodes:
+            self.add_node(node)
+
+    def add_edge(self, u: NodeId, v: NodeId, weight: float = 1.0) -> None:
+        """Add the undirected edge ``{u, v}`` with ``weight``.
+
+        Adding an edge that already exists overwrites its weight.  Self loops
+        are rejected because the network model has no use for them.
+
+        Raises:
+            ValueError: if ``u == v``.
+        """
+        if u == v:
+            raise ValueError(f"self loops are not allowed (node {u!r})")
+        self.add_node(u)
+        self.add_node(v)
+        if v not in self._adjacency[u]:
+            self._edge_count += 1
+        self._adjacency[u][v] = weight
+        self._adjacency[v][u] = weight
+
+    def remove_edge(self, u: NodeId, v: NodeId) -> None:
+        """Remove the undirected edge ``{u, v}``.
+
+        Raises:
+            KeyError: if the edge does not exist.
+        """
+        if not self.has_edge(u, v):
+            raise KeyError(f"no edge between {u!r} and {v!r}")
+        del self._adjacency[u][v]
+        del self._adjacency[v][u]
+        self._edge_count -= 1
+
+    def set_weight(self, u: NodeId, v: NodeId, weight: float) -> None:
+        """Set the weight of an existing edge.
+
+        Raises:
+            KeyError: if the edge does not exist.
+        """
+        if not self.has_edge(u, v):
+            raise KeyError(f"no edge between {u!r} and {v!r}")
+        self._adjacency[u][v] = weight
+        self._adjacency[v][u] = weight
+
+    # ------------------------------------------------------------------
+    # queries
+    # ------------------------------------------------------------------
+    def has_node(self, node: NodeId) -> bool:
+        """Return ``True`` when ``node`` is in the graph."""
+        return node in self._adjacency
+
+    def has_edge(self, u: NodeId, v: NodeId) -> bool:
+        """Return ``True`` when the undirected edge ``{u, v}`` exists."""
+        return u in self._adjacency and v in self._adjacency[u]
+
+    def weight(self, u: NodeId, v: NodeId) -> float:
+        """Return the weight of the edge ``{u, v}``.
+
+        Raises:
+            KeyError: if the edge does not exist.
+        """
+        if not self.has_edge(u, v):
+            raise KeyError(f"no edge between {u!r} and {v!r}")
+        return self._adjacency[u][v]
+
+    def neighbors(self, node: NodeId) -> List[NodeId]:
+        """Return the neighbours of ``node`` in insertion order."""
+        return list(self._adjacency[node])
+
+    def degree(self, node: NodeId) -> int:
+        """Return the degree of ``node``."""
+        return len(self._adjacency[node])
+
+    def incident_edges(self, node: NodeId) -> List[Edge]:
+        """Return the edges incident to ``node``."""
+        return [Edge(node, v, w) for v, w in self._adjacency[node].items()]
+
+    def nodes(self) -> List[NodeId]:
+        """Return all nodes in insertion order."""
+        return list(self._adjacency)
+
+    def edges(self) -> List[Edge]:
+        """Return every undirected edge exactly once."""
+        seen = set()
+        result: List[Edge] = []
+        for u, nbrs in self._adjacency.items():
+            for v, w in nbrs.items():
+                key = edge_key(u, v)
+                if key in seen:
+                    continue
+                seen.add(key)
+                result.append(Edge(u, v, w))
+        return result
+
+    def num_nodes(self) -> int:
+        """Return ``n``, the number of nodes."""
+        return len(self._adjacency)
+
+    def num_edges(self) -> int:
+        """Return ``m``, the number of undirected edges."""
+        return self._edge_count
+
+    def total_weight(self) -> float:
+        """Return the sum of all edge weights."""
+        return sum(edge.weight for edge in self.edges())
+
+    def __contains__(self, node: NodeId) -> bool:
+        return self.has_node(node)
+
+    def __len__(self) -> int:
+        return self.num_nodes()
+
+    def __iter__(self) -> Iterator[NodeId]:
+        return iter(self._adjacency)
+
+    def __repr__(self) -> str:
+        return (
+            f"WeightedGraph(n={self.num_nodes()}, m={self.num_edges()})"
+        )
+
+    # ------------------------------------------------------------------
+    # derived graphs
+    # ------------------------------------------------------------------
+    def copy(self) -> "WeightedGraph":
+        """Return a deep copy of this graph."""
+        clone = WeightedGraph()
+        clone.add_nodes(self.nodes())
+        for edge in self.edges():
+            clone.add_edge(edge.u, edge.v, edge.weight)
+        return clone
+
+    def subgraph(self, nodes: Iterable[NodeId]) -> "WeightedGraph":
+        """Return the subgraph induced by ``nodes``."""
+        keep = set(nodes)
+        sub = WeightedGraph()
+        for node in self.nodes():
+            if node in keep:
+                sub.add_node(node)
+        for edge in self.edges():
+            if edge.u in keep and edge.v in keep:
+                sub.add_edge(edge.u, edge.v, edge.weight)
+        return sub
+
+    def relabeled(self, mapping: Optional[Dict[NodeId, NodeId]] = None) -> "WeightedGraph":
+        """Return a copy with node identifiers replaced via ``mapping``.
+
+        When ``mapping`` is ``None`` the nodes are renamed ``0..n-1`` in
+        insertion order, which is what the simulator expects.
+        """
+        if mapping is None:
+            mapping = {node: index for index, node in enumerate(self.nodes())}
+        renamed = WeightedGraph()
+        for node in self.nodes():
+            renamed.add_node(mapping[node])
+        for edge in self.edges():
+            renamed.add_edge(mapping[edge.u], mapping[edge.v], edge.weight)
+        return renamed

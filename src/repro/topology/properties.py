@@ -1,0 +1,143 @@
+"""Graph-theoretic properties needed by the algorithms and the experiments.
+
+All helpers operate on :class:`~repro.topology.graph.WeightedGraph` and treat
+edges as unit length (hop distance), which is what the paper's time
+complexities are stated in — the diameter ``d`` of Theorem 2 is the hop
+diameter of the point-to-point network.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Dict, Hashable, List, Optional
+
+from repro.topology.graph import WeightedGraph
+
+NodeId = Hashable
+
+
+def breadth_first_levels(graph: WeightedGraph, source: NodeId) -> Dict[NodeId, int]:
+    """Return a mapping ``node -> hop distance from source``.
+
+    Nodes unreachable from ``source`` do not appear in the result.
+
+    Raises:
+        KeyError: if ``source`` is not a node of ``graph``.
+    """
+    if not graph.has_node(source):
+        raise KeyError(f"{source!r} is not a node of the graph")
+    levels: Dict[NodeId, int] = {source: 0}
+    queue = deque([source])
+    while queue:
+        node = queue.popleft()
+        for neighbor in graph.neighbors(node):
+            if neighbor not in levels:
+                levels[neighbor] = levels[node] + 1
+                queue.append(neighbor)
+    return levels
+
+
+def bfs_tree_parents(graph: WeightedGraph, source: NodeId) -> Dict[NodeId, Optional[NodeId]]:
+    """Return a BFS-tree parent map rooted at ``source`` (root maps to ``None``)."""
+    if not graph.has_node(source):
+        raise KeyError(f"{source!r} is not a node of the graph")
+    parents: Dict[NodeId, Optional[NodeId]] = {source: None}
+    queue = deque([source])
+    while queue:
+        node = queue.popleft()
+        for neighbor in graph.neighbors(node):
+            if neighbor not in parents:
+                parents[neighbor] = node
+                queue.append(neighbor)
+    return parents
+
+
+def connected_components(graph: WeightedGraph) -> List[List[NodeId]]:
+    """Return the connected components of ``graph`` as lists of nodes."""
+    seen = set()
+    components: List[List[NodeId]] = []
+    for start in graph.nodes():
+        if start in seen:
+            continue
+        levels = breadth_first_levels(graph, start)
+        component = list(levels)
+        seen.update(component)
+        components.append(component)
+    return components
+
+
+def is_connected(graph: WeightedGraph) -> bool:
+    """Return ``True`` when ``graph`` is connected (the empty graph counts)."""
+    if graph.num_nodes() == 0:
+        return True
+    first = graph.nodes()[0]
+    return len(breadth_first_levels(graph, first)) == graph.num_nodes()
+
+
+def eccentricity(graph: WeightedGraph, node: NodeId) -> int:
+    """Return the eccentricity of ``node`` (max hop distance to any node).
+
+    Raises:
+        ValueError: if the graph is not connected, because eccentricity is
+            undefined then.
+    """
+    levels = breadth_first_levels(graph, node)
+    if len(levels) != graph.num_nodes():
+        raise ValueError("eccentricity is undefined on a disconnected graph")
+    return max(levels.values()) if levels else 0
+
+
+def diameter(graph: WeightedGraph) -> int:
+    """Return the hop diameter of a connected ``graph``.
+
+    Raises:
+        ValueError: if the graph is empty or disconnected.
+    """
+    if graph.num_nodes() == 0:
+        raise ValueError("the diameter of an empty graph is undefined")
+    return max(eccentricity(graph, node) for node in graph.nodes())
+
+
+def graph_radius(graph: WeightedGraph) -> int:
+    """Return the hop radius (minimum eccentricity) of a connected ``graph``."""
+    if graph.num_nodes() == 0:
+        raise ValueError("the radius of an empty graph is undefined")
+    return min(eccentricity(graph, node) for node in graph.nodes())
+
+
+def shortest_path_lengths(graph: WeightedGraph) -> Dict[NodeId, Dict[NodeId, int]]:
+    """Return all-pairs hop distances (only reachable pairs are present)."""
+    return {node: breadth_first_levels(graph, node) for node in graph.nodes()}
+
+
+def tree_radius_from_root(parents: Dict[NodeId, Optional[NodeId]], root: NodeId) -> int:
+    """Return the depth of the deepest node in a parent-map tree rooted at ``root``.
+
+    The ``parents`` map must describe a tree: every non-root node maps to its
+    parent and the root maps to ``None``.
+
+    Raises:
+        ValueError: if ``root`` is not in the map, or a cycle is detected.
+    """
+    if root not in parents:
+        raise ValueError("root is not part of the parent map")
+    if parents[root] is not None:
+        raise ValueError("the root of a parent-map tree must map to None")
+    depth_cache: Dict[NodeId, int] = {root: 0}
+
+    def depth(node: NodeId) -> int:
+        chain = []
+        current = node
+        while current not in depth_cache:
+            chain.append(current)
+            current = parents[current]
+            if current is None:
+                raise ValueError("parent map contains a second root")
+            if len(chain) > len(parents):
+                raise ValueError("parent map contains a cycle")
+        base = depth_cache[current]
+        for offset, member in enumerate(reversed(chain), start=1):
+            depth_cache[member] = base + offset
+        return depth_cache[node]
+
+    return max(depth(node) for node in parents) if parents else 0

@@ -1,0 +1,123 @@
+"""Link-weight assignment helpers.
+
+Sections 3 and 6 of the paper assume, w.l.o.g., that link weights are
+distinct (the standard GHS assumption; ties can always be broken by the
+endpoint identifiers).  These helpers assign random weights and enforce
+distinctness deterministically so that the MST of a generated topology is
+unique, which makes the "each fragment is a subtree of the MST" invariant
+checkable.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Optional, Tuple
+
+from repro.topology.graph import WeightedGraph
+
+
+def assign_random_weights(
+    graph: WeightedGraph,
+    low: float = 1.0,
+    high: float = 100.0,
+    seed: Optional[int] = None,
+) -> WeightedGraph:
+    """Return a copy of ``graph`` with i.i.d. uniform random edge weights.
+
+    The weights drawn are *not* guaranteed distinct; combine with
+    :func:`ensure_distinct_weights` or use :func:`assign_distinct_weights`.
+    """
+    if low > high:
+        raise ValueError("low must not exceed high")
+    rng = random.Random(seed)
+    weighted = graph.copy()
+    for edge in weighted.edges():
+        weighted.set_weight(edge.u, edge.v, rng.uniform(low, high))
+    return weighted
+
+
+def assign_distinct_weights(
+    graph: WeightedGraph,
+    seed: Optional[int] = None,
+) -> WeightedGraph:
+    """Return a copy of ``graph`` with distinct positive integer weights.
+
+    A random permutation of ``1..m`` is assigned to the edges, so the MST is
+    unique and every weight fits in O(log m) bits — matching the paper's
+    assumption that a message carries O(log n) bits plus one data element.
+    """
+    rng = random.Random(seed)
+    weighted = graph.copy()
+    edges = weighted.edges()
+    weights = list(range(1, len(edges) + 1))
+    rng.shuffle(weights)
+    for edge, weight in zip(edges, weights):
+        weighted.set_weight(edge.u, edge.v, float(weight))
+    return weighted
+
+
+def ensure_distinct_weights(graph: WeightedGraph) -> WeightedGraph:
+    """Return a copy of ``graph`` whose weights are perturbed to be distinct.
+
+    Ties are broken lexicographically by the canonical edge key, exactly the
+    tie-breaking rule Gallager, Humblet and Spira suggest: the effective
+    weight becomes the tuple ``(weight, min endpoint, max endpoint)`` encoded
+    as a float by adding a rank-scaled epsilon.  The relative order of
+    originally-distinct weights is preserved.
+    """
+    weighted = graph.copy()
+    edges = sorted(
+        weighted.edges(), key=lambda e: (e.weight, repr(e.key()[0]), repr(e.key()[1]))
+    )
+    if not edges:
+        return weighted
+    max_weight = max(abs(edge.weight) for edge in edges)
+    epsilon = (max_weight + 1.0) * 1e-9
+    for rank, edge in enumerate(edges):
+        weighted.set_weight(edge.u, edge.v, edge.weight + rank * epsilon)
+    return weighted
+
+
+def weight_bits(graph: WeightedGraph) -> int:
+    """Return the number of bits needed to represent the largest edge weight.
+
+    Used to check the model assumption that a data element fits in a single
+    channel slot alongside the O(log n)-bit header.
+    """
+    max_weight = 0
+    for edge in graph.edges():
+        max_weight = max(max_weight, int(abs(edge.weight)))
+    return max(1, max_weight).bit_length()
+
+
+def minimum_spanning_tree_edges(graph: WeightedGraph) -> Tuple[float, list]:
+    """Return ``(total weight, edges)`` of the MST via Kruskal's algorithm.
+
+    This is the sequential reference implementation used by the validation
+    code; the distributed implementations live under :mod:`repro.core.mst`.
+
+    Raises:
+        ValueError: if the graph is disconnected (no spanning tree exists).
+    """
+    from repro.topology.properties import is_connected
+
+    if graph.num_nodes() > 0 and not is_connected(graph):
+        raise ValueError("graph is disconnected; no spanning tree exists")
+    parent = {node: node for node in graph.nodes()}
+
+    def find(node):
+        while parent[node] != node:
+            parent[node] = parent[parent[node]]
+            node = parent[node]
+        return node
+
+    chosen = []
+    total = 0.0
+    for edge in sorted(graph.edges(), key=lambda e: (e.weight, repr(e.key()))):
+        ru, rv = find(edge.u), find(edge.v)
+        if ru == rv:
+            continue
+        parent[ru] = rv
+        chosen.append(edge)
+        total += edge.weight
+    return total, chosen

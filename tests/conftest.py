@@ -1,0 +1,26 @@
+"""Shared pytest fixtures."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.topology.generators import grid_graph, ring_graph
+from repro.topology.weights import assign_distinct_weights
+
+
+@pytest.fixture
+def small_grid():
+    """A 4×4 grid with distinct integer weights (n=16, m=24)."""
+    return assign_distinct_weights(grid_graph(4, 4), seed=1)
+
+
+@pytest.fixture
+def medium_grid():
+    """An 8×8 grid with distinct integer weights (n=64, m=112)."""
+    return assign_distinct_weights(grid_graph(8, 8), seed=2)
+
+
+@pytest.fixture
+def small_ring():
+    """A 12-node ring with distinct weights."""
+    return assign_distinct_weights(ring_graph(12), seed=3)

@@ -1,0 +1,80 @@
+"""Smoke tests for the experiment harness: every experiment runs end to end on
+tiny instances and reproduces the paper's qualitative claims."""
+
+import pytest
+
+from repro.experiments import harness
+from repro.experiments import (
+    e01_det_partition_quality,
+    e02_det_partition_complexity,
+    e03_rand_partition_quality,
+    e04_rand_partition_complexity,
+    e05_global_deterministic,
+    e06_global_randomized,
+    e07_model_separation,
+    e08_lower_bound_gap,
+    e09_mst,
+    e10_model_variations,
+)
+
+
+class TestHarness:
+    def test_make_topology_kinds(self):
+        for kind in ("grid", "ring", "geometric"):
+            graph = harness.make_topology(kind, 30, seed=1)
+            assert graph.num_nodes() >= 25
+        with pytest.raises(ValueError):
+            harness.make_topology("hyperloop", 30)
+
+    def test_sweep_sizes(self):
+        rows = harness.sweep_sizes((16, 36), lambda g: {"nodes": g.num_nodes()})
+        assert len(rows) == 2
+        assert rows[0]["nodes"] == rows[0]["n"]
+
+
+class TestExperimentsProduceTables:
+    def test_e1_all_bounds_hold(self):
+        table = e01_det_partition_quality.run(sizes=(36, 64))
+        assert all(row[-1] for row in table.rows)
+
+    def test_e2_ratios_bounded(self):
+        table = e02_det_partition_complexity.run(sizes=(36, 64))
+        ratios = [row[5] for row in table.rows]
+        assert all(ratio < 50 for ratio in ratios)
+
+    def test_e3_structure_ok(self):
+        table = e03_rand_partition_quality.run(sizes=(36,), seeds=(1, 2))
+        assert all(row[-1] for row in table.rows)
+
+    def test_e4_no_excessive_restarts(self):
+        table = e04_rand_partition_complexity.run(sizes=(36,), seeds=(1, 2))
+        assert all(row[-1] <= 2 for row in table.rows)
+
+    def test_e5_values_correct(self):
+        table = e05_global_deterministic.run(sizes=(36,))
+        assert all(row[-1] for row in table.rows)
+
+    def test_e6_values_correct(self):
+        table = e06_global_randomized.run(sizes=(36,), seeds=(1, 2))
+        assert all(row[-1] for row in table.rows)
+
+    def test_e7_multimedia_beats_both_at_scale(self):
+        table = e07_model_separation.run(sizes=(512,))
+        row = table.rows[0]
+        speedup_vs_p2p, speedup_vs_channel = row[-2], row[-1]
+        assert speedup_vs_p2p > 1.0
+        assert speedup_vs_channel > 1.0
+
+    def test_e8_lower_bound_respected(self):
+        table = e08_lower_bound_gap.run(params=((8, 8),))
+        assert all(row[-2] for row in table.rows)
+
+    def test_e9_mst_matches_kruskal(self):
+        table = e09_mst.run(sizes=(36, 64))
+        assert all(row[-1] for row in table.rows)
+
+    def test_e10_synchronizer_and_sizes(self):
+        table = e10_model_variations.run(sizes=(36,), seeds=(1, 2))
+        row = table.rows[0]
+        assert row[1] <= 2.0 + 1e-9
+        assert row[4] is True

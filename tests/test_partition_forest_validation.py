@@ -1,0 +1,119 @@
+"""Tests for the fragment/forest data structures and the partition validators."""
+
+import math
+
+import pytest
+
+from repro.core.partition.forest import Fragment, SpanningForest
+from repro.core.partition.validation import validate_partition
+from repro.topology.generators import grid_graph, path_graph
+from repro.topology.weights import assign_distinct_weights
+
+
+def path_forest():
+    """Two fragments covering a 6-node path: {0,1,2} rooted at 0, {3,4,5} at 5."""
+    left = Fragment(core=0, parents={0: None, 1: 0, 2: 1})
+    right = Fragment(core=5, parents={5: None, 4: 5, 3: 4})
+    return SpanningForest([left, right])
+
+
+class TestFragment:
+    def test_basic_properties(self):
+        fragment = Fragment(core=0, parents={0: None, 1: 0, 2: 1, 3: 1})
+        assert fragment.size == 4
+        assert fragment.radius == 2
+        assert sorted(fragment.members) == [0, 1, 2, 3]
+        assert fragment.level() == 2
+        assert sorted(fragment.children()[1]) == [2, 3]
+        assert (3, 1) in fragment.tree_edges()
+
+    def test_singleton_default(self):
+        fragment = Fragment(core=7)
+        assert fragment.size == 1
+        assert fragment.radius == 0
+
+    def test_core_must_be_root(self):
+        with pytest.raises(ValueError):
+            Fragment(core=1, parents={0: None, 1: 0})
+
+    def test_validate_detects_second_root(self):
+        fragment = Fragment(core=0, parents={0: None, 1: 0})
+        fragment.parents[2] = None
+        with pytest.raises(ValueError):
+            fragment.validate()
+
+
+class TestSpanningForest:
+    def test_lookup_and_statistics(self):
+        forest = path_forest()
+        assert forest.num_fragments() == 2
+        assert forest.num_nodes() == 6
+        assert forest.core_of(2) == 0
+        assert forest.fragment_of(4).core == 5
+        assert forest.max_radius() == 2
+        assert forest.min_size() == 3
+
+    def test_overlapping_fragments_rejected(self):
+        a = Fragment(core=0, parents={0: None, 1: 0})
+        b = Fragment(core=1, parents={1: None})
+        with pytest.raises(ValueError):
+            SpanningForest([a, b])
+
+    def test_from_parent_map_round_trip(self):
+        parents = {0: None, 1: 0, 2: 1, 5: None, 4: 5, 3: 4}
+        forest = SpanningForest.from_parent_map(parents)
+        assert forest.num_fragments() == 2
+        assert forest.parent_map() == parents
+
+    def test_node_inputs_describe_structure(self):
+        forest = path_forest()
+        inputs = forest.node_inputs()
+        assert inputs[1]["parent"] == 0
+        assert inputs[1]["children"] == (2,)
+        assert inputs[1]["core"] == 0
+
+
+class TestValidatePartition:
+    def test_valid_partition_passes(self):
+        graph = assign_distinct_weights(path_graph(6), seed=1)
+        report = validate_partition(path_forest(), graph, check_mst_subtrees=True)
+        assert report.ok
+        assert report.subtrees_of_mst is True
+        assert report.covers_all_nodes
+
+    def test_missing_node_detected(self):
+        graph = path_graph(7)
+        report = validate_partition(path_forest(), graph)
+        assert not report.ok
+        assert not report.covers_all_nodes
+
+    def test_non_link_tree_edge_detected(self):
+        graph = path_graph(6)
+        bad = SpanningForest(
+            [Fragment(core=0, parents={0: None, 2: 0}),
+             Fragment(core=1, parents={1: None}),
+             Fragment(core=3, parents={3: None, 4: 3, 5: 4})]
+        )
+        report = validate_partition(bad, graph)
+        assert not report.edges_exist
+        assert not report.ok
+
+    def test_bound_violations_reported(self):
+        graph = grid_graph(4, 4)
+        singletons = SpanningForest(
+            [Fragment(core=node) for node in graph.nodes()]
+        )
+        report = validate_partition(
+            singletons, graph,
+            min_size_bound=math.sqrt(16),
+            max_fragments_bound=math.sqrt(16),
+        )
+        assert not report.ok
+        assert any("fragments" in v for v in report.violations)
+
+    def test_ratios(self):
+        graph = path_graph(6)
+        report = validate_partition(path_forest(), graph)
+        assert report.sqrt_n == pytest.approx(math.sqrt(6))
+        assert report.fragment_count_ratio == pytest.approx(2 / math.sqrt(6))
+        assert report.min_size_ratio > 1.0

@@ -1,0 +1,93 @@
+"""Unit tests for channel events, messages and the metrics recorder."""
+
+import pytest
+
+from repro.sim.events import ChannelEvent, Message, SlotState, idle_event
+from repro.sim.metrics import MetricsRecorder
+
+
+class TestChannelEvent:
+    def test_state_predicates(self):
+        assert idle_event(0).is_idle()
+        success = ChannelEvent(slot=1, state=SlotState.SUCCESS, payload="x", writer=3)
+        assert success.is_success() and not success.is_collision()
+        collision = ChannelEvent(slot=2, state=SlotState.COLLISION, writers=(1, 2))
+        assert collision.is_collision()
+
+    def test_public_view_hides_writers(self):
+        collision = ChannelEvent(slot=2, state=SlotState.COLLISION, writers=(1, 2))
+        public = collision.public_view()
+        assert public.writers == ()
+        assert public.state is SlotState.COLLISION
+
+    def test_message_repr_mentions_endpoints(self):
+        message = Message(sender=1, receiver=2, payload="p", round_sent=3)
+        text = repr(message)
+        assert "1" in text and "2" in text
+
+
+class TestMetricsRecorder:
+    def test_round_and_message_counting(self):
+        recorder = MetricsRecorder()
+        recorder.record_round(3)
+        recorder.record_messages(5)
+        assert recorder.rounds == 3
+        assert recorder.point_to_point_messages == 5
+        assert recorder.communication_complexity == 8
+
+    def test_negative_counts_rejected(self):
+        recorder = MetricsRecorder()
+        with pytest.raises(ValueError):
+            recorder.record_round(-1)
+        with pytest.raises(ValueError):
+            recorder.record_messages(-1)
+
+    def test_slot_counting_by_state(self):
+        recorder = MetricsRecorder()
+        recorder.record_slot(SlotState.IDLE, 0)
+        recorder.record_slot(SlotState.SUCCESS, 1)
+        recorder.record_slot(SlotState.COLLISION, 3)
+        assert recorder.channel_slots == 3
+        assert recorder.channel_idle == 1
+        assert recorder.channel_success == 1
+        assert recorder.channel_collision == 1
+        assert recorder.channel_write_attempts == 4
+
+    def test_phase_attribution(self):
+        recorder = MetricsRecorder()
+        recorder.set_phase("local")
+        recorder.record_messages(4)
+        recorder.record_round(2)
+        recorder.set_phase("global")
+        recorder.record_round(1)
+        snapshot = recorder.snapshot()
+        assert snapshot.phase_messages == {"local": 4}
+        assert snapshot.phase_rounds == {"local": 2, "global": 1}
+
+    def test_merge(self):
+        first = MetricsRecorder()
+        first.record_messages(2)
+        first.record_round(1)
+        second = MetricsRecorder()
+        second.record_messages(3)
+        second.set_phase("x")
+        second.record_round(4)
+        first.merge(second)
+        assert first.point_to_point_messages == 5
+        assert first.rounds == 5
+        assert first.phase_rounds == {"x": 4}
+
+    def test_reset(self):
+        recorder = MetricsRecorder()
+        recorder.record_messages(2)
+        recorder.reset()
+        assert recorder.point_to_point_messages == 0
+        assert recorder.snapshot().as_dict()["rounds"] == 0
+
+    def test_snapshot_is_immutable_copy(self):
+        recorder = MetricsRecorder()
+        recorder.record_messages(1)
+        snapshot = recorder.snapshot()
+        recorder.record_messages(10)
+        assert snapshot.point_to_point_messages == 1
+        assert snapshot.communication_complexity == 1

@@ -1,0 +1,77 @@
+"""Unit tests for the point-to-point network and the slotted channel."""
+
+import pytest
+
+from repro.sim.channel import SlottedChannel
+from repro.sim.errors import ProtocolError, TopologyError
+from repro.sim.events import SlotState
+from repro.sim.metrics import MetricsRecorder
+from repro.sim.network import PointToPointNetwork
+from repro.topology.generators import path_graph
+from repro.topology.graph import WeightedGraph
+
+
+class TestPointToPointNetwork:
+    def test_rejects_empty_and_disconnected(self):
+        with pytest.raises(TopologyError):
+            PointToPointNetwork(WeightedGraph())
+        disconnected = WeightedGraph()
+        disconnected.add_nodes([0, 1])
+        with pytest.raises(TopologyError):
+            PointToPointNetwork(disconnected)
+        PointToPointNetwork(disconnected, require_connected=False)
+
+    def test_delivery_one_round_later(self):
+        network = PointToPointNetwork(path_graph(3))
+        network.accept_sends(0, [(1, "hello")], round_index=0)
+        assert network.deliver(0) == {}
+        inboxes = network.deliver(1)
+        assert len(inboxes[1]) == 1
+        assert inboxes[1][0].payload == "hello"
+        assert not network.has_in_flight()
+
+    def test_non_neighbor_send_rejected(self):
+        network = PointToPointNetwork(path_graph(3))
+        with pytest.raises(ProtocolError):
+            network.accept_sends(0, [(2, "x")], round_index=0)
+
+    def test_message_counting(self):
+        metrics = MetricsRecorder()
+        network = PointToPointNetwork(path_graph(4), metrics=metrics)
+        network.accept_sends(1, [(0, "a"), (2, "b")], round_index=0)
+        assert metrics.point_to_point_messages == 2
+        network.deliver(1)
+        assert network.delivered_total == 2
+
+
+class TestSlottedChannel:
+    def test_idle_success_collision(self):
+        channel = SlottedChannel()
+        idle = channel.resolve_slot(0, [])
+        assert idle.state is SlotState.IDLE
+        success = channel.resolve_slot(1, [(7, "payload")])
+        assert success.state is SlotState.SUCCESS
+        assert success.payload == "payload"
+        assert success.writer == 7
+        collision = channel.resolve_slot(2, [(1, "a"), (2, "b")])
+        assert collision.state is SlotState.COLLISION
+        assert collision.payload is None
+
+    def test_history_and_utilisation(self):
+        channel = SlottedChannel()
+        channel.resolve_slot(0, [])
+        channel.resolve_slot(1, [(1, "x")])
+        channel.resolve_slot(2, [(1, "x"), (2, "y")])
+        assert channel.slots_elapsed == 3
+        assert len(channel.successes()) == 1
+        assert channel.utilisation() == pytest.approx(1 / 3)
+
+    def test_metrics_charging(self):
+        metrics = MetricsRecorder()
+        channel = SlottedChannel(metrics=metrics)
+        channel.resolve_slot(0, [(1, "x"), (2, "y")])
+        assert metrics.channel_collision == 1
+        assert metrics.channel_write_attempts == 2
+
+    def test_empty_channel_utilisation(self):
+        assert SlottedChannel().utilisation() == 0.0

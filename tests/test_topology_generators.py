@@ -1,0 +1,115 @@
+"""Unit tests for the topology generators."""
+
+import pytest
+
+from repro.topology.generators import (
+    complete_graph,
+    erdos_renyi_graph,
+    grid_graph,
+    hypercube_graph,
+    path_graph,
+    random_geometric_graph,
+    random_tree,
+    ray_graph,
+    ray_graph_for,
+    ring_graph,
+    torus_graph,
+)
+from repro.topology.properties import diameter, is_connected
+
+
+class TestBasicTopologies:
+    def test_path_counts(self):
+        graph = path_graph(10)
+        assert graph.num_nodes() == 10
+        assert graph.num_edges() == 9
+        assert diameter(graph) == 9
+
+    def test_path_requires_positive_size(self):
+        with pytest.raises(ValueError):
+            path_graph(0)
+
+    def test_ring_counts_and_diameter(self):
+        graph = ring_graph(10)
+        assert graph.num_edges() == 10
+        assert diameter(graph) == 5
+
+    def test_ring_minimum_size(self):
+        with pytest.raises(ValueError):
+            ring_graph(2)
+
+    def test_complete_graph(self):
+        graph = complete_graph(6)
+        assert graph.num_edges() == 15
+        assert diameter(graph) == 1
+
+    def test_grid_counts(self):
+        graph = grid_graph(3, 4)
+        assert graph.num_nodes() == 12
+        assert graph.num_edges() == 3 * 3 + 2 * 4
+        assert diameter(graph) == 5
+
+    def test_torus_is_regular(self):
+        graph = torus_graph(4, 4)
+        assert all(graph.degree(v) == 4 for v in graph.nodes())
+
+    def test_hypercube(self):
+        graph = hypercube_graph(4)
+        assert graph.num_nodes() == 16
+        assert graph.num_edges() == 32
+        assert diameter(graph) == 4
+
+
+class TestRandomTopologies:
+    def test_random_tree_is_a_tree(self):
+        graph = random_tree(50, seed=4)
+        assert graph.num_edges() == 49
+        assert is_connected(graph)
+
+    def test_random_tree_deterministic_given_seed(self):
+        first = random_tree(30, seed=9)
+        second = random_tree(30, seed=9)
+        assert {e.key() for e in first.edges()} == {e.key() for e in second.edges()}
+
+    def test_erdos_renyi_connected(self):
+        graph = erdos_renyi_graph(40, 0.05, seed=1)
+        assert is_connected(graph)
+        assert graph.num_nodes() == 40
+
+    def test_erdos_renyi_probability_validated(self):
+        with pytest.raises(ValueError):
+            erdos_renyi_graph(10, 1.5)
+
+    def test_geometric_connected(self):
+        graph = random_geometric_graph(60, seed=2)
+        assert is_connected(graph)
+        assert graph.num_nodes() == 60
+
+
+class TestRayGraph:
+    def test_shape(self):
+        graph = ray_graph(4, 5)
+        assert graph.num_nodes() == 21
+        assert graph.degree(0) == 4
+        assert diameter(graph) == 10
+
+    def test_single_ray_is_a_path(self):
+        graph = ray_graph(1, 6)
+        assert graph.num_edges() == 6
+        assert diameter(graph) == 6
+
+    def test_parameter_validation(self):
+        with pytest.raises(ValueError):
+            ray_graph(0, 3)
+        with pytest.raises(ValueError):
+            ray_graph(3, 0)
+
+    def test_ray_graph_for_targets(self):
+        graph = ray_graph_for(n=65, diameter=16)
+        assert diameter(graph) == 16
+        assert abs(graph.num_nodes() - 65) <= 16
+
+    def test_leaves_have_degree_one(self):
+        graph = ray_graph(3, 4)
+        leaves = [v for v in graph.nodes() if graph.degree(v) == 1]
+        assert len(leaves) == 3

@@ -1,0 +1,132 @@
+"""Unit tests for the weighted graph data structure."""
+
+import pytest
+
+from repro.topology.graph import Edge, WeightedGraph, edge_key
+
+
+class TestEdge:
+    def test_other_endpoint(self):
+        edge = Edge(1, 2, 5.0)
+        assert edge.other(1) == 2
+        assert edge.other(2) == 1
+
+    def test_other_rejects_non_endpoint(self):
+        with pytest.raises(ValueError):
+            Edge(1, 2).other(3)
+
+    def test_key_is_canonical(self):
+        assert Edge(2, 1).key() == Edge(1, 2).key()
+        assert edge_key(5, 3) == edge_key(3, 5)
+
+
+class TestWeightedGraph:
+    def test_add_nodes_and_edges(self):
+        graph = WeightedGraph()
+        graph.add_edge(0, 1, 3.0)
+        graph.add_edge(1, 2, 4.0)
+        assert graph.num_nodes() == 3
+        assert graph.num_edges() == 2
+        assert graph.weight(0, 1) == 3.0
+        assert graph.weight(1, 0) == 3.0
+
+    def test_self_loops_rejected(self):
+        graph = WeightedGraph()
+        with pytest.raises(ValueError):
+            graph.add_edge(1, 1)
+
+    def test_duplicate_edge_overwrites_weight(self):
+        graph = WeightedGraph()
+        graph.add_edge(0, 1, 1.0)
+        graph.add_edge(0, 1, 9.0)
+        assert graph.num_edges() == 1
+        assert graph.weight(0, 1) == 9.0
+
+    def test_remove_edge(self):
+        graph = WeightedGraph()
+        graph.add_edge(0, 1)
+        graph.remove_edge(0, 1)
+        assert graph.num_edges() == 0
+        assert not graph.has_edge(0, 1)
+
+    def test_remove_missing_edge_raises(self):
+        graph = WeightedGraph()
+        graph.add_node(0)
+        graph.add_node(1)
+        with pytest.raises(KeyError):
+            graph.remove_edge(0, 1)
+
+    def test_weight_missing_edge_raises(self):
+        graph = WeightedGraph()
+        graph.add_nodes([0, 1])
+        with pytest.raises(KeyError):
+            graph.weight(0, 1)
+
+    def test_neighbors_and_degree(self):
+        graph = WeightedGraph()
+        graph.add_edge(0, 1)
+        graph.add_edge(0, 2)
+        assert set(graph.neighbors(0)) == {1, 2}
+        assert graph.degree(0) == 2
+        assert graph.degree(1) == 1
+
+    def test_edges_listed_once(self):
+        graph = WeightedGraph()
+        graph.add_edge(0, 1)
+        graph.add_edge(1, 2)
+        graph.add_edge(2, 0)
+        assert len(graph.edges()) == 3
+
+    def test_incident_edges(self):
+        graph = WeightedGraph()
+        graph.add_edge(0, 1, 2.0)
+        graph.add_edge(0, 2, 3.0)
+        incident = graph.incident_edges(0)
+        assert {e.other(0) for e in incident} == {1, 2}
+        assert sorted(e.weight for e in incident) == [2.0, 3.0]
+
+    def test_copy_is_independent(self):
+        graph = WeightedGraph()
+        graph.add_edge(0, 1, 2.0)
+        clone = graph.copy()
+        clone.add_edge(1, 2)
+        assert graph.num_edges() == 1
+        assert clone.num_edges() == 2
+
+    def test_subgraph(self):
+        graph = WeightedGraph()
+        graph.add_edge(0, 1)
+        graph.add_edge(1, 2)
+        graph.add_edge(2, 3)
+        sub = graph.subgraph([0, 1, 2])
+        assert sub.num_nodes() == 3
+        assert sub.num_edges() == 2
+        assert not sub.has_node(3)
+
+    def test_relabeled_default_enumeration(self):
+        graph = WeightedGraph()
+        graph.add_edge("a", "b", 7.0)
+        renamed = graph.relabeled()
+        assert set(renamed.nodes()) == {0, 1}
+        assert renamed.weight(0, 1) == 7.0
+
+    def test_container_protocol(self):
+        graph = WeightedGraph()
+        graph.add_edge(0, 1)
+        assert 0 in graph
+        assert len(graph) == 2
+        assert sorted(iter(graph)) == [0, 1]
+
+    def test_total_weight(self):
+        graph = WeightedGraph()
+        graph.add_edge(0, 1, 2.0)
+        graph.add_edge(1, 2, 5.0)
+        assert graph.total_weight() == 7.0
+
+    def test_set_weight(self):
+        graph = WeightedGraph()
+        graph.add_edge(0, 1, 2.0)
+        graph.set_weight(0, 1, 11.0)
+        assert graph.weight(1, 0) == 11.0
+        with pytest.raises(KeyError):
+            graph.set_weight(0, 2, 1.0)

@@ -1,0 +1,96 @@
+"""Unit tests for graph-property helpers."""
+
+import pytest
+
+from repro.topology.generators import grid_graph, path_graph, ring_graph
+from repro.topology.graph import WeightedGraph
+from repro.topology.properties import (
+    bfs_tree_parents,
+    breadth_first_levels,
+    connected_components,
+    diameter,
+    eccentricity,
+    graph_radius,
+    is_connected,
+    shortest_path_lengths,
+    tree_radius_from_root,
+)
+
+
+class TestBFS:
+    def test_levels_on_path(self):
+        graph = path_graph(5)
+        levels = breadth_first_levels(graph, 0)
+        assert levels == {0: 0, 1: 1, 2: 2, 3: 3, 4: 4}
+
+    def test_levels_missing_source(self):
+        with pytest.raises(KeyError):
+            breadth_first_levels(path_graph(3), 99)
+
+    def test_bfs_tree_parents(self):
+        graph = grid_graph(3, 3)
+        parents = bfs_tree_parents(graph, 0)
+        assert parents[0] is None
+        assert len(parents) == 9
+        # every non-root's parent is one hop closer to the root
+        levels = breadth_first_levels(graph, 0)
+        for node, parent in parents.items():
+            if parent is not None:
+                assert levels[parent] == levels[node] - 1
+
+
+class TestConnectivity:
+    def test_connected_components_split(self):
+        graph = WeightedGraph()
+        graph.add_edge(0, 1)
+        graph.add_edge(2, 3)
+        components = connected_components(graph)
+        assert sorted(sorted(c) for c in components) == [[0, 1], [2, 3]]
+
+    def test_is_connected(self):
+        assert is_connected(ring_graph(5))
+        graph = WeightedGraph()
+        graph.add_nodes([0, 1])
+        assert not is_connected(graph)
+
+    def test_empty_graph_is_connected(self):
+        assert is_connected(WeightedGraph())
+
+
+class TestDistances:
+    def test_diameter_and_radius_of_path(self):
+        graph = path_graph(7)
+        assert diameter(graph) == 6
+        assert graph_radius(graph) == 3
+
+    def test_eccentricity(self):
+        graph = path_graph(5)
+        assert eccentricity(graph, 0) == 4
+        assert eccentricity(graph, 2) == 2
+
+    def test_eccentricity_disconnected_raises(self):
+        graph = WeightedGraph()
+        graph.add_nodes([0, 1])
+        with pytest.raises(ValueError):
+            eccentricity(graph, 0)
+
+    def test_diameter_of_empty_graph_raises(self):
+        with pytest.raises(ValueError):
+            diameter(WeightedGraph())
+
+    def test_all_pairs(self):
+        graph = ring_graph(6)
+        lengths = shortest_path_lengths(graph)
+        assert lengths[0][3] == 3
+        assert lengths[2][5] == 3
+
+
+class TestTreeRadius:
+    def test_radius_from_parent_map(self):
+        parents = {0: None, 1: 0, 2: 1, 3: 1}
+        assert tree_radius_from_root(parents, 0) == 2
+
+    def test_cycle_detection(self):
+        parents = {0: 1, 1: 0}
+        with pytest.raises(ValueError):
+            tree_radius_from_root(parents, 0)
