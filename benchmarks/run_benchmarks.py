@@ -1,0 +1,206 @@
+"""Headless benchmark trajectory runner for the e1–e10 experiment suite.
+
+Runs every experiment sweep (on the same reduced sizes the ``bench_eNN_*``
+pytest benchmarks use), times each one, extracts the message counts its table
+reports, probes the largest feasible ``n`` for the hot experiments
+(e2/e4/e9), and records everything under a named label in ``BENCH_core.json``
+at the repository root.  Re-running with a different label merges into the
+same file, so the file accumulates the performance trajectory across PRs:
+
+    PYTHONPATH=src python benchmarks/run_benchmarks.py --label after
+
+When both a ``before`` and an ``after`` run are present the runner also
+writes the per-experiment speedups, which is how the ≥2× wall-clock targets
+on e2/e4/e9 are checked.
+
+The runner is deliberately dependency-free (no pytest-benchmark): it is the
+thing CI and the driver can execute headlessly.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import sys
+import time
+from pathlib import Path
+from typing import Callable, Dict, List, Optional, Tuple
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+SRC = REPO_ROOT / "src"
+if str(SRC) not in sys.path:
+    sys.path.insert(0, str(SRC))
+
+from repro.experiments import (  # noqa: E402
+    e01_det_partition_quality,
+    e02_det_partition_complexity,
+    e03_rand_partition_quality,
+    e04_rand_partition_complexity,
+    e05_global_deterministic,
+    e06_global_randomized,
+    e07_model_separation,
+    e08_lower_bound_gap,
+    e09_mst,
+    e10_model_variations,
+)
+
+DEFAULT_OUTPUT = REPO_ROOT / "BENCH_core.json"
+
+# Every experiment sweep with the sizes the bench_eNN pytest files use, so the
+# JSON numbers and the pytest-benchmark numbers describe the same workloads.
+SUITE: List[Tuple[str, Callable[[], object]]] = [
+    ("e1", lambda: e01_det_partition_quality.run(sizes=(64, 144, 256))),
+    ("e2", lambda: e02_det_partition_complexity.run(sizes=(64, 144, 256))),
+    ("e3", lambda: e03_rand_partition_quality.run(sizes=(64, 144, 256), seeds=(1, 2, 3))),
+    ("e4", lambda: e04_rand_partition_complexity.run(sizes=(64, 144, 256), seeds=(1, 2, 3))),
+    ("e5", lambda: e05_global_deterministic.run(sizes=(64, 144, 256))),
+    ("e6", lambda: e06_global_randomized.run(sizes=(64, 144, 256), seeds=(1, 2, 3))),
+    ("e7", lambda: e07_model_separation.run(sizes=(128, 256, 512))),
+    ("e8", lambda: e08_lower_bound_gap.run(params=((8, 8), (16, 8), (16, 16)))),
+    ("e9", lambda: e09_mst.run(sizes=(64, 256, 1024, 2048))),
+    ("e10", lambda: e10_model_variations.run(sizes=(36, 64, 100), seeds=(1, 2, 3))),
+    # hot sweeps: the same experiments at sizes where wall time is measured in
+    # seconds, so the before/after speedup numbers are not timer noise
+    ("e2_hot", lambda: e02_det_partition_complexity.run(sizes=(1024, 4096, 16384))),
+    ("e4_hot", lambda: e04_rand_partition_complexity.run(
+        sizes=(1024, 4096, 16384), seeds=(1, 2))),
+    ("e9_hot", lambda: e09_mst.run(sizes=(4096, 16384))),
+]
+
+
+def _message_counts(table) -> Dict[str, List[int]]:
+    """Extract the per-row message counts from a table, when it reports any."""
+    counts: Dict[str, List[int]] = {}
+    for index, column in enumerate(table.columns):
+        name = column.lower()
+        if "message" in name and "bound" not in name and "/" not in name:
+            counts[column] = [row[index] for row in table.rows]
+    return counts
+
+
+def run_suite(only: Optional[List[str]] = None) -> Dict[str, Dict[str, object]]:
+    """Run (a subset of) the suite and return per-experiment stats."""
+    results: Dict[str, Dict[str, object]] = {}
+    for name, runner in SUITE:
+        if only and name not in only:
+            continue
+        start = time.perf_counter()
+        table = runner()
+        elapsed = time.perf_counter() - start
+        ns = [row[0] for row in table.rows]
+        results[name] = {
+            "wall_seconds": round(elapsed, 4),
+            "sweep_max_n": max(ns) if ns else None,
+            "messages": _message_counts(table),
+        }
+        print(f"{name:>4}: {elapsed:8.3f}s  (max n = {results[name]['sweep_max_n']})")
+    return results
+
+
+# ----------------------------------------------------------------------
+# max-feasible-n probes for the hot experiments
+# ----------------------------------------------------------------------
+def _probe(single_run: Callable[[int], None], start_n: int, budget: float) -> Dict[str, object]:
+    """Double ``n`` until one run exceeds ``budget`` seconds; report the last fit."""
+    n = start_n
+    feasible = None
+    feasible_seconds = None
+    while n <= 2 ** 22:
+        start = time.perf_counter()
+        single_run(n)
+        elapsed = time.perf_counter() - start
+        if elapsed > budget:
+            break
+        feasible = n
+        feasible_seconds = round(elapsed, 4)
+        n *= 2
+    return {
+        "max_feasible_n": feasible,
+        "seconds_at_max": feasible_seconds,
+        "budget_seconds": budget,
+    }
+
+
+def probe_max_n(budget: float) -> Dict[str, Dict[str, object]]:
+    """Probe the largest single-instance ``n`` each hot experiment can afford."""
+    from repro.core.mst.multimedia_mst import MultimediaMST
+    from repro.core.partition.deterministic import DeterministicPartitioner
+    from repro.core.partition.randomized import RandomizedPartitioner
+    from repro.experiments.harness import make_topology
+
+    def det(n: int) -> None:
+        DeterministicPartitioner(make_topology("grid", n, seed=11)).run()
+
+    def rand(n: int) -> None:
+        RandomizedPartitioner(
+            make_topology("grid", n, seed=11), seed=1, las_vegas=True
+        ).run()
+
+    def mst(n: int) -> None:
+        MultimediaMST(make_topology("ring", n, seed=11)).run()
+
+    probes = {}
+    for name, fn in (("e2", det), ("e4", rand), ("e9", mst)):
+        probes[name] = _probe(fn, 64, budget)
+        print(f"{name:>4}: max feasible n = {probes[name]['max_feasible_n']} "
+              f"({probes[name]['seconds_at_max']}s/run, budget {budget}s)")
+    return probes
+
+
+# ----------------------------------------------------------------------
+# JSON trajectory file
+# ----------------------------------------------------------------------
+def _speedups(runs: Dict[str, Dict[str, object]]) -> Dict[str, float]:
+    """Compute before→after wall-clock speedups when both labels exist."""
+    before = runs.get("before", {}).get("experiments", {})
+    after = runs.get("after", {}).get("experiments", {})
+    speedups = {}
+    for name in before:
+        if name in after and after[name]["wall_seconds"]:
+            speedups[name] = round(
+                before[name]["wall_seconds"] / after[name]["wall_seconds"], 2
+            )
+    return speedups
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--label", default="after",
+                        help="name this run is recorded under (e.g. before/after)")
+    parser.add_argument("--output", type=Path, default=DEFAULT_OUTPUT,
+                        help="trajectory JSON file to merge into")
+    parser.add_argument("--only", nargs="*", default=None,
+                        help="run only these experiments (e.g. --only e2 e4 e9)")
+    parser.add_argument("--probe-budget", type=float, default=2.0,
+                        help="per-run seconds allowed by the max-n probes (0 disables)")
+    parser.add_argument("--note", default="", help="free-form note stored with the run")
+    args = parser.parse_args(argv)
+
+    if args.only:
+        unknown = set(args.only) - {name for name, _ in SUITE}
+        if unknown:
+            parser.error(f"unknown experiment(s): {', '.join(sorted(unknown))}")
+    experiments = run_suite(args.only)
+    probes = probe_max_n(args.probe_budget) if args.probe_budget > 0 else {}
+    for name, probe in probes.items():
+        experiments.setdefault(name, {}).update(probe)
+
+    data: Dict[str, object] = {"schema": 1, "runs": {}}
+    if args.output.exists():
+        data = json.loads(args.output.read_text())
+    data.setdefault("runs", {})[args.label] = {
+        "note": args.note,
+        "python": platform.python_version(),
+        "experiments": experiments,
+    }
+    data["speedup_before_to_after"] = _speedups(data["runs"])
+    args.output.write_text(json.dumps(data, indent=2, sort_keys=True) + "\n")
+    print(f"wrote {args.output} (label={args.label!r})")
+    if data["speedup_before_to_after"]:
+        print("speedups:", data["speedup_before_to_after"])
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

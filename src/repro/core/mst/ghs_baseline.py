@@ -25,7 +25,7 @@ from typing import Dict, Hashable, List, Optional, Set, Tuple
 from repro.core.mst.kruskal import MSTEdges
 from repro.protocols.spanning.tree_utils import node_depths, reroot
 from repro.sim.metrics import MetricsRecorder, MetricsSnapshot
-from repro.topology.graph import Edge, WeightedGraph, edge_key
+from repro.topology.graph import Edge, WeightedGraph, edge_key, sorted_incident_links
 from repro.topology.properties import is_connected
 
 NodeId = Hashable
@@ -85,16 +85,27 @@ class PointToPointMST:
         rejected: Set[Tuple[NodeId, NodeId]] = set()
         mst_keys: Set[Tuple[NodeId, NodeId]] = set()
 
+        # per-node incident links sorted once, with a persistent scan pointer
+        # past the permanently rejected prefix (same discipline as the
+        # deterministic partitioner)
+        sorted_links = sorted_incident_links(graph)
+        link_pos: Dict[NodeId, int] = {node: 0 for node in sorted_links}
+
         self._metrics.set_phase("ghs")
         phases = 0
-        while len(set(core_of.values())) > 1:
-            phases += 1
+        depths: Optional[Dict[NodeId, int]] = None
+        while True:
             members = _members_by_core(core_of)
-            depths = node_depths(parents)
-            radii = {
-                core: max((depths[v] for v in nodes), default=0)
-                for core, nodes in members.items()
-            }
+            if len(members) <= 1:
+                break
+            phases += 1
+            if depths is None:
+                depths = node_depths(parents)
+            radii = {core: 0 for core in members}
+            for v, depth in depths.items():
+                core = core_of[v]
+                if depth > radii[core]:
+                    radii[core] = depth
             rounds = 2 * max(radii.values(), default=0)
             self._metrics.record_messages(
                 2 * (graph.num_nodes() - len(members))
@@ -103,35 +114,41 @@ class PointToPointMST:
             # find each fragment's minimum-weight outgoing link (GHS testing)
             chosen: Dict[NodeId, Tuple[float, NodeId, NodeId]] = {}
             max_tests = 0
+            total_tests = 0
             for core, nodes in members.items():
                 best: Optional[Tuple[float, NodeId, NodeId]] = None
                 for node in nodes:
                     tests = 0
-                    for weight, neighbor in sorted(
-                        ((graph.weight(node, v), v) for v in graph.neighbors(node)),
-                        key=lambda pair: (pair[0], repr(pair[1])),
-                    ):
-                        key = edge_key(node, neighbor)
+                    links = sorted_links[node]
+                    index = link_pos[node]
+                    while index < len(links):
+                        weight, neighbor, key = links[index]
                         if key in rejected:
+                            index += 1
                             continue
-                        tests += 1
-                        self._metrics.record_messages(2)
+                        tests += 1  # test + accept/reject: 2 messages
                         if core_of[neighbor] == core:
                             rejected.add(key)
+                            index += 1
                             continue
                         candidate = (weight, node, neighbor)
                         if best is None or candidate < best:
                             best = candidate
                         break
-                    max_tests = max(max_tests, tests)
+                    link_pos[node] = index
+                    total_tests += tests
+                    if tests > max_tests:
+                        max_tests = tests
                 if best is not None:
                     chosen[core] = best
+            self._metrics.record_messages(2 * total_tests)
             rounds += 2 * max_tests
 
             # merge the fragments along the chosen links
             out_edge = {core: core_of[v] for core, (_, _, v) in chosen.items()}
             groups = _merge_components(out_edge)
             merge_rounds = 0
+            merged_members: List[List[NodeId]] = []
             for group_root, group in groups.items():
                 if len(group) == 1:
                     continue
@@ -150,8 +167,16 @@ class PointToPointMST:
                 for node in new_members:
                     core_of[node] = group_root
                 self._metrics.record_messages(2 * spliced + len(new_members))
-                new_depths = node_depths({node: parents[node] for node in new_members})
-                merge_rounds = max(merge_rounds, max(new_depths.values(), default=0))
+                merged_members.append(new_members)
+            if merged_members:
+                # one walk of the post-merge forest serves every group's new
+                # radius and the next phase's depth pass
+                depths = node_depths(parents)
+                for new_members in merged_members:
+                    merge_rounds = max(
+                        merge_rounds,
+                        max((depths[node] for node in new_members), default=0),
+                    )
             rounds += merge_rounds
             self._metrics.record_round(rounds)
         self._metrics.set_phase(None)
@@ -166,7 +191,10 @@ class PointToPointMST:
 def _members_by_core(core_of: Dict[NodeId, NodeId]) -> Dict[NodeId, List[NodeId]]:
     members: Dict[NodeId, List[NodeId]] = {}
     for node, core in core_of.items():
-        members.setdefault(core, []).append(node)
+        try:
+            members[core].append(node)
+        except KeyError:
+            members[core] = [node]
     return members
 
 
@@ -180,18 +208,29 @@ def _merge_components(out_edge: Dict[NodeId, NodeId]) -> Dict[NodeId, List[NodeI
     different component.  The component is rooted at the higher-identifier
     endpoint of the 2-cycle (matching the paper's rule) or at the sink vertex.
     """
-    vertices: Set[NodeId] = set(out_edge)
-    vertices.update(out_edge.values())
-
-    # undirected adjacency for component discovery
-    adjacency: Dict[NodeId, Set[NodeId]] = {v: set() for v in vertices}
+    # vertices in first-mention order (deterministic: out_edge is ordered);
+    # the start order only affects which vertex discovers each component,
+    # not the chosen root, so no repr sort is needed
+    vertices: List[NodeId] = []
+    known: Set[NodeId] = set()
     for source, target in out_edge.items():
-        adjacency[source].add(target)
-        adjacency[target].add(source)
+        if source not in known:
+            known.add(source)
+            vertices.append(source)
+        if target not in known:
+            known.add(target)
+            vertices.append(target)
+
+    # undirected adjacency for component discovery (a 2-cycle lists its
+    # partner twice, which the seen-set below absorbs)
+    adjacency: Dict[NodeId, List[NodeId]] = {v: [] for v in vertices}
+    for source, target in out_edge.items():
+        adjacency[source].append(target)
+        adjacency[target].append(source)
 
     seen: Set[NodeId] = set()
     groups: Dict[NodeId, List[NodeId]] = {}
-    for start in sorted(vertices, key=repr):
+    for start in vertices:
         if start in seen:
             continue
         stack = [start]

@@ -190,11 +190,12 @@ class MultimediaMST:
             candidate_per_initial: Dict[NodeId, Tuple[float, NodeId, NodeId]] = {}
             for core, members in initial_members.items():
                 best: Optional[Tuple[float, NodeId, NodeId]] = None
+                current_core = current_of[core]
                 for node in members:
-                    for neighbor in self._graph.neighbors(node):
-                        if current_of[initial_of[neighbor]] == current_of[core]:
+                    for neighbor, weight in self._graph.neighbor_items(node):
+                        if current_of[initial_of[neighbor]] == current_core:
                             continue
-                        candidate = (self._graph.weight(node, neighbor), node, neighbor)
+                        candidate = (weight, node, neighbor)
                         if best is None or candidate < best:
                             best = candidate
                 if best is not None:

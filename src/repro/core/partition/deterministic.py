@@ -36,20 +36,19 @@ report both numbers.
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, Hashable, List, Optional, Set, Tuple
 
 from repro.core.partition.forest import Fragment, SpanningForest
 from repro.protocols.spanning.tree_utils import (
     children_map,
-    node_depths,
     reroot,
 )
 from repro.protocols.symmetry.cole_vishkin import log_star
 from repro.protocols.symmetry.mis import mis_from_three_coloring
 from repro.protocols.symmetry.three_coloring import three_color_rooted_forest
 from repro.sim.metrics import MetricsRecorder, MetricsSnapshot
-from repro.topology.graph import WeightedGraph, edge_key
+from repro.topology.graph import WeightedGraph, sorted_incident_links
 from repro.topology.properties import is_connected
 
 NodeId = Hashable
@@ -161,23 +160,44 @@ class DeterministicPartitioner:
         parents: Dict[NodeId, Optional[NodeId]] = {v: None for v in self._graph.nodes()}
         core_of: Dict[NodeId, NodeId] = {v: v for v in self._graph.nodes()}
         rejected: Set[Tuple[NodeId, NodeId]] = set()
+        # Each node scans its incident links in (weight, repr) order across
+        # all phases (the GHS discipline), so sort them once up front and
+        # remember, per node, how far the scan has permanently advanced:
+        # every link before the pointer has been rejected forever.
+        sorted_links = sorted_incident_links(self._graph)
+        link_pos: Dict[NodeId, int] = {node: 0 for node in sorted_links}
 
         phase_records: List[PhaseRecord] = []
         busy_total = 0
         max_phases = max(1, math.ceil(math.log2(max(2, self._target))) + 1)
 
         self._metrics.set_phase("partition")
+        # node depths are maintained incrementally: every node starts as a
+        # depth-0 singleton, and each merge re-walks only the trees it
+        # touched, so settled fragments are never re-derived
+        depths: Dict[NodeId, int] = {v: 0 for v in self._graph.nodes()}
         for phase in range(max_phases):
             members = _members_by_core(core_of)
-            sizes = {core: len(nodes) for core, nodes in members.items()}
-            if len(members) <= 1 or min(sizes.values()) >= self._target:
+            # one pass over the fragments yields the sizes, the smallest
+            # size (the stop condition) and the active set (level == phase)
+            sizes: Dict[NodeId, int] = {}
+            min_size = n
+            active: List[NodeId] = []
+            for core, nodes in members.items():
+                size = len(nodes)
+                sizes[core] = size
+                if size < min_size:
+                    min_size = size
+                if size.bit_length() - 1 == phase:
+                    active.append(core)
+            if len(members) <= 1 or min_size >= self._target:
                 break
             fragments_before = len(members)
-            depths = node_depths(parents)
-            radii = {
-                core: max((depths[v] for v in nodes), default=0)
-                for core, nodes in members.items()
-            }
+            radii = {core: 0 for core in members}
+            for v, depth in depths.items():
+                core = core_of[v]
+                if depth > radii[core]:
+                    radii[core] = depth
             phase_messages_start = self._metrics.point_to_point_messages
             busy = 0
 
@@ -186,13 +206,10 @@ class DeterministicPartitioner:
             busy += 2 * max(radii.values(), default=0)
             self._metrics.record_messages(2 * (n - len(members)))
 
-            levels = {core: max(0, sizes[core].bit_length() - 1) for core in members}
-            active = [core for core in members if levels[core] == phase]
-
             if active:
                 # ------------- Step 2: minimum outgoing links -------------
                 chosen_links, step2_busy = self._find_min_outgoing_links(
-                    active, members, radii, core_of, rejected
+                    active, members, radii, core_of, rejected, sorted_links, link_pos
                 )
                 busy += step2_busy
 
@@ -222,6 +239,7 @@ class DeterministicPartitioner:
                     core_of,
                     members,
                     radii,
+                    depths,
                 )
                 busy += merge_busy
             else:
@@ -235,13 +253,12 @@ class DeterministicPartitioner:
             self._metrics.record_round(charged)
             busy_total += busy
 
-            members_after = _members_by_core(core_of)
             phase_records.append(
                 PhaseRecord(
                     phase=phase,
                     active_fragments=len(active),
                     fragments_before=fragments_before,
-                    fragments_after=len(members_after),
+                    fragments_after=len(set(core_of.values())),
                     busy_rounds=busy,
                     charged_rounds=charged,
                     messages=self._metrics.point_to_point_messages - phase_messages_start,
@@ -269,6 +286,8 @@ class DeterministicPartitioner:
         radii: Dict[NodeId, int],
         core_of: Dict[NodeId, NodeId],
         rejected: Set[Tuple[NodeId, NodeId]],
+        sorted_links: Dict[NodeId, List[Tuple[float, NodeId, Tuple[NodeId, NodeId]]]],
+        link_pos: Dict[NodeId, int],
     ) -> Tuple[Dict[NodeId, Tuple[float, NodeId, NodeId]], int]:
         """Return each active core's chosen link and the rounds the step takes.
 
@@ -278,7 +297,9 @@ class DeterministicPartitioner:
         rejected; internal links are rejected permanently (2 messages each,
         charged once over the whole execution), and the first outgoing link
         found is the node's candidate (2 messages, re-tested in later
-        phases).
+        phases).  ``sorted_links``/``link_pos`` carry the scan state across
+        phases: the pointer only moves past permanently rejected links, so a
+        node never re-examines them.
         """
         busy = 0
         max_active_radius = max((radii[c] for c in active), default=0)
@@ -288,29 +309,34 @@ class DeterministicPartitioner:
 
         chosen: Dict[NodeId, Tuple[float, NodeId, NodeId]] = {}
         max_tests = 0
+        total_tests = 0
         for core in active:
             best: Optional[Tuple[float, NodeId, NodeId]] = None
             for node in members[core]:
                 tests = 0
-                for weight, neighbor in sorted(
-                    ((self._graph.weight(node, v), v) for v in self._graph.neighbors(node)),
-                    key=lambda pair: (pair[0], repr(pair[1])),
-                ):
-                    key = edge_key(node, neighbor)
+                links = sorted_links[node]
+                index = link_pos[node]
+                while index < len(links):
+                    weight, neighbor, key = links[index]
                     if key in rejected:
+                        index += 1
                         continue
-                    tests += 1
-                    self._metrics.record_messages(2)  # test + accept/reject
+                    tests += 1  # test + accept/reject: 2 messages
                     if core_of[neighbor] == core:
                         rejected.add(key)
+                        index += 1
                         continue
                     candidate = (weight, node, neighbor)
                     if best is None or candidate < best:
                         best = candidate
                     break
-                max_tests = max(max_tests, tests)
+                link_pos[node] = index
+                total_tests += tests
+                if tests > max_tests:
+                    max_tests = tests
             if best is not None:
                 chosen[core] = best
+        self._metrics.record_messages(2 * total_tests)
         # substep 2 time: sequential testing, nodes in parallel
         busy += 2 * max_tests
         # substep 3: convergecast of the minimum to the core
@@ -344,8 +370,10 @@ class DeterministicPartitioner:
             vertices.add(core)
             vertices.add(target)
 
-        # break 2-cycles (both fragments chose the same connecting link)
-        for core in sorted(out_edge, key=repr):
+        # break 2-cycles (both fragments chose the same connecting link);
+        # the dropped side (max by repr) is the same whichever endpoint is
+        # visited first, so a snapshot of the keys is order-enough
+        for core in list(out_edge):
             target = out_edge.get(core)
             if target is None:
                 continue
@@ -372,8 +400,15 @@ class DeterministicPartitioner:
         core_of: Dict[NodeId, NodeId],
         members: Dict[NodeId, List[NodeId]],
         radii: Dict[NodeId, int],
+        depths: Dict[NodeId, int],
     ) -> int:
-        """Cut F at red internal vertices and merge each resulting subtree."""
+        """Cut F at red internal vertices and merge each resulting subtree.
+
+        Returns the step's busy rounds.  ``depths`` is updated in place for
+        every node of a merged tree; nodes of untouched fragments keep their
+        existing depths, so the per-phase depth maintenance is proportional
+        to the work the merge actually did.
+        """
         f_children = children_map(f_parents)
         cut_parents = dict(f_parents)
         for vertex in f_parents:
@@ -418,7 +453,9 @@ class DeterministicPartitioner:
                 u, v = f_edges[vertex]
                 reroot(parents, members[vertex], u)
                 parents[u] = v
-                reroot_radius = max(reroot_radius, radii[vertex])
+                vertex_radius = radii[vertex]
+                if vertex_radius > reroot_radius:
+                    reroot_radius = vertex_radius
                 spliced_nodes += len(members[vertex])
             # one broadcast over every spliced fragment performs the
             # re-rooting and the new-core announcement
@@ -429,10 +466,32 @@ class DeterministicPartitioner:
             for node in new_members:
                 core_of[node] = group_root
             # the new-core announcement travels to the whole merged fragment
-            new_depths = node_depths({node: parents[node] for node in new_members})
-            new_radius = max(new_depths.values(), default=0)
-            busy = max(busy, 2 * reroot_radius + new_radius + 1)
             self._metrics.record_messages(len(new_members))
+            # re-walk just the merged tree to refresh depths and obtain its
+            # new radius (the depth assignment is order-independent)
+            children: Dict[NodeId, List[NodeId]] = {}
+            for node in new_members:
+                node_parent = parents[node]
+                if node_parent is not None:
+                    try:
+                        children[node_parent].append(node)
+                    except KeyError:
+                        children[node_parent] = [node]
+            depths[group_root] = 0
+            new_radius = 0
+            stack = [group_root]
+            empty: List[NodeId] = []
+            while stack:
+                node = stack.pop()
+                child_depth = depths[node] + 1
+                for child in children.get(node, empty):
+                    depths[child] = child_depth
+                    if child_depth > new_radius:
+                        new_radius = child_depth
+                    stack.append(child)
+            group_busy = 2 * reroot_radius + new_radius + 1
+            if group_busy > busy:
+                busy = group_busy
         return busy
 
 
@@ -442,7 +501,10 @@ class DeterministicPartitioner:
 def _members_by_core(core_of: Dict[NodeId, NodeId]) -> Dict[NodeId, List[NodeId]]:
     members: Dict[NodeId, List[NodeId]] = {}
     for node, core in core_of.items():
-        members.setdefault(core, []).append(node)
+        try:
+            members[core].append(node)
+        except KeyError:
+            members[core] = [node]
     return members
 
 

@@ -27,6 +27,11 @@ NodeId = Hashable
 class Fragment:
     """One rooted tree of a spanning forest.
 
+    The derived tree quantities (depths, children, radius) are cached under
+    a version counter: fragments are effectively immutable once built, but
+    callers that do mutate ``parents`` in place must call
+    :meth:`invalidate_caches` so the cached views are recomputed.
+
     Attributes:
         core: the fragment's root (the paper's "core").
         parents: parent map restricted to this fragment's members; the core
@@ -35,12 +40,33 @@ class Fragment:
 
     core: NodeId
     parents: Dict[NodeId, Optional[NodeId]] = field(default_factory=dict)
+    _version: int = field(default=0, init=False, repr=False, compare=False)
+    _cache: Dict[str, object] = field(
+        default_factory=dict, init=False, repr=False, compare=False
+    )
+    _cache_version: int = field(default=0, init=False, repr=False, compare=False)
 
     def __post_init__(self) -> None:
         if not self.parents:
             self.parents = {self.core: None}
         if self.core not in self.parents or self.parents[self.core] is not None:
             raise ValueError("the core must be a root of the fragment's parent map")
+
+    # -- caching ---------------------------------------------------------
+    def invalidate_caches(self) -> None:
+        """Drop cached derived views after an in-place ``parents`` mutation."""
+        self._version += 1
+
+    def _cached(self, key: str, compute):
+        if self._cache_version != self._version:
+            self._cache.clear()
+            self._cache_version = self._version
+        try:
+            return self._cache[key]
+        except KeyError:
+            value = compute()
+            self._cache[key] = value
+            return value
 
     @property
     def members(self) -> List[NodeId]:
@@ -55,16 +81,16 @@ class Fragment:
     @property
     def radius(self) -> int:
         """Return the depth of the deepest node below the core."""
-        depths = node_depths(self.parents)
+        depths = self.depths()
         return max(depths.values()) if depths else 0
 
     def depths(self) -> Dict[NodeId, int]:
-        """Return each member's depth below the core."""
-        return node_depths(self.parents)
+        """Return each member's depth below the core (cached)."""
+        return self._cached("depths", lambda: node_depths(self.parents))
 
     def children(self) -> Dict[NodeId, List[NodeId]]:
-        """Return each member's children within the fragment."""
-        return children_map(self.parents)
+        """Return each member's children within the fragment (cached)."""
+        return self._cached("children", lambda: children_map(self.parents))
 
     def tree_edges(self) -> List[Tuple[NodeId, NodeId]]:
         """Return the fragment's tree edges as (child, parent) pairs."""
@@ -89,7 +115,13 @@ class Fragment:
 
 
 class SpanningForest:
-    """A node-disjoint collection of fragments covering a node set."""
+    """A node-disjoint collection of fragments covering a node set.
+
+    Whole-forest aggregates (parent map, tree edges, extreme sizes and
+    radii) are cached under a version counter; the forest itself has no
+    mutators, but callers that mutate a fragment in place must call
+    :meth:`invalidate_caches` to refresh the cached aggregates.
+    """
 
     def __init__(self, fragments: List[Fragment]) -> None:
         """Create a forest from ``fragments``.
@@ -99,6 +131,9 @@ class SpanningForest:
         """
         self._fragments: Dict[NodeId, Fragment] = {}
         self._core_of: Dict[NodeId, NodeId] = {}
+        self._version = 0
+        self._cache: Dict[str, object] = {}
+        self._cache_version = 0
         for fragment in fragments:
             if fragment.core in self._fragments:
                 raise ValueError(f"duplicate core {fragment.core!r}")
@@ -110,6 +145,26 @@ class SpanningForest:
                     )
                 self._core_of[node] = fragment.core
             self._fragments[fragment.core] = fragment
+
+    # ------------------------------------------------------------------
+    # caching
+    # ------------------------------------------------------------------
+    def invalidate_caches(self) -> None:
+        """Drop cached aggregates (and fragment caches) after a mutation."""
+        self._version += 1
+        for fragment in self._fragments.values():
+            fragment.invalidate_caches()
+
+    def _cached(self, key: str, compute):
+        if self._cache_version != self._version:
+            self._cache.clear()
+            self._cache_version = self._version
+        try:
+            return self._cache[key]
+        except KeyError:
+            value = compute()
+            self._cache[key] = value
+            return value
 
     # ------------------------------------------------------------------
     # accessors
@@ -149,30 +204,47 @@ class SpanningForest:
         return list(self._core_of)
 
     def max_radius(self) -> int:
-        """Return the largest fragment radius."""
-        return max((fragment.radius for fragment in self.fragments), default=0)
+        """Return the largest fragment radius (cached)."""
+        return self._cached(
+            "max_radius",
+            lambda: max((fragment.radius for fragment in self.fragments), default=0),
+        )
 
     def min_size(self) -> int:
-        """Return the smallest fragment size."""
-        return min((fragment.size for fragment in self.fragments), default=0)
+        """Return the smallest fragment size (cached)."""
+        return self._cached(
+            "min_size",
+            lambda: min((fragment.size for fragment in self.fragments), default=0),
+        )
 
     def max_size(self) -> int:
-        """Return the largest fragment size."""
-        return max((fragment.size for fragment in self.fragments), default=0)
+        """Return the largest fragment size (cached)."""
+        return self._cached(
+            "max_size",
+            lambda: max((fragment.size for fragment in self.fragments), default=0),
+        )
 
     def parent_map(self) -> Dict[NodeId, Optional[NodeId]]:
         """Return the union of all fragments' parent maps (cores map to None)."""
-        merged: Dict[NodeId, Optional[NodeId]] = {}
-        for fragment in self.fragments:
-            merged.update(fragment.parents)
-        return merged
+
+        def merge() -> Dict[NodeId, Optional[NodeId]]:
+            merged: Dict[NodeId, Optional[NodeId]] = {}
+            for fragment in self.fragments:
+                merged.update(fragment.parents)
+            return merged
+
+        return dict(self._cached("parent_map", merge))
 
     def tree_edges(self) -> List[Tuple[NodeId, NodeId]]:
         """Return every tree edge of the forest as (child, parent) pairs."""
-        edges: List[Tuple[NodeId, NodeId]] = []
-        for fragment in self.fragments:
-            edges.extend(fragment.tree_edges())
-        return edges
+
+        def collect() -> List[Tuple[NodeId, NodeId]]:
+            edges: List[Tuple[NodeId, NodeId]] = []
+            for fragment in self.fragments:
+                edges.extend(fragment.tree_edges())
+            return edges
+
+        return list(self._cached("tree_edges", collect))
 
     def node_inputs(self) -> Dict[NodeId, Dict[str, object]]:
         """Return per-node ``extra`` inputs describing the forest structure.

@@ -35,7 +35,7 @@ from repro.core.partition.forest import SpanningForest
 from repro.protocols.collision.base import run_contention
 from repro.protocols.collision.metcalfe_boggs import MetcalfeBoggsContender
 from repro.sim.metrics import MetricsRecorder, MetricsSnapshot
-from repro.topology.graph import WeightedGraph, edge_key
+from repro.topology.graph import WeightedGraph
 from repro.topology.properties import is_connected
 
 NodeId = Hashable
@@ -185,8 +185,18 @@ class RandomizedPartitioner:
         label: Dict[NodeId, Optional[int]] = {v: None for v in self._graph.nodes()}
         parent: Dict[NodeId, Optional[NodeId]] = {v: None for v in self._graph.nodes()}
         free: Set[NodeId] = set(self._graph.nodes())
+        # removed links are stored under BOTH orientations so the BFS hot
+        # loop tests membership without canonicalising the pair first
         removed_links: Set[Tuple[NodeId, NodeId]] = set()
+        # worklist of links the algorithm still considers: a removed link is
+        # never looked at again, so each iteration only rescans the survivors
+        live_links: List[Tuple[NodeId, NodeId]] = [
+            (edge.u, edge.v) for edge in self._graph.edges()
+        ]
         records: List[IterationRecord] = []
+        # deterministic tie-break order, precomputed once: every iteration
+        # sorts nodes by repr, which is pure overhead when recomputed inline
+        reprs: Dict[NodeId, str] = {v: repr(v) for v in self._graph.nodes()}
 
         self._metrics.set_phase("partition")
         for iteration, probability in enumerate(probabilities):
@@ -197,7 +207,7 @@ class RandomizedPartitioner:
 
             # Step 1: coin flips (one synchronized round)
             new_centers = [
-                node for node in sorted(free, key=repr)
+                node for node in sorted(free, key=reprs.__getitem__)
                 if self._rng.random() < probability
             ]
             for center in new_centers:
@@ -206,21 +216,28 @@ class RandomizedPartitioner:
             rounds = 1
 
             # Step 2: synchronous BFS growth to depth 4√n from the new centres
-            bfs_messages = self._grow_bfs(new_centers, label, parent, removed_links, depth_limit)
+            bfs_messages = self._grow_bfs(
+                new_centers, label, parent, removed_links, depth_limit, reprs
+            )
             rounds += depth_limit
             self._metrics.record_messages(bfs_messages)
 
             # remove links internal to a tree but not tree edges
-            self._remove_internal_links(label, parent, removed_links)
+            live_links = self._remove_internal_links(
+                label, parent, removed_links, live_links
+            )
 
             # Step 3: free/unfree determination (convergecast + broadcast per tree)
             members = _members_by_actual_root(parent, label)
             for root, nodes in members.items():
-                has_outgoing_to_unlabeled = any(
-                    label[neighbor] is None
-                    for node in nodes
-                    for neighbor in self._graph.neighbors(node)
-                )
+                has_outgoing_to_unlabeled = False
+                for node in nodes:
+                    for neighbor in self._graph.iter_neighbors(node):
+                        if label[neighbor] is None:
+                            has_outgoing_to_unlabeled = True
+                            break
+                    if has_outgoing_to_unlabeled:
+                        break
                 for node in nodes:
                     if not has_outgoing_to_unlabeled:
                         free.discard(node)
@@ -259,6 +276,7 @@ class RandomizedPartitioner:
         parent: Dict[NodeId, Optional[NodeId]],
         removed_links: Set[Tuple[NodeId, NodeId]],
         depth_limit: int,
+        reprs: Dict[NodeId, str],
     ) -> int:
         """Relax labels outward from the new centres; returns messages sent.
 
@@ -275,19 +293,22 @@ class RandomizedPartitioner:
             if not frontier:
                 break
             announcements: Dict[NodeId, List[Tuple[int, NodeId, NodeId]]] = {}
-            for node in sorted(frontier, key=repr):
+            for node in sorted(frontier, key=reprs.__getitem__):
                 node_label = label[node]
                 assert node_label is not None
-                for neighbor in self._graph.neighbors(node):
-                    if edge_key(node, neighbor) in removed_links:
+                announced = node_label + 1
+                for neighbor in self._graph.iter_neighbors(node):
+                    if (node, neighbor) in removed_links:
                         continue
                     messages += 1
-                    announcements.setdefault(neighbor, []).append(
-                        (node_label + 1, node, neighbor)
-                    )
+                    try:
+                        announcements[neighbor].append((announced, node, neighbor))
+                    except KeyError:
+                        announcements[neighbor] = [(announced, node, neighbor)]
             next_frontier: List[NodeId] = []
             for neighbor, offers in announcements.items():
-                offers.sort(key=lambda item: (item[0], repr(item[1])))
+                if len(offers) > 1:
+                    offers.sort(key=lambda item: (item[0], reprs[item[1]]))
                 best_label, best_parent, _ = offers[0]
                 current = label[neighbor]
                 if best_label > depth_limit:
@@ -304,8 +325,13 @@ class RandomizedPartitioner:
         label: Dict[NodeId, Optional[int]],
         parent: Dict[NodeId, Optional[NodeId]],
         removed_links: Set[Tuple[NodeId, NodeId]],
-    ) -> None:
-        """Drop links whose endpoints share a tree but that are not tree edges."""
+        live_links: List[Tuple[NodeId, NodeId]],
+    ) -> List[Tuple[NodeId, NodeId]]:
+        """Drop links whose endpoints share a tree but that are not tree edges.
+
+        Returns the surviving worklist so the next iteration skips removed
+        links without consulting the set.
+        """
         root_cache: Dict[NodeId, NodeId] = {}
 
         def actual_root(node: NodeId) -> Optional[NodeId]:
@@ -325,16 +351,19 @@ class RandomizedPartitioner:
                 root_cache[member] = root
             return root
 
-        for edge in self._graph.edges():
-            key = edge.key()
-            if key in removed_links:
+        survivors: List[Tuple[NodeId, NodeId]] = []
+        for u, v in live_links:
+            if parent.get(u) == v or parent.get(v) == u:
+                survivors.append((u, v))
                 continue
-            if parent.get(edge.u) == edge.v or parent.get(edge.v) == edge.u:
-                continue
-            root_u = actual_root(edge.u)
-            root_v = actual_root(edge.v)
+            root_u = actual_root(u)
+            root_v = actual_root(v)
             if root_u is not None and root_u == root_v:
-                removed_links.add(key)
+                removed_links.add((u, v))
+                removed_links.add((v, u))
+            else:
+                survivors.append((u, v))
+        return survivors
 
     # ------------------------------------------------------------------
     def _verify(self, forest: SpanningForest) -> bool:

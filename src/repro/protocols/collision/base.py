@@ -96,8 +96,11 @@ def run_contention(
 ) -> ScheduleOutcome:
     """Schedule ``contenders`` on a slotted channel until all are resolved.
 
-    Every contender observes every slot (all nodes hear the channel), so the
-    protocols can rely on common knowledge of the slot-outcome history.
+    In the model every node hears every slot; the orchestration only delivers
+    observations to the *unresolved* contenders, because a resolved contender
+    never transmits again and its local state can no longer influence the
+    schedule.  (Code that needs the full listening behaviour runs contenders
+    on the simulator via :class:`ContenderProtocol` instead.)
 
     Raises:
         ProtocolError: if the contenders fail to resolve within ``max_slots``
@@ -110,22 +113,25 @@ def run_contention(
     idle = 0
     slot = start_slot
     used = 0
-    while any(not contender.resolved for contender in contenders):
+    # only unresolved contenders can transmit or act on what they hear, so
+    # track them in a worklist instead of re-scanning the whole field every
+    # slot
+    pending = [contender for contender in contenders if not contender.resolved]
+    while pending:
         if used >= max_slots:
             raise ProtocolError(
                 f"contention did not resolve within {max_slots} slots"
             )
         writes: List[Tuple[NodeId, Any]] = []
-        transmitted: Dict[NodeId, bool] = {}
-        for contender in contenders:
-            wants = (not contender.resolved) and contender.wants_to_transmit(slot)
-            transmitted[id(contender)] = wants
-            if wants:
+        transmitting: set = set()
+        for contender in pending:
+            if contender.wants_to_transmit(slot):
+                transmitting.add(id(contender))
                 writes.append((contender.identity, contender.payload))
         event = channel.resolve_slot(slot, writes)
         public = event.public_view()
-        for contender in contenders:
-            contender.observe(public, transmitted[id(contender)])
+        for contender in pending:
+            contender.observe(public, id(contender) in transmitting)
         if event.is_success():
             order.append(event.writer)
             broadcasts.append(event.payload)
@@ -133,6 +139,9 @@ def run_contention(
             collisions += 1
         else:
             idle += 1
+        # refilter every slot (O(pending), same as the transmit loop above):
+        # a subclass may flip `resolved` on any outcome, not just success
+        pending = [contender for contender in pending if not contender.resolved]
         if metrics is not None:
             metrics.record_round(1)
         slot += 1

@@ -20,7 +20,7 @@ import random
 from typing import Hashable, Optional
 
 from repro.protocols.collision.base import ChannelContender
-from repro.sim.events import ChannelEvent
+from repro.sim.events import ChannelEvent, SlotState
 
 NodeId = Hashable
 
@@ -60,13 +60,16 @@ class MetcalfeBoggsContender(ChannelContender):
         return max(1, self._initial_estimate - self._successes_seen)
 
     def wants_to_transmit(self, slot: int) -> bool:
-        probability = 1.0 / self.remaining_estimate
+        remaining = self._initial_estimate - self._successes_seen
+        probability = 1.0 / remaining if remaining > 1 else 1.0
         return self._rng.random() < probability
 
     def observe(self, event: ChannelEvent, transmitted: bool) -> None:
-        super().observe(event, transmitted)
-        if event.is_success():
+        # inlined base behaviour: this runs once per contender per slot
+        if event.state is SlotState.SUCCESS:
             self._successes_seen += 1
+            if transmitted:
+                self._succeeded_in_slot = event.slot
 
 
 def expected_slots_per_success(estimate: int) -> float:

@@ -72,7 +72,7 @@ def build_bfs_forest(
         node = queue.popleft()
         if depth_limit is not None and labels[node] >= depth_limit:
             continue
-        for neighbor in graph.neighbors(node):
+        for neighbor in graph.iter_neighbors(node):
             if neighbor in labels:
                 continue
             labels[neighbor] = labels[node] + 1

@@ -20,20 +20,27 @@ ParentMap = Dict[NodeId, Optional[NodeId]]
 def validate_parent_map(parents: ParentMap) -> None:
     """Check that ``parents`` describes a forest (no cycles, closed under parents).
 
+    Nodes already proven to reach a root are never re-walked, so the check
+    is linear overall instead of linear per node.
+
     Raises:
         ValueError: if a referenced parent is missing or a cycle exists.
     """
     for node, parent in parents.items():
         if parent is not None and parent not in parents:
             raise ValueError(f"parent {parent!r} of {node!r} is not in the map")
+    safe: Set[NodeId] = set()
     for start in parents:
-        seen: Set[NodeId] = set()
+        path: List[NodeId] = []
+        on_path: Set[NodeId] = set()
         current = start
-        while current is not None:
-            if current in seen:
+        while current is not None and current not in safe:
+            if current in on_path:
                 raise ValueError("parent map contains a cycle")
-            seen.add(current)
+            path.append(current)
+            on_path.add(current)
             current = parents[current]
+        safe.update(path)
 
 
 def children_map(parents: ParentMap) -> Dict[NodeId, List[NodeId]]:
@@ -51,29 +58,37 @@ def roots_of(parents: ParentMap) -> List[NodeId]:
 
 
 def node_depths(parents: ParentMap) -> Dict[NodeId, int]:
-    """Return each node's depth (hop distance to its root)."""
+    """Return each node's depth (hop distance to its root).
+
+    Single BFS pass from the roots over a children index, rather than
+    chasing parent chains per node: the partitioners call this once per
+    phase, so the constant factor matters.
+
+    Raises:
+        KeyError: if a node's parent chain leaves the map or cycles (such a
+            node is never reached from a root).
+    """
     depths: Dict[NodeId, int] = {}
-
-    def depth(node: NodeId) -> int:
-        chain = []
-        current = node
-        while current not in depths:
-            chain.append(current)
-            parent = parents[current]
-            if parent is None:
-                depths[current] = 0
-                break
-            current = parent
-        for member in reversed(chain):
-            parent = parents[member]
-            if parent is None:
-                depths[member] = 0
-            else:
-                depths[member] = depths[parent] + 1
-        return depths[node]
-
-    for node in parents:
-        depth(node)
+    children: Dict[NodeId, List[NodeId]] = {node: [] for node in parents}
+    queue: deque = deque()
+    for node, parent in parents.items():
+        if parent is None:
+            depths[node] = 0
+            queue.append(node)
+        else:
+            children[parent].append(node)
+    while queue:
+        node = queue.popleft()
+        child_depth = depths[node] + 1
+        for child in children[node]:
+            depths[child] = child_depth
+            queue.append(child)
+    if len(depths) != len(parents):
+        unreachable = next(node for node in parents if node not in depths)
+        raise KeyError(
+            f"{unreachable!r} is not reachable from any root "
+            "(missing parent or cycle)"
+        )
     return depths
 
 
@@ -85,20 +100,23 @@ def tree_radius(parents: ParentMap) -> int:
 
 
 def subtree_sizes(parents: ParentMap) -> Dict[NodeId, int]:
-    """Return each node's subtree size (itself plus all descendants)."""
+    """Return each node's subtree size (itself plus all descendants).
+
+    Computed by accumulating along a reversed breadth-first order (children
+    before parents), which is a single pass and never recurses, so it is
+    safe on path-like trees of any depth.
+    """
     children = children_map(parents)
-    sizes: Dict[NodeId, int] = {}
-    # iterative post-order to avoid recursion limits on path-like trees
-    for root in roots_of(parents):
-        stack: List[Tuple[NodeId, bool]] = [(root, False)]
-        while stack:
-            node, processed = stack.pop()
-            if processed:
-                sizes[node] = 1 + sum(sizes[child] for child in children[node])
-            else:
-                stack.append((node, True))
-                for child in children[node]:
-                    stack.append((child, False))
+    order: List[NodeId] = roots_of(parents)
+    cursor = 0
+    while cursor < len(order):
+        order.extend(children[order[cursor]])
+        cursor += 1
+    sizes: Dict[NodeId, int] = {node: 1 for node in parents}
+    for node in reversed(order):
+        parent = parents[node]
+        if parent is not None:
+            sizes[parent] += sizes[node]
     return sizes
 
 

@@ -85,13 +85,16 @@ def cole_vishkin_step(
             # the root behaves as if its parent differed at bit position 0
             new_colors[node] = (own & 1)
             continue
-        position = _differing_bit(own, colors[parent], bits)
+        # inlined _differing_bit: this loop runs once per vertex per step;
+        # position >= bits means equal colours or colours outside the
+        # declared palette, both of which the contract forbids
+        diff = own ^ colors[parent]
+        position = bits if diff == 0 else (diff & -diff).bit_length() - 1
         if position >= bits:
             raise ValueError(
                 f"illegal colouring: node {node!r} and its parent share colour {own}"
             )
-        bit_value = (own >> position) & 1
-        new_colors[node] = 2 * position + bit_value
+        new_colors[node] = 2 * position + ((own >> position) & 1)
     return new_colors
 
 

@@ -150,14 +150,17 @@ def _validate_forest(parents: Dict[NodeId, Optional[NodeId]]) -> None:
     for node, parent in parents.items():
         if parent is not None and parent not in parents:
             raise ValueError(f"parent {parent!r} of {node!r} is not a vertex")
-    # cycle detection by walking each vertex towards its root
+    # cycle detection by walking each vertex towards its root; vertices
+    # already proven safe are never re-walked, keeping the check linear
+    safe: set = set()
     for start in parents:
         seen = set()
         current = start
-        while current is not None:
+        while current is not None and current not in safe:
             if current in seen:
                 raise ValueError("the parent map contains a cycle")
             seen.add(current)
             current = parents[current]
             if len(seen) > len(parents):
                 raise ValueError("the parent map contains a cycle")
+        safe.update(seen)

@@ -11,15 +11,13 @@ from __future__ import annotations
 
 import heapq
 import itertools
-from dataclasses import dataclass, field
-from typing import Any, Callable, List, Optional
+from typing import Callable, List, Optional, Tuple
 
-
-@dataclass(order=True)
-class _ScheduledEvent:
-    time: float
-    sequence: int
-    action: Callable[[], None] = field(compare=False)
+# Heap entries are plain (time, sequence, action) tuples: the sequence number
+# both breaks timestamp ties deterministically and guarantees the heap never
+# compares the (incomparable) actions.  Tuples cut the per-event allocation
+# and comparison cost that the ordered-dataclass representation paid.
+_ScheduledEvent = Tuple[float, int, Callable[[], None]]
 
 
 class EventQueue:
@@ -47,15 +45,13 @@ class EventQueue:
         """
         if delay < 0:
             raise ValueError("cannot schedule an event in the past")
-        event = _ScheduledEvent(self._now + delay, next(self._counter), action)
-        heapq.heappush(self._heap, event)
+        heapq.heappush(self._heap, (self._now + delay, next(self._counter), action))
 
     def schedule_at(self, time: float, action: Callable[[], None]) -> None:
         """Schedule ``action`` at absolute ``time`` (not before now)."""
         if time < self._now:
             raise ValueError("cannot schedule an event in the past")
-        event = _ScheduledEvent(time, next(self._counter), action)
-        heapq.heappush(self._heap, event)
+        heapq.heappush(self._heap, (time, next(self._counter), action))
 
     def is_empty(self) -> bool:
         """Return ``True`` when no events remain."""
@@ -63,20 +59,20 @@ class EventQueue:
 
     def peek_time(self) -> Optional[float]:
         """Return the timestamp of the next event, or ``None`` when empty."""
-        return self._heap[0].time if self._heap else None
+        return self._heap[0][0] if self._heap else None
 
     def run_next(self) -> bool:
         """Execute the next event.  Returns ``False`` when the queue is empty."""
         if not self._heap:
             return False
-        event = heapq.heappop(self._heap)
-        self._now = event.time
-        event.action()
+        time, _, action = heapq.heappop(self._heap)
+        self._now = time
+        action()
         return True
 
     def run_until(self, time: float) -> None:
         """Execute every event with timestamp ``<= time``."""
-        while self._heap and self._heap[0].time <= time:
+        while self._heap and self._heap[0][0] <= time:
             self.run_next()
         self._now = max(self._now, time)
 

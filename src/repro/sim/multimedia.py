@@ -112,8 +112,8 @@ class MultimediaNetwork:
         contexts: Dict[NodeId, NodeContext] = {}
         n = self.num_nodes if self._n_known else None
         for node in self._graph.nodes():
-            neighbors = tuple(self._graph.neighbors(node))
-            weights = {v: self._graph.weight(node, v) for v in neighbors}
+            neighbors = tuple(self._graph.iter_neighbors(node))
+            weights = dict(self._graph.neighbor_items(node))
             contexts[node] = NodeContext(
                 node_id=node,
                 neighbors=neighbors,

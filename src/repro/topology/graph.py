@@ -6,24 +6,101 @@ a weight, and adjacency is kept as an ordered mapping so that iteration order
 is deterministic.  Determinism matters because the paper's algorithms break
 ties by node identifier and because every experiment must be reproducible
 from a seed.
+
+The class sits under every hot loop of the partition/MST algorithms, so the
+whole-graph accessors are cached: a mutation counter (``_version``) is bumped
+by every edge mutation, the canonical edge list is rebuilt at most once per
+mutation generation, and the total weight is maintained incrementally.  The
+``iter_neighbors``/``neighbor_items`` views expose the adjacency dict without
+the per-call list allocation of :meth:`neighbors`.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Dict, Hashable, Iterable, Iterator, List, Optional, Tuple
+from typing import (
+    Dict,
+    Hashable,
+    ItemsView,
+    Iterable,
+    Iterator,
+    KeysView,
+    List,
+    NamedTuple,
+    Optional,
+    Tuple,
+)
 
 NodeId = Hashable
 
 
 def edge_key(u: NodeId, v: NodeId) -> Tuple[NodeId, NodeId]:
-    """Return the canonical (sorted) key for the undirected edge ``{u, v}``."""
-    return (u, v) if repr(u) <= repr(v) else (v, u)
+    """Return the canonical (sorted) key for the undirected edge ``{u, v}``.
+
+    Endpoints are ordered by direct comparison when the values are mutually
+    comparable (the common case: integer node identifiers), which is both
+    fast and correct for distinct values.  Incomparable endpoints (mixed
+    types) fall back to ordering by ``(type name, repr)``.  The old
+    repr-only ordering was a hot spot *and* wrong for distinct nodes whose
+    reprs collide: ``edge_key(u, v)`` and ``edge_key(v, u)`` disagreed, so
+    the same physical link could appear under two keys.
+    """
+    try:
+        if u < v:  # type: ignore[operator]
+            return (u, v)
+        if v < u:  # type: ignore[operator]
+            return (v, u)
+    except TypeError:
+        pass
+    if u == v:
+        return (u, v)
+    # incomparable types, or a partial order where neither side is smaller
+    # (e.g. disjoint frozensets): order by (type name, repr) instead
+    if (type(u).__name__, repr(u)) <= (type(v).__name__, repr(v)):
+        return (u, v)
+    return (v, u)
 
 
-@dataclass(frozen=True)
-class Edge:
+def sorted_incident_links(
+    graph: "WeightedGraph",
+) -> Dict[NodeId, List[Tuple[float, NodeId, Tuple[NodeId, NodeId]]]]:
+    """Return every node's incident links as ``(weight, neighbour, edge key)``
+    triples in increasing ``(weight, repr(neighbour))`` order — the GHS scan
+    order, with the canonical key precomputed once per physical link.
+
+    With globally distinct weights (the standard assumption of the MST
+    algorithms) a single global edge sort populates every node's list, which
+    is substantially cheaper than one sort per node; graphs with repeated
+    weights fall back to per-node sorts with the repr tie-break.
+    """
+    links: Dict[NodeId, List[Tuple[float, NodeId, Tuple[NodeId, NodeId]]]] = {
+        node: [] for node in graph.nodes()
+    }
+    edges = graph.edges()
+    weights = [edge.weight for edge in edges]
+    if len(set(weights)) == len(weights):
+        edges.sort(key=lambda edge: edge.weight)
+        for edge in edges:
+            key = edge_key(edge.u, edge.v)
+            links[edge.u].append((edge.weight, edge.v, key))
+            links[edge.v].append((edge.weight, edge.u, key))
+    else:
+        for node in links:
+            links[node] = sorted(
+                (
+                    (w, v, edge_key(node, v))
+                    for v, w in graph.neighbor_items(node)
+                ),
+                key=lambda item: (item[0], repr(item[1])),
+            )
+    return links
+
+
+class Edge(NamedTuple):
     """An undirected weighted edge.
+
+    A named tuple rather than a (frozen) dataclass: edge lists are rebuilt
+    wholesale by the graph accessors, and tuple construction is several
+    times cheaper than frozen-dataclass construction.
 
     Attributes:
         u: one endpoint.
@@ -69,6 +146,12 @@ class WeightedGraph:
     def __init__(self) -> None:
         self._adjacency: Dict[NodeId, Dict[NodeId, float]] = {}
         self._edge_count = 0
+        self._total_weight = 0.0
+        # cache generation: bumped by every edge mutation; whole-graph views
+        # derived from the adjacency are rebuilt lazily when stale
+        self._version = 0
+        self._edges_cache: List[Edge] = []
+        self._edges_cache_version = -1
 
     # ------------------------------------------------------------------
     # construction
@@ -96,10 +179,15 @@ class WeightedGraph:
             raise ValueError(f"self loops are not allowed (node {u!r})")
         self.add_node(u)
         self.add_node(v)
-        if v not in self._adjacency[u]:
+        existing = self._adjacency[u].get(v)
+        if existing is None:
             self._edge_count += 1
+            self._total_weight += weight
+        else:
+            self._total_weight += weight - existing
         self._adjacency[u][v] = weight
         self._adjacency[v][u] = weight
+        self._version += 1
 
     def remove_edge(self, u: NodeId, v: NodeId) -> None:
         """Remove the undirected edge ``{u, v}``.
@@ -109,9 +197,13 @@ class WeightedGraph:
         """
         if not self.has_edge(u, v):
             raise KeyError(f"no edge between {u!r} and {v!r}")
+        self._total_weight -= self._adjacency[u][v]
         del self._adjacency[u][v]
         del self._adjacency[v][u]
         self._edge_count -= 1
+        if self._edge_count == 0:
+            self._total_weight = 0.0  # clear float residue exactly
+        self._version += 1
 
     def set_weight(self, u: NodeId, v: NodeId, weight: float) -> None:
         """Set the weight of an existing edge.
@@ -121,8 +213,10 @@ class WeightedGraph:
         """
         if not self.has_edge(u, v):
             raise KeyError(f"no edge between {u!r} and {v!r}")
+        self._total_weight += weight - self._adjacency[u][v]
         self._adjacency[u][v] = weight
         self._adjacency[v][u] = weight
+        self._version += 1
 
     # ------------------------------------------------------------------
     # queries
@@ -149,6 +243,22 @@ class WeightedGraph:
         """Return the neighbours of ``node`` in insertion order."""
         return list(self._adjacency[node])
 
+    def iter_neighbors(self, node: NodeId) -> KeysView:
+        """Return a zero-copy view of ``node``'s neighbours (insertion order).
+
+        The view reflects later mutations; do not add or remove edges at
+        ``node`` while iterating it.
+        """
+        return self._adjacency[node].keys()
+
+    def neighbor_items(self, node: NodeId) -> ItemsView:
+        """Return a zero-copy ``(neighbour, weight)`` view for ``node``.
+
+        Saves the per-neighbour :meth:`weight` lookup in hot loops; the same
+        mutation caveat as :meth:`iter_neighbors` applies.
+        """
+        return self._adjacency[node].items()
+
     def degree(self, node: NodeId) -> int:
         """Return the degree of ``node``."""
         return len(self._adjacency[node])
@@ -162,17 +272,23 @@ class WeightedGraph:
         return list(self._adjacency)
 
     def edges(self) -> List[Edge]:
-        """Return every undirected edge exactly once."""
-        seen = set()
-        result: List[Edge] = []
-        for u, nbrs in self._adjacency.items():
-            for v, w in nbrs.items():
-                key = edge_key(u, v)
-                if key in seen:
-                    continue
-                seen.add(key)
-                result.append(Edge(u, v, w))
-        return result
+        """Return every undirected edge exactly once.
+
+        Edges are listed in first-endpoint insertion order (the order the
+        old on-demand scan produced); the list is rebuilt at most once per
+        mutation generation and copied per call, so callers may mutate it.
+        """
+        if self._edges_cache_version != self._version:
+            position = {node: index for index, node in enumerate(self._adjacency)}
+            result: List[Edge] = []
+            for u, nbrs in self._adjacency.items():
+                pos_u = position[u]
+                for v, w in nbrs.items():
+                    if position[v] > pos_u:
+                        result.append(Edge(u, v, w))
+            self._edges_cache = result
+            self._edges_cache_version = self._version
+        return list(self._edges_cache)
 
     def num_nodes(self) -> int:
         """Return ``n``, the number of nodes."""
@@ -183,8 +299,16 @@ class WeightedGraph:
         return self._edge_count
 
     def total_weight(self) -> float:
-        """Return the sum of all edge weights."""
-        return sum(edge.weight for edge in self.edges())
+        """Return the sum of all edge weights.
+
+        Maintained incrementally across mutations, so after many
+        ``remove_edge``/``set_weight`` calls on non-integral weights the
+        value can differ from a fresh summation by float rounding residue
+        (it is exact for integral weights, and resets exactly to 0.0 when
+        the last edge is removed).  Compare with a tolerance when weights
+        are fractional.
+        """
+        return self._total_weight
 
     def __contains__(self, node: NodeId) -> bool:
         return self.has_node(node)
@@ -206,21 +330,35 @@ class WeightedGraph:
     def copy(self) -> "WeightedGraph":
         """Return a deep copy of this graph."""
         clone = WeightedGraph()
-        clone.add_nodes(self.nodes())
+        adjacency: Dict[NodeId, Dict[NodeId, float]] = {
+            node: {} for node in self._adjacency
+        }
         for edge in self.edges():
-            clone.add_edge(edge.u, edge.v, edge.weight)
+            adjacency[edge.u][edge.v] = edge.weight
+            adjacency[edge.v][edge.u] = edge.weight
+        clone._adjacency = adjacency
+        clone._edge_count = self._edge_count
+        clone._total_weight = self._total_weight
         return clone
 
     def subgraph(self, nodes: Iterable[NodeId]) -> "WeightedGraph":
         """Return the subgraph induced by ``nodes``."""
         keep = set(nodes)
         sub = WeightedGraph()
-        for node in self.nodes():
-            if node in keep:
-                sub.add_node(node)
+        adjacency: Dict[NodeId, Dict[NodeId, float]] = {
+            node: {} for node in self._adjacency if node in keep
+        }
+        count = 0
+        total = 0.0
         for edge in self.edges():
             if edge.u in keep and edge.v in keep:
-                sub.add_edge(edge.u, edge.v, edge.weight)
+                adjacency[edge.u][edge.v] = edge.weight
+                adjacency[edge.v][edge.u] = edge.weight
+                count += 1
+                total += edge.weight
+        sub._adjacency = adjacency
+        sub._edge_count = count
+        sub._total_weight = total
         return sub
 
     def relabeled(self, mapping: Optional[Dict[NodeId, NodeId]] = None) -> "WeightedGraph":
@@ -230,10 +368,29 @@ class WeightedGraph:
         insertion order, which is what the simulator expects.
         """
         if mapping is None:
-            mapping = {node: index for index, node in enumerate(self.nodes())}
+            mapping = {node: index for index, node in enumerate(self._adjacency)}
         renamed = WeightedGraph()
-        for node in self.nodes():
-            renamed.add_node(mapping[node])
+        adjacency: Dict[NodeId, Dict[NodeId, float]] = {
+            mapping[node]: {} for node in self._adjacency
+        }
+        # count and total are re-derived rather than copied: a non-injective
+        # mapping may merge edges (last weight wins, as with add_edge) or
+        # collapse an edge into a self loop, which is rejected
+        count = 0
+        total = 0.0
         for edge in self.edges():
-            renamed.add_edge(mapping[edge.u], mapping[edge.v], edge.weight)
+            u, v = mapping[edge.u], mapping[edge.v]
+            if u == v:
+                raise ValueError(f"self loops are not allowed (node {u!r})")
+            existing = adjacency[u].get(v)
+            if existing is None:
+                count += 1
+                total += edge.weight
+            else:
+                total += edge.weight - existing
+            adjacency[u][v] = edge.weight
+            adjacency[v][u] = edge.weight
+        renamed._adjacency = adjacency
+        renamed._edge_count = count
+        renamed._total_weight = total
         return renamed

@@ -30,9 +30,10 @@ def breadth_first_levels(graph: WeightedGraph, source: NodeId) -> Dict[NodeId, i
     queue = deque([source])
     while queue:
         node = queue.popleft()
-        for neighbor in graph.neighbors(node):
+        next_level = levels[node] + 1
+        for neighbor in graph.iter_neighbors(node):
             if neighbor not in levels:
-                levels[neighbor] = levels[node] + 1
+                levels[neighbor] = next_level
                 queue.append(neighbor)
     return levels
 
@@ -45,7 +46,7 @@ def bfs_tree_parents(graph: WeightedGraph, source: NodeId) -> Dict[NodeId, Optio
     queue = deque([source])
     while queue:
         node = queue.popleft()
-        for neighbor in graph.neighbors(node):
+        for neighbor in graph.iter_neighbors(node):
             if neighbor not in parents:
                 parents[neighbor] = node
                 queue.append(neighbor)

@@ -30,9 +30,12 @@ def assign_random_weights(
     if low > high:
         raise ValueError("low must not exceed high")
     rng = random.Random(seed)
-    weighted = graph.copy()
-    for edge in weighted.edges():
-        weighted.set_weight(edge.u, edge.v, rng.uniform(low, high))
+    weighted = WeightedGraph()
+    weighted.add_nodes(graph.nodes())
+    # draw in canonical edge order (the same order the copy-then-reweight
+    # implementation used), building the weighted copy in one pass
+    for edge in graph.edges():
+        weighted.add_edge(edge.u, edge.v, rng.uniform(low, high))
     return weighted
 
 
@@ -47,12 +50,15 @@ def assign_distinct_weights(
     assumption that a message carries O(log n) bits plus one data element.
     """
     rng = random.Random(seed)
-    weighted = graph.copy()
-    edges = weighted.edges()
+    edges = graph.edges()
     weights = list(range(1, len(edges) + 1))
     rng.shuffle(weights)
+    weighted = WeightedGraph()
+    weighted.add_nodes(graph.nodes())
+    # assign in canonical edge order (identical to the old copy-then-reweight
+    # pairing), building the weighted copy in one pass
     for edge, weight in zip(edges, weights):
-        weighted.set_weight(edge.u, edge.v, float(weight))
+        weighted.add_edge(edge.u, edge.v, float(weight))
     return weighted
 
 
