@@ -9,9 +9,18 @@ same file, so the file accumulates the performance trajectory across PRs:
 
     PYTHONPATH=src python benchmarks/run_benchmarks.py --label after
 
-When both a ``before`` and an ``after`` run are present the runner also
-writes the per-experiment speedups, which is how the ≥2× wall-clock targets
-on e2/e4/e9 are checked.
+Labels are sequenced in the order they are first recorded; the runner writes
+the per-experiment wall-clock speedup between every consecutive pair of
+labels (``speedups``) in addition to the original ``speedup_before_to_after``
+pair, so each PR's ≥1.5–2× targets are checked against its predecessor.
+
+CI runs the suite in smoke mode:
+
+    PYTHONPATH=src python benchmarks/run_benchmarks.py --quick
+
+which sweeps tiny sizes, skips the max-``n`` probes, and writes nothing (the
+committed ``BENCH_core.json`` trajectory is never clobbered by CI) — it
+exists to prove every experiment entry point still runs end to end.
 
 The runner is deliberately dependency-free (no pytest-benchmark): it is the
 thing CI and the driver can execute headlessly.
@@ -66,6 +75,38 @@ SUITE: List[Tuple[str, Callable[[], object]]] = [
     ("e4_hot", lambda: e04_rand_partition_complexity.run(
         sizes=(1024, 4096, 16384), seeds=(1, 2))),
     ("e9_hot", lambda: e09_mst.run(sizes=(4096, 16384))),
+    # scenario breadth: the scale-free and ad-hoc wireless topologies at
+    # n ≥ 10^4 (the measured channel-only baseline is skipped there — it is
+    # Θ(n) slots of Θ(n) work regardless of topology and would dwarf the rest
+    # of the suite while adding nothing beyond the reported lower bound)
+    ("e7_scale_free_hot", lambda: e07_model_separation.run(
+        sizes=(4096, 10240), topology="scale_free", channel_baseline=False)),
+    ("e7_ad_hoc_hot", lambda: e07_model_separation.run(
+        sizes=(4096, 10240), topology="ad_hoc", channel_baseline=False)),
+    ("e10_scale_free", lambda: e10_model_variations.run(
+        sizes=(256, 1024), seeds=(1, 2), topology="scale_free")),
+]
+
+# Smoke-mode twin of SUITE: tiny sizes, every entry point (including the new
+# topology kinds), a few seconds total.  CI runs this to prove the harness
+# still executes end to end; the numbers are never recorded.
+QUICK_SUITE: List[Tuple[str, Callable[[], object]]] = [
+    ("e1", lambda: e01_det_partition_quality.run(sizes=(16, 36))),
+    ("e2", lambda: e02_det_partition_complexity.run(sizes=(16, 36))),
+    ("e3", lambda: e03_rand_partition_quality.run(sizes=(16, 36), seeds=(1,))),
+    ("e4", lambda: e04_rand_partition_complexity.run(sizes=(16, 36), seeds=(1,))),
+    ("e5", lambda: e05_global_deterministic.run(sizes=(16, 36))),
+    ("e6", lambda: e06_global_randomized.run(sizes=(16, 36), seeds=(1,))),
+    ("e7", lambda: e07_model_separation.run(sizes=(16, 32))),
+    ("e8", lambda: e08_lower_bound_gap.run(params=((4, 4), (8, 4)))),
+    ("e9", lambda: e09_mst.run(sizes=(16, 64))),
+    ("e10", lambda: e10_model_variations.run(sizes=(16, 36), seeds=(1,))),
+    ("e7_scale_free", lambda: e07_model_separation.run(
+        sizes=(64, 128), topology="scale_free", channel_baseline=False)),
+    ("e7_ad_hoc", lambda: e07_model_separation.run(
+        sizes=(64, 128), topology="ad_hoc", channel_baseline=False)),
+    ("e10_scale_free", lambda: e10_model_variations.run(
+        sizes=(36,), seeds=(1,), topology="scale_free")),
 ]
 
 
@@ -79,10 +120,13 @@ def _message_counts(table) -> Dict[str, List[int]]:
     return counts
 
 
-def run_suite(only: Optional[List[str]] = None) -> Dict[str, Dict[str, object]]:
+def run_suite(
+    only: Optional[List[str]] = None,
+    suite: Optional[List[Tuple[str, Callable[[], object]]]] = None,
+) -> Dict[str, Dict[str, object]]:
     """Run (a subset of) the suite and return per-experiment stats."""
     results: Dict[str, Dict[str, object]] = {}
-    for name, runner in SUITE:
+    for name, runner in (suite if suite is not None else SUITE):
         if only and name not in only:
             continue
         start = time.perf_counter()
@@ -94,7 +138,7 @@ def run_suite(only: Optional[List[str]] = None) -> Dict[str, Dict[str, object]]:
             "sweep_max_n": max(ns) if ns else None,
             "messages": _message_counts(table),
         }
-        print(f"{name:>4}: {elapsed:8.3f}s  (max n = {results[name]['sweep_max_n']})")
+        print(f"{name:>16}: {elapsed:8.3f}s  (max n = {results[name]['sweep_max_n']})")
     return results
 
 
@@ -143,7 +187,7 @@ def probe_max_n(budget: float) -> Dict[str, Dict[str, object]]:
     probes = {}
     for name, fn in (("e2", det), ("e4", rand), ("e9", mst)):
         probes[name] = _probe(fn, 64, budget)
-        print(f"{name:>4}: max feasible n = {probes[name]['max_feasible_n']} "
+        print(f"{name:>16}: max feasible n = {probes[name]['max_feasible_n']} "
               f"({probes[name]['seconds_at_max']}s/run, budget {budget}s)")
     return probes
 
@@ -151,54 +195,99 @@ def probe_max_n(budget: float) -> Dict[str, Dict[str, object]]:
 # ----------------------------------------------------------------------
 # JSON trajectory file
 # ----------------------------------------------------------------------
-def _speedups(runs: Dict[str, Dict[str, object]]) -> Dict[str, float]:
-    """Compute before→after wall-clock speedups when both labels exist."""
-    before = runs.get("before", {}).get("experiments", {})
-    after = runs.get("after", {}).get("experiments", {})
+def _pair_speedups(
+    before: Dict[str, Dict[str, object]], after: Dict[str, Dict[str, object]]
+) -> Dict[str, float]:
+    """Per-experiment wall-clock speedups between two recorded runs.
+
+    Entries that carry no timing on either side are skipped — probe-only
+    entries (a ``--only`` run still writes the e2/e4/e9 max-``n`` probes)
+    have no ``wall_seconds``.
+    """
     speedups = {}
-    for name in before:
-        if name in after and after[name]["wall_seconds"]:
-            speedups[name] = round(
-                before[name]["wall_seconds"] / after[name]["wall_seconds"], 2
-            )
+    for name, before_entry in before.items():
+        before_seconds = before_entry.get("wall_seconds")
+        after_seconds = after.get(name, {}).get("wall_seconds")
+        if before_seconds and after_seconds:
+            speedups[name] = round(before_seconds / after_seconds, 2)
     return speedups
+
+
+def _chain_speedups(runs: Dict[str, Dict[str, object]]) -> Dict[str, Dict[str, float]]:
+    """Speedups between every consecutive pair of labels (by sequence)."""
+    ordered = sorted(runs, key=lambda label: runs[label].get("sequence", 0))
+    chain: Dict[str, Dict[str, float]] = {}
+    for earlier, later in zip(ordered, ordered[1:]):
+        chain[f"{earlier}->{later}"] = _pair_speedups(
+            runs[earlier].get("experiments", {}), runs[later].get("experiments", {})
+        )
+    return chain
 
 
 def main(argv: Optional[List[str]] = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--label", default="after",
                         help="name this run is recorded under (e.g. before/after)")
-    parser.add_argument("--output", type=Path, default=DEFAULT_OUTPUT,
-                        help="trajectory JSON file to merge into")
+    parser.add_argument("--output", type=Path, default=None,
+                        help="trajectory JSON file to merge into "
+                             "(default: BENCH_core.json at the repo root)")
     parser.add_argument("--only", nargs="*", default=None,
                         help="run only these experiments (e.g. --only e2 e4 e9)")
     parser.add_argument("--probe-budget", type=float, default=2.0,
                         help="per-run seconds allowed by the max-n probes (0 disables)")
+    parser.add_argument("--quick", action="store_true",
+                        help="CI smoke mode: tiny sweeps, no probes, and no "
+                             "write to BENCH_core.json unless --output is given")
     parser.add_argument("--note", default="", help="free-form note stored with the run")
     args = parser.parse_args(argv)
 
+    suite = QUICK_SUITE if args.quick else SUITE
     if args.only:
-        unknown = set(args.only) - {name for name, _ in SUITE}
+        unknown = set(args.only) - {name for name, _ in suite}
         if unknown:
             parser.error(f"unknown experiment(s): {', '.join(sorted(unknown))}")
-    experiments = run_suite(args.only)
-    probes = probe_max_n(args.probe_budget) if args.probe_budget > 0 else {}
+    experiments = run_suite(args.only, suite=suite)
+    run_probes = args.probe_budget > 0 and not args.quick
+    probes = probe_max_n(args.probe_budget) if run_probes else {}
     for name, probe in probes.items():
         experiments.setdefault(name, {}).update(probe)
 
+    if args.quick and args.output is None:
+        print("quick mode: smoke run complete, trajectory file left untouched")
+        return 0
+    output = args.output if args.output is not None else DEFAULT_OUTPUT
+
     data: Dict[str, object] = {"schema": 1, "runs": {}}
-    if args.output.exists():
-        data = json.loads(args.output.read_text())
-    data.setdefault("runs", {})[args.label] = {
+    if output.exists():
+        data = json.loads(output.read_text())
+    runs = data.setdefault("runs", {})
+    # legacy trajectory files predate the sequence field; the original two
+    # labels are known to be PR 0 ("before") and PR 1 ("after")
+    for legacy_sequence, legacy_label in enumerate(("before", "after"), start=1):
+        if legacy_label in runs and "sequence" not in runs[legacy_label]:
+            runs[legacy_label]["sequence"] = legacy_sequence
+    previous = runs.get(args.label, {})
+    sequence = previous.get(
+        "sequence",
+        1 + max((run.get("sequence", 0) for run in runs.values()), default=0),
+    )
+    runs[args.label] = {
         "note": args.note,
         "python": platform.python_version(),
+        "sequence": sequence,
         "experiments": experiments,
     }
-    data["speedup_before_to_after"] = _speedups(data["runs"])
-    args.output.write_text(json.dumps(data, indent=2, sort_keys=True) + "\n")
-    print(f"wrote {args.output} (label={args.label!r})")
-    if data["speedup_before_to_after"]:
-        print("speedups:", data["speedup_before_to_after"])
+    if "before" in runs and "after" in runs:
+        data["speedup_before_to_after"] = _pair_speedups(
+            runs["before"].get("experiments", {}),
+            runs["after"].get("experiments", {}),
+        )
+    data["speedups"] = _chain_speedups(runs)
+    output.write_text(json.dumps(data, indent=2, sort_keys=True) + "\n")
+    print(f"wrote {output} (label={args.label!r})")
+    for pair, speedups in data["speedups"].items():
+        if speedups:
+            print(f"speedups {pair}: {speedups}")
     return 0
 
 

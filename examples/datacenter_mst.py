@@ -30,7 +30,7 @@ def solve(name, graph) -> None:
     )
     print(f"  point-to-point baseline    : {baseline.total_rounds} rounds")
     print(
-        f"  speed-up from the channel  : "
+        "  speed-up from the channel  : "
         f"{baseline.total_rounds / multimedia.total_rounds:.2f}×"
     )
 

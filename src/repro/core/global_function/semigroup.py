@@ -15,7 +15,7 @@ from __future__ import annotations
 import operator
 from dataclasses import dataclass, field
 from functools import reduce
-from typing import Any, Callable, Iterable, List, Optional, Sequence
+from typing import Any, Callable, List, Optional, Sequence
 
 
 @dataclass(frozen=True)

@@ -12,7 +12,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, Hashable, List, Set, Tuple
 
-from repro.topology.graph import Edge, WeightedGraph, edge_key
+from repro.topology.graph import Edge, WeightedGraph
 from repro.topology.properties import is_connected
 
 NodeId = Hashable

@@ -26,7 +26,7 @@ import math
 from dataclasses import dataclass
 from typing import Dict, Hashable, List, Optional, Set, Tuple
 
-from repro.core.mst.kruskal import MSTEdges, kruskal_mst
+from repro.core.mst.kruskal import MSTEdges
 from repro.core.partition.deterministic import DeterministicPartitioner
 from repro.core.partition.forest import SpanningForest
 from repro.protocols.collision.base import run_contention

@@ -46,8 +46,21 @@ def _aggregation_inputs(graph, root):
     }
 
 
-def run(sizes: Sequence[int] = DEFAULT_SIZES, seeds: Sequence[int] = DEFAULT_SEEDS) -> Table:
-    """Run the sweep and return the E10 table."""
+def run(
+    sizes: Sequence[int] = DEFAULT_SIZES,
+    seeds: Sequence[int] = DEFAULT_SEEDS,
+    topology: str = "grid",
+) -> Table:
+    """Run the sweep and return the E10 table.
+
+    Args:
+        sizes: approximate node counts, one row per entry.
+        seeds: seeds for the randomized size estimates.
+        topology: any :func:`~repro.experiments.harness.make_topology` kind;
+            the synchronizer and size protocols are topology-agnostic, so the
+            scale-free / ad-hoc kinds exercise Section 7 on irregular degree
+            distributions.
+    """
     table = Table(
         title="E10  Model variations: synchronizer overhead (Cor. 4), "
         "exact size computation (7.3), randomized size estimate (7.4)",
@@ -57,7 +70,7 @@ def run(sizes: Sequence[int] = DEFAULT_SIZES, seeds: Sequence[int] = DEFAULT_SEE
         ],
     )
     for n in sizes:
-        graph = make_topology("grid", n, seed=11)
+        graph = make_topology(topology, n, seed=11)
         true_n = graph.num_nodes()
         root = min(graph.nodes())
         inputs = _aggregation_inputs(graph, root)

@@ -20,12 +20,12 @@ the full simulator.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Any, Dict, Hashable, List, Optional, Sequence, Tuple
+from dataclasses import dataclass
+from typing import Any, Hashable, List, Optional, Sequence, Tuple
 
 from repro.sim.channel import SlottedChannel
 from repro.sim.errors import ProtocolError
-from repro.sim.events import ChannelEvent, Message
+from repro.sim.events import ChannelEvent, Message, SlotState
 from repro.sim.metrics import MetricsRecorder
 from repro.sim.node import NodeContext, NodeProtocol
 
@@ -33,7 +33,17 @@ NodeId = Hashable
 
 
 class ChannelContender:
-    """One contender's state machine for a conflict-resolution protocol."""
+    """One contender's state machine for a conflict-resolution protocol.
+
+    Class attribute ``RESOLVES_ONLY_ON_SUCCESS`` declares when ``resolved``
+    can flip: the base implementation (and both concrete protocols) resolve a
+    contender only in a slot it transmitted in that came back *success*.  A
+    subclass whose ``observe``/``resolved`` can report resolution after an
+    idle or collision slot must set it to ``False`` so the scheduler rechecks
+    the worklist after every slot instead of only after successes.
+    """
+
+    RESOLVES_ONLY_ON_SUCCESS = True
 
     def __init__(self, identity: NodeId, payload: Any = None) -> None:
         self.identity = identity
@@ -116,36 +126,77 @@ def run_contention(
     # only unresolved contenders can transmit or act on what they hear, so
     # track them in a worklist instead of re-scanning the whole field every
     # slot
-    pending = [contender for contender in contenders if not contender.resolved]
+    # the worklist carries each contender with its two per-slot methods
+    # pre-bound: both run once per contender per slot, where the attribute
+    # lookups alone are measurable
+    pending = [
+        (contender, contender.wants_to_transmit, contender.observe)
+        for contender in contenders
+        if not contender.resolved
+    ]
+    # when every contender resolves only in its own successful slot (the
+    # declared default), the worklist can stay untouched after idle and
+    # collision slots; and when none overrides `resolved`, the filter can
+    # read the backing field instead of going through the property
+    success_only = all(
+        type(contender).RESOLVES_ONLY_ON_SUCCESS for contender, _, _ in pending
+    )
+    plain_resolved = all(
+        type(contender).resolved is ChannelContender.resolved
+        for contender, _, _ in pending
+    )
+    flags: List[bool] = []
     while pending:
         if used >= max_slots:
+            if metrics is not None:
+                metrics.record_round(used)
             raise ProtocolError(
                 f"contention did not resolve within {max_slots} slots"
             )
         writes: List[Tuple[NodeId, Any]] = []
-        transmitting: set = set()
-        for contender in pending:
-            if contender.wants_to_transmit(slot):
-                transmitting.add(id(contender))
+        flags.clear()
+        for contender, wants_to_transmit, _ in pending:
+            transmitted = wants_to_transmit(slot)
+            flags.append(transmitted)
+            if transmitted:
                 writes.append((contender.identity, contender.payload))
         event = channel.resolve_slot(slot, writes)
         public = event.public_view()
-        for contender in pending:
-            contender.observe(public, id(contender) in transmitting)
-        if event.is_success():
+        state = event.state
+        if state is SlotState.SUCCESS:
             order.append(event.writer)
             broadcasts.append(event.payload)
-        elif event.is_collision():
+        elif state is SlotState.COLLISION:
             collisions += 1
         else:
             idle += 1
-        # refilter every slot (O(pending), same as the transmit loop above):
-        # a subclass may flip `resolved` on any outcome, not just success
-        pending = [contender for contender in pending if not contender.resolved]
-        if metrics is not None:
-            metrics.record_round(1)
+        # one fused pass: deliver the observation and, when this slot could
+        # have resolved someone, rebuild the worklist in the same sweep
+        # (`resolved` depends only on the contender's own state, so filtering
+        # right after its observe() matches the old observe-then-filter)
+        if success_only and state is not SlotState.SUCCESS:
+            for entry, transmitted in zip(pending, flags):
+                entry[2](public, transmitted)
+        elif plain_resolved:
+            next_pending = []
+            for entry, transmitted in zip(pending, flags):
+                entry[2](public, transmitted)
+                if entry[0]._succeeded_in_slot is None:
+                    next_pending.append(entry)
+            pending = next_pending
+        else:
+            next_pending = []
+            for entry, transmitted in zip(pending, flags):
+                entry[2](public, transmitted)
+                if not entry[0].resolved:
+                    next_pending.append(entry)
+            pending = next_pending
         slot += 1
         used += 1
+    # rounds are recorded in one batch: every slot is one time unit, and no
+    # caller reads the recorder mid-contention
+    if metrics is not None:
+        metrics.record_round(used)
     return ScheduleOutcome(
         slots_used=used,
         order=order,

@@ -21,7 +21,7 @@ from __future__ import annotations
 import math
 import random
 from dataclasses import dataclass
-from typing import Hashable, List, Optional, Sequence
+from typing import Hashable, List, Optional
 
 from repro.sim.channel import SlottedChannel
 from repro.sim.events import ChannelEvent, Message

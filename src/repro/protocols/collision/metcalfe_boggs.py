@@ -53,6 +53,9 @@ class MetcalfeBoggsContender(ChannelContender):
         self._initial_estimate = estimated_contenders
         self._successes_seen = 0
         self._rng = rng if rng is not None else random.Random()
+        # bound method cached once: wants_to_transmit runs once per contender
+        # per slot, where the attribute chain is measurable
+        self._draw = self._rng.random
 
     @property
     def remaining_estimate(self) -> int:
@@ -61,8 +64,12 @@ class MetcalfeBoggsContender(ChannelContender):
 
     def wants_to_transmit(self, slot: int) -> bool:
         remaining = self._initial_estimate - self._successes_seen
-        probability = 1.0 / remaining if remaining > 1 else 1.0
-        return self._rng.random() < probability
+        if remaining > 1:
+            return self._draw() < 1.0 / remaining
+        # sole remaining contender: transmit, but still consume one draw so
+        # the random stream is unchanged from the uniform-threshold form
+        self._draw()
+        return True
 
     def observe(self, event: ChannelEvent, transmitted: bool) -> None:
         # inlined base behaviour: this runs once per contender per slot

@@ -21,7 +21,7 @@ Two entry points:
 from __future__ import annotations
 
 from collections import deque
-from typing import Dict, Hashable, List, Optional, Set, Tuple
+from typing import Dict, Hashable, List, Optional, Tuple
 
 from repro.sim.events import ChannelEvent, Message
 from repro.sim.node import NodeContext, NodeProtocol

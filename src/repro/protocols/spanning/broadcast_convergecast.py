@@ -168,4 +168,7 @@ class TreeAggregationProtocol(NodeProtocol):
                     self.send(child, ("final", payload))
                 self.halt(payload)
                 return
-        self._maybe_report()
+        # inline _maybe_report's guard: this runs every round on every node,
+        # and most rounds a node is either still waiting or already reported
+        if not (self._pending or self._reported):
+            self._maybe_report()

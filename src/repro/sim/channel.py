@@ -42,26 +42,32 @@ class SlottedChannel:
 
         Returns the full (non-public) :class:`ChannelEvent`; the simulator
         hands nodes the :meth:`ChannelEvent.public_view`.
+
+        The idle and success outcomes are the fast path (they are what the
+        round loop resolves almost every slot), so they avoid the generic
+        writer-tuple construction the collision branch pays.
         """
-        writers = tuple(writer for writer, _ in writes)
-        if len(writes) == 0:
+        attempts = len(writes)
+        if attempts == 0:
             event = ChannelEvent(slot=slot, state=SlotState.IDLE)
-        elif len(writes) == 1:
+        elif attempts == 1:
             writer, payload = writes[0]
             event = ChannelEvent(
                 slot=slot,
                 state=SlotState.SUCCESS,
                 payload=payload,
                 writer=writer,
-                writers=writers,
+                writers=(writer,),
             )
         else:
             event = ChannelEvent(
-                slot=slot, state=SlotState.COLLISION, writers=writers
+                slot=slot,
+                state=SlotState.COLLISION,
+                writers=tuple(writer for writer, _ in writes),
             )
         self._history.append(event)
         if self._metrics is not None:
-            self._metrics.record_slot(event.state, len(writes))
+            self._metrics.record_slot(event.state, attempts)
         return event
 
     def successes(self) -> List[ChannelEvent]:

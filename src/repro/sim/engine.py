@@ -13,15 +13,17 @@ import heapq
 import itertools
 from typing import Callable, List, Optional, Tuple
 
-# Heap entries are plain (time, sequence, action) tuples: the sequence number
-# both breaks timestamp ties deterministically and guarantees the heap never
-# compares the (incomparable) actions.  Tuples cut the per-event allocation
-# and comparison cost that the ordered-dataclass representation paid.
-_ScheduledEvent = Tuple[float, int, Callable[[], None]]
+# Heap entries are plain (time, sequence, action, args) tuples: the sequence
+# number both breaks timestamp ties deterministically and guarantees the heap
+# never compares the (incomparable) actions.  Tuples cut the per-event
+# allocation and comparison cost that the ordered-dataclass representation
+# paid, and carrying ``args`` in the entry lets schedulers pass the event's
+# operand directly instead of closing over it with a fresh lambda per event.
+_ScheduledEvent = Tuple[float, int, Callable[..., None], tuple]
 
 
 class EventQueue:
-    """A time-ordered queue of zero-argument callbacks.
+    """A time-ordered queue of callbacks.
 
     Ties are broken by insertion order so that executions are fully
     deterministic given a seed.
@@ -37,21 +39,23 @@ class EventQueue:
         """Return the timestamp of the most recently executed event."""
         return self._now
 
-    def schedule(self, delay: float, action: Callable[[], None]) -> None:
-        """Schedule ``action`` to run ``delay`` time units from now.
+    def schedule(self, delay: float, action: Callable[..., None], *args) -> None:
+        """Schedule ``action(*args)`` to run ``delay`` time units from now.
 
         Raises:
             ValueError: if ``delay`` is negative.
         """
         if delay < 0:
             raise ValueError("cannot schedule an event in the past")
-        heapq.heappush(self._heap, (self._now + delay, next(self._counter), action))
+        heapq.heappush(
+            self._heap, (self._now + delay, next(self._counter), action, args)
+        )
 
-    def schedule_at(self, time: float, action: Callable[[], None]) -> None:
-        """Schedule ``action`` at absolute ``time`` (not before now)."""
+    def schedule_at(self, time: float, action: Callable[..., None], *args) -> None:
+        """Schedule ``action(*args)`` at absolute ``time`` (not before now)."""
         if time < self._now:
             raise ValueError("cannot schedule an event in the past")
-        heapq.heappush(self._heap, (time, next(self._counter), action))
+        heapq.heappush(self._heap, (time, next(self._counter), action, args))
 
     def is_empty(self) -> bool:
         """Return ``True`` when no events remain."""
@@ -65,15 +69,19 @@ class EventQueue:
         """Execute the next event.  Returns ``False`` when the queue is empty."""
         if not self._heap:
             return False
-        time, _, action = heapq.heappop(self._heap)
+        time, _, action, args = heapq.heappop(self._heap)
         self._now = time
-        action()
+        action(*args)
         return True
 
     def run_until(self, time: float) -> None:
         """Execute every event with timestamp ``<= time``."""
-        while self._heap and self._heap[0][0] <= time:
-            self.run_next()
+        heap = self._heap
+        pop = heapq.heappop
+        while heap and heap[0][0] <= time:
+            event_time, _, action, args = pop(heap)
+            self._now = event_time
+            action(*args)
         self._now = max(self._now, time)
 
     def run_all(self, max_events: int = 10_000_000) -> int:

@@ -107,14 +107,25 @@ class ChannelEvent:
 
         The ``writers`` tuple (who collided) is hidden because the model only
         reveals *that* a collision happened, not who caused it.
+
+        The view is computed at most once per event: an event that already
+        carries no ``writers`` (idle slots) is its own public view, and the
+        derived event is cached otherwise.  The simulator asks for the view
+        once per node per slot, so this sits on the round-loop fast path.
         """
-        return ChannelEvent(
-            slot=self.slot,
-            state=self.state,
-            payload=self.payload,
-            writer=self.writer,
-            writers=(),
-        )
+        if not self.writers:
+            return self
+        public = self.__dict__.get("_public_view")
+        if public is None:
+            public = ChannelEvent(
+                slot=self.slot,
+                state=self.state,
+                payload=self.payload,
+                writer=self.writer,
+                writers=(),
+            )
+            object.__setattr__(self, "_public_view", public)
+        return public
 
 
 def idle_event(slot: int) -> ChannelEvent:

@@ -5,20 +5,43 @@ library.  One *time unit* advances both media: each node may send one message
 per incident link (delivered next round) and may attempt one write to the
 current channel slot (whose idle/success/collision outcome every node
 observes at the start of the next round).
+
+Round semantics (batched delivery)
+----------------------------------
+
+Each round of :meth:`MultimediaNetwork.run` is one pass over the *active*
+(non-halted) nodes:
+
+1. the network hands over every inbox in one batch — all messages sent in
+   round ``r − 1`` are delivered together at the start of round ``r``
+   (:meth:`~repro.sim.network.PointToPointNetwork.deliver` swaps the standing
+   per-node inboxes out rather than filtering message by message);
+2. every active node observes its batch plus the public view of the previous
+   channel slot via :meth:`~repro.sim.node.NodeProtocol.on_round` (in round 0
+   :meth:`~repro.sim.node.NodeProtocol.on_start` runs first, and ``on_round``
+   only if the node already has mail);
+3. the node's queued sends are accepted for round ``r + 1`` and its channel
+   write, if any, joins the current slot;
+4. the slot resolves once after every node has acted, so no node sees the
+   current slot's outcome early.
+
+Nodes that halt leave the dispatch list but keep receiving (and dropping)
+late traffic; the loop keeps running — resolving idle slots — until the last
+in-flight message has drained, exactly as the per-node-scan loop did.
 """
 
 from __future__ import annotations
 
 import random
 from dataclasses import dataclass
-from typing import Any, Callable, Dict, Hashable, List, Optional
+from typing import Any, Callable, Dict, Hashable, List, Optional, Tuple
 
 from repro.sim.channel import SlottedChannel
 from repro.sim.errors import SimulationTimeout
 from repro.sim.events import ChannelEvent, idle_event
 from repro.sim.metrics import MetricsRecorder, MetricsSnapshot
 from repro.sim.network import PointToPointNetwork
-from repro.sim.node import NodeContext, NodeProtocol
+from repro.sim.node import NO_MESSAGES, NodeContext, NodeProtocol
 from repro.topology.graph import WeightedGraph
 
 NodeId = Hashable
@@ -44,7 +67,7 @@ class SimulationResult:
     metrics: MetricsSnapshot
     results: Dict[NodeId, Any]
     protocols: Dict[NodeId, NodeProtocol]
-    channel_history: tuple
+    channel_history: Tuple[ChannelEvent, ...]
 
     def result_values(self) -> List[Any]:
         """Return the node outputs in node-id order (for convenience)."""
@@ -79,6 +102,13 @@ class MultimediaNetwork:
         self._graph = graph
         self._seed = seed
         self._n_known = n_known
+        # per-node (node, neighbours, weights) rows, shared by every run on
+        # this object: the topology does not change between runs, so the
+        # neighbour tuples and weight dicts are materialised once
+        self._static_rows: Optional[
+            List[Tuple[NodeId, Tuple[NodeId, ...], Dict[NodeId, float]]]
+        ] = None
+        self._static_rows_version: Optional[int] = None
 
     @property
     def graph(self) -> WeightedGraph:
@@ -98,11 +128,33 @@ class MultimediaNetwork:
     # ------------------------------------------------------------------
     # running protocols
     # ------------------------------------------------------------------
+    def _topology_rows(
+        self,
+    ) -> List[Tuple[NodeId, Tuple[NodeId, ...], Dict[NodeId, float]]]:
+        """Return the cached per-node (node, neighbours, weights) rows."""
+        version = getattr(self._graph, "_version", None)
+        if self._static_rows is None or self._static_rows_version != version:
+            graph = self._graph
+            self._static_rows = [
+                (node, tuple(graph.iter_neighbors(node)), dict(graph.neighbor_items(node)))
+                for node in graph.nodes()
+            ]
+            self._static_rows_version = version
+        return self._static_rows
+
     def build_contexts(
         self,
         inputs: Optional[Dict[NodeId, Dict[str, Any]]] = None,
     ) -> Dict[NodeId, NodeContext]:
         """Build one :class:`NodeContext` per node.
+
+        The topology-derived rows (neighbour tuples, link-weight dicts) are
+        materialised once per object and reused across runs; the parts a
+        protocol can touch (the weight dict, random source, ``extra`` inputs)
+        are always fresh per run — the immutable neighbour tuples are shared,
+        the weight dicts are copied — so repeated runs on the same object
+        stay deterministic given the seed even if a protocol mutates its
+        context.
 
         Args:
             inputs: optional per-node ``extra`` dictionaries (e.g. the local
@@ -111,13 +163,11 @@ class MultimediaNetwork:
         master = random.Random(self._seed)
         contexts: Dict[NodeId, NodeContext] = {}
         n = self.num_nodes if self._n_known else None
-        for node in self._graph.nodes():
-            neighbors = tuple(self._graph.iter_neighbors(node))
-            weights = dict(self._graph.neighbor_items(node))
+        for node, neighbors, weights in self._topology_rows():
             contexts[node] = NodeContext(
                 node_id=node,
                 neighbors=neighbors,
-                link_weights=weights,
+                link_weights=dict(weights),
                 n=n,
                 rng=random.Random(master.randrange(2**63)),
                 extra=dict(inputs.get(node, {})) if inputs else {},
@@ -160,36 +210,56 @@ class MultimediaNetwork:
             node: protocol_factory(ctx) for node, ctx in contexts.items()
         }
 
+        # the dispatch list holds only non-halted nodes (in protocol-map
+        # order) and shrinks as nodes halt, so a round is one pass over the
+        # active nodes rather than a scan of the whole network; each entry
+        # pre-binds the two methods that run every round
+        active: List[Tuple[NodeId, NodeProtocol, Callable, Callable]] = [
+            (node, protocol, protocol.on_round, protocol._collect_actions)
+            for node, protocol in protocols.items()
+            if not protocol._halted
+        ]
+
+        deliver = network.deliver
+        accept_sends = network.accept_sends
+        resolve_slot = channel.resolve_slot
+        record_round = recorder.record_round
+
         last_event: ChannelEvent = idle_event(-1)
         rounds_used = 0
         for round_index in range(max_rounds):
-            all_halted = all(p.halted for p in protocols.values())
-            if all_halted and not network.has_in_flight():
+            if not active and not network.has_in_flight():
                 break
             if stop_when is not None and stop_when(protocols):
                 break
 
-            inboxes = network.deliver(round_index)
-            writes = []
+            inboxes = deliver(round_index)
+            get_inbox = inboxes.get
+            writes: List[Tuple[NodeId, Any]] = []
             public_event = last_event.public_view()
-            for node, protocol in protocols.items():
-                if protocol.halted:
-                    continue
-                if round_index == 0:
+            halted_any = False
+            starting = round_index == 0
+            for node, protocol, on_round, collect_actions in active:
+                if starting:
                     protocol.on_start()
                     # nodes may also react immediately in round 0
-                    inbox = inboxes.get(node, [])
+                    inbox = get_inbox(node)
                     if inbox:
-                        protocol.on_round(inbox, public_event)
+                        on_round(inbox, public_event)
                 else:
-                    protocol.on_round(inboxes.get(node, []), public_event)
-                outbox, payload, wrote = protocol._collect_actions()
-                if outbox:
-                    network.accept_sends(node, outbox, round_index)
-                if wrote:
-                    writes.append((node, payload))
-            last_event = channel.resolve_slot(round_index, writes)
-            recorder.record_round(1)
+                    on_round(get_inbox(node) or NO_MESSAGES, public_event)
+                if protocol._acted:
+                    outbox, payload, wrote = collect_actions()
+                    if outbox:
+                        accept_sends(node, outbox, round_index)
+                    if wrote:
+                        writes.append((node, payload))
+                if protocol._halted:
+                    halted_any = True
+            if halted_any:
+                active = [entry for entry in active if not entry[1]._halted]
+            last_event = resolve_slot(round_index, writes)
+            record_round(1)
             rounds_used = round_index + 1
         else:
             pending = sum(1 for p in protocols.values() if not p.halted)

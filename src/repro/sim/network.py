@@ -4,11 +4,18 @@ The network delivers every message exactly one round after it was sent
 (synchronous model, Section 2).  It validates that messages travel only over
 existing links and charges every delivery to the shared
 :class:`~repro.sim.metrics.MetricsRecorder`.
+
+Delivery is batched: inboxes are preallocated per node at construction, a
+round's sends are appended to the receivers' standing inboxes, and
+:meth:`PointToPointNetwork.deliver` hands the non-empty inboxes over in one
+swap when every in-flight message is ready (which in the synchronous round
+loop is always — sends happen strictly before the next round's delivery).
+The per-message filtering the old implementation did per round survives only
+as a slow path for callers that pre-load future rounds.
 """
 
 from __future__ import annotations
 
-from collections import defaultdict
 from typing import Dict, Hashable, List, Optional, Sequence, Tuple
 
 from repro.sim.errors import ProtocolError, TopologyError
@@ -48,7 +55,15 @@ class PointToPointNetwork:
             raise TopologyError("the point-to-point topology must be connected")
         self._graph = graph
         self.metrics = metrics if metrics is not None else MetricsRecorder()
-        self._in_flight: Dict[NodeId, List[Message]] = defaultdict(list)
+        # live adjacency view for O(1) link validation without method dispatch
+        self._adjacency = graph.adjacency()
+        # preallocated per-node inboxes; _pending lists the receivers whose
+        # inbox is currently non-empty so a round touches only active nodes
+        self._inboxes: Dict[NodeId, List[Message]] = {
+            node: [] for node in self._adjacency
+        }
+        self._pending: List[NodeId] = []
+        self._latest_round_sent = -1
         self._delivered_total = 0
 
     @property
@@ -85,41 +100,78 @@ class PointToPointNetwork:
         Raises:
             ProtocolError: if a destination is not adjacent to ``sender``.
         """
+        links = self._adjacency.get(sender)
+        inboxes = self._inboxes
+        pending = self._pending
+        count = 0
         for receiver, payload in sends:
-            if not self._graph.has_edge(sender, receiver):
+            if links is None or receiver not in links:
+                # keep the partially queued batch consistent: its messages
+                # are recorded and stamped so a caller that catches the error
+                # still sees the one-round delivery delay
+                if count:
+                    self.metrics.record_messages(count)
+                    if round_index > self._latest_round_sent:
+                        self._latest_round_sent = round_index
                 raise ProtocolError(
                     f"node {sender!r} attempted to send over a non-existent "
                     f"link to {receiver!r}"
                 )
-            message = Message(
-                sender=sender,
-                receiver=receiver,
-                payload=payload,
-                round_sent=round_index,
-            )
-            self._in_flight[receiver].append(message)
-            self.metrics.record_messages(1)
+            inbox = inboxes[receiver]
+            if not inbox:
+                pending.append(receiver)
+            inbox.append(Message(sender, receiver, payload, round_index))
+            count += 1
+        if count:
+            self.metrics.record_messages(count)
+            if round_index > self._latest_round_sent:
+                self._latest_round_sent = round_index
 
     def deliver(self, round_index: int) -> Dict[NodeId, List[Message]]:
         """Return and clear the inboxes for the start of ``round_index``.
 
         Only messages sent in earlier rounds are delivered; in the
-        synchronous model that is every in-flight message.
+        synchronous model that is every in-flight message, so the common case
+        hands the standing inboxes over wholesale instead of filtering each
+        message by its send round.
         """
-        inboxes: Dict[NodeId, List[Message]] = {}
-        for receiver, queue in list(self._in_flight.items()):
-            ready = [msg for msg in queue if msg.round_sent < round_index]
-            if not ready:
-                continue
-            remaining = [msg for msg in queue if msg.round_sent >= round_index]
-            if remaining:
-                self._in_flight[receiver] = remaining
-            else:
-                del self._in_flight[receiver]
-            inboxes[receiver] = ready
-            self._delivered_total += len(ready)
-        return inboxes
+        pending = self._pending
+        if not pending:
+            return {}
+        inboxes = self._inboxes
+        delivered: Dict[NodeId, List[Message]] = {}
+        count = 0
+        if self._latest_round_sent < round_index:
+            # fast path: every queued message was sent in an earlier round
+            for receiver in pending:
+                inbox = inboxes[receiver]
+                delivered[receiver] = inbox
+                inboxes[receiver] = []
+                count += len(inbox)
+            pending.clear()
+        else:
+            # slow path: some messages are stamped for this round or later
+            # (only reachable by driving the network by hand in tests)
+            still_pending: List[NodeId] = []
+            for receiver in pending:
+                inbox = inboxes[receiver]
+                ready = [msg for msg in inbox if msg.round_sent < round_index]
+                if ready:
+                    if len(ready) == len(inbox):
+                        inboxes[receiver] = []
+                    else:
+                        inboxes[receiver] = [
+                            msg for msg in inbox if msg.round_sent >= round_index
+                        ]
+                        still_pending.append(receiver)
+                    delivered[receiver] = ready
+                    count += len(ready)
+                else:
+                    still_pending.append(receiver)
+            self._pending = still_pending
+        self._delivered_total += count
+        return delivered
 
     def has_in_flight(self) -> bool:
         """Return ``True`` when undelivered messages remain in the network."""
-        return any(self._in_flight.values())
+        return bool(self._pending)

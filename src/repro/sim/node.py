@@ -23,12 +23,18 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass, field
-from typing import Any, Dict, Hashable, List, Optional, Tuple
+from typing import Any, Dict, Hashable, List, Optional, Sequence, Tuple
 
 from repro.sim.errors import ProtocolError
 from repro.sim.events import ChannelEvent, Message
 
 NodeId = Hashable
+
+# The inbox handed to every node without mail.  Immutable on purpose: the
+# simulators share one instance across all quiet nodes and rounds, so a
+# protocol that tried to mutate its inbox (never part of the contract) fails
+# loudly instead of silently corrupting other nodes' observations.
+NO_MESSAGES: Sequence[Message] = ()
 
 
 @dataclass
@@ -90,6 +96,10 @@ class NodeProtocol:
         self._outbox: List[Tuple[NodeId, Any]] = []
         self._channel_payload: Optional[Any] = None
         self._channel_write_pending = False
+        # set by send()/channel_write(), cleared by _collect_actions(): lets
+        # the simulator skip the collection call for nodes that did nothing
+        # this round (the common case in large sparse rounds)
+        self._acted = False
         self._halted = False
         self._result: Any = None
 
@@ -124,11 +134,21 @@ class NodeProtocol:
                 "in the same round"
             )
         self._outbox.append((neighbor, payload))
+        self._acted = True
 
     def send_to_all_neighbors(self, payload: Any) -> None:
         """Queue ``payload`` on every incident link."""
-        for neighbor in self.ctx.neighbors:
-            self.send(neighbor, payload)
+        if self._outbox:
+            # a message is already queued on some link; go through send() so
+            # the one-message-per-link rule is enforced per neighbour
+            for neighbor in self.ctx.neighbors:
+                self.send(neighbor, payload)
+            return
+        # empty outbox: neighbours are unique, so no duplicate check is needed
+        # (this keeps a high-degree hub's broadcast O(deg) instead of O(deg²))
+        self._outbox = [(neighbor, payload) for neighbor in self.ctx.neighbors]
+        if self._outbox:
+            self._acted = True
 
     def channel_write(self, payload: Any) -> None:
         """Attempt to broadcast ``payload`` in the current channel slot.
@@ -142,6 +162,7 @@ class NodeProtocol:
             )
         self._channel_write_pending = True
         self._channel_payload = payload
+        self._acted = True
 
     def halt(self, result: Any = None) -> None:
         """Declare the local algorithm finished with an optional ``result``."""
@@ -158,8 +179,12 @@ class NodeProtocol:
     def on_start(self) -> None:
         """Called once before the first round; queue initial sends here."""
 
-    def on_round(self, inbox: List[Message], channel: ChannelEvent) -> None:
-        """Called each round with newly delivered messages and slot feedback."""
+    def on_round(self, inbox: Sequence[Message], channel: ChannelEvent) -> None:
+        """Called each round with newly delivered messages and slot feedback.
+
+        ``inbox`` must be treated as read-only: nodes without mail all share
+        one immutable empty sequence (:data:`NO_MESSAGES`).
+        """
         raise NotImplementedError
 
     # ------------------------------------------------------------------
@@ -176,11 +201,20 @@ class NodeProtocol:
         return self._result
 
     def _collect_actions(self) -> Tuple[List[Tuple[NodeId, Any]], Optional[Any], bool]:
-        """Return and clear the queued sends and channel write for this round."""
+        """Return and clear the queued sends and channel write for this round.
+
+        Runs once per node per round; an empty outbox is handed back without
+        being replaced (the caller only reads it), so quiet rounds allocate
+        nothing.
+        """
+        self._acted = False
         outbox = self._outbox
-        payload = self._channel_payload
+        if outbox:
+            self._outbox = []
         wrote = self._channel_write_pending
-        self._outbox = []
+        if not wrote:
+            return outbox, None, False
+        payload = self._channel_payload
         self._channel_payload = None
         self._channel_write_pending = False
         return outbox, payload, wrote

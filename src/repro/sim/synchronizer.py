@@ -32,9 +32,8 @@ from typing import Any, Callable, Dict, Hashable, List, Optional
 from repro.sim.channel import SlottedChannel
 from repro.sim.engine import EventQueue
 from repro.sim.errors import SimulationTimeout
-from repro.sim.events import ChannelEvent, Message, idle_event
-from repro.sim.metrics import MetricsRecorder
-from repro.sim.node import NodeContext, NodeProtocol
+from repro.sim.events import Message
+from repro.sim.node import NO_MESSAGES, NodeContext, NodeProtocol
 from repro.topology.graph import WeightedGraph
 
 NodeId = Hashable
@@ -132,49 +131,65 @@ class ChannelSynchronizer:
         queue = EventQueue()
         channel = SlottedChannel()
         pending_inbox: Dict[NodeId, List[Message]] = {node: [] for node in protocols}
-        unacked: Dict[NodeId, int] = {node: 0 for node in protocols}
-        counters = {"algorithm": 0, "ack": 0, "busy_slots": 0}
+        # one aggregate unacknowledged-message count: the busy tone is raised
+        # while *any* message is unacknowledged, so a single total replaces
+        # the O(n) per-node scan the busy check used to pay every slot
+        counters = {"algorithm": 0, "ack": 0, "busy_slots": 0, "unacked": 0}
 
         def deliver(message: Message) -> None:
             pending_inbox[message.receiver].append(message)
             # acknowledgement travels back over the same link
             counters["ack"] += 1
-            delay = delay_rng.randint(1, self._max_delay)
-            queue.schedule(delay, lambda s=message.sender: ack(s))
+            queue.schedule(delay_rng.randint(1, self._max_delay), ack)
 
-        def ack(sender: NodeId) -> None:
-            unacked[sender] -= 1
+        def ack() -> None:
+            counters["unacked"] -= 1
 
         def dispatch(node: NodeId, protocol: NodeProtocol, pulse: int) -> None:
+            if not protocol._acted:
+                return
             outbox, payload, wrote = protocol._collect_actions()
-            for receiver, msg_payload in outbox:
-                counters["algorithm"] += 1
-                unacked[node] += 1
-                message = Message(node, receiver, msg_payload, pulse)
-                delay = delay_rng.randint(1, self._max_delay)
-                queue.schedule(delay, lambda m=message: deliver(m))
+            if outbox:
+                counters["algorithm"] += len(outbox)
+                counters["unacked"] += len(outbox)
+                for receiver, msg_payload in outbox:
+                    queue.schedule(
+                        delay_rng.randint(1, self._max_delay),
+                        deliver,
+                        Message(node, receiver, msg_payload, pulse),
+                    )
             if wrote:
                 channel_writes.append((node, payload))
 
         channel_writes: List = []
-        last_event: ChannelEvent = idle_event(-1)
 
         # pulse 0: on_start
+        active: List = []
         for node, protocol in protocols.items():
             protocol.on_start()
             dispatch(node, protocol, 0)
+            if not protocol._halted:
+                active.append((node, protocol))
         pulses = 1
 
         while pulses < max_pulses:
-            if all(p.halted for p in protocols.values()) and queue.is_empty():
+            if not active and queue.is_empty():
                 break
             # advance asynchronous time one slot at a time; the busy tone is
-            # raised while any message remains unacknowledged or in flight
+            # raised while any message remains unacknowledged or in flight.
+            # Event times are integral (integer delays from integral starts),
+            # so a stretch of slots with no events is uniformly busy and can
+            # be accounted for in one arithmetic jump.
             while True:
+                next_time = queue.peek_time()
+                if next_time is not None:
+                    dead = int(next_time - queue.now) - 1
+                    if dead > 0:
+                        counters["busy_slots"] += dead
+                        queue.run_until(queue.now + dead)
                 slot_end = queue.now + 1.0
                 queue.run_until(slot_end)
-                busy = any(count > 0 for count in unacked.values()) or not queue.is_empty()
-                if busy:
+                if counters["unacked"] > 0 or not queue.is_empty():
                     counters["busy_slots"] += 1
                 else:
                     break
@@ -182,20 +197,26 @@ class ChannelSynchronizer:
             event = channel.resolve_slot(pulses - 1, channel_writes)
             channel_writes = []
             public = event.public_view()
-            for node, protocol in protocols.items():
-                if protocol.halted:
-                    continue
+            halted_any = False
+            for node, protocol in active:
                 inbox = pending_inbox[node]
-                pending_inbox[node] = []
+                if inbox:
+                    pending_inbox[node] = []
+                else:
+                    # never hand out the live (empty) pending list: the next
+                    # slot's deliveries append to it
+                    inbox = NO_MESSAGES
                 protocol.on_round(inbox, public)
                 dispatch(node, protocol, pulses)
-            last_event = public
+                if protocol._halted:
+                    halted_any = True
+            if halted_any:
+                active = [entry for entry in active if not entry[1]._halted]
             pulses += 1
         else:
             pending = sum(1 for p in protocols.values() if not p.halted)
             raise SimulationTimeout(max_pulses, pending)
 
-        del last_event
         return SynchronizerReport(
             pulses=pulses,
             asynchronous_time=queue.now,

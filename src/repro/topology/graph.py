@@ -259,6 +259,16 @@ class WeightedGraph:
         """
         return self._adjacency[node].items()
 
+    def adjacency(self) -> Dict[NodeId, Dict[NodeId, float]]:
+        """Return the live ``node → (neighbour → weight)`` mapping.
+
+        This is the graph's own adjacency structure, not a copy: callers must
+        treat it as read-only.  It exists for the tightest loops (BFS sweeps,
+        the simulator's per-round link validation) where even the bound-method
+        dispatch of :meth:`iter_neighbors` per node is measurable.
+        """
+        return self._adjacency
+
     def degree(self, node: NodeId) -> int:
         """Return the degree of ``node``."""
         return len(self._adjacency[node])

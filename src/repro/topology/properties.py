@@ -24,17 +24,24 @@ def breadth_first_levels(graph: WeightedGraph, source: NodeId) -> Dict[NodeId, i
     Raises:
         KeyError: if ``source`` is not a node of ``graph``.
     """
-    if not graph.has_node(source):
+    adjacency = graph.adjacency()
+    if source not in adjacency:
         raise KeyError(f"{source!r} is not a node of the graph")
+    # frontier-at-a-time sweep over the raw adjacency dict: same visit order
+    # as the node-at-a-time deque (FIFO within each level), without the
+    # per-node popleft and per-level dict lookups
     levels: Dict[NodeId, int] = {source: 0}
-    queue = deque([source])
-    while queue:
-        node = queue.popleft()
-        next_level = levels[node] + 1
-        for neighbor in graph.iter_neighbors(node):
-            if neighbor not in levels:
-                levels[neighbor] = next_level
-                queue.append(neighbor)
+    frontier = [source]
+    depth = 0
+    while frontier:
+        depth += 1
+        next_frontier: List[NodeId] = []
+        for node in frontier:
+            for neighbor in adjacency[node]:
+                if neighbor not in levels:
+                    levels[neighbor] = depth
+                    next_frontier.append(neighbor)
+        frontier = next_frontier
     return levels
 
 
@@ -97,6 +104,35 @@ def diameter(graph: WeightedGraph) -> int:
     if graph.num_nodes() == 0:
         raise ValueError("the diameter of an empty graph is undefined")
     return max(eccentricity(graph, node) for node in graph.nodes())
+
+
+def approximate_diameter(graph: WeightedGraph) -> int:
+    """Return a double-sweep lower bound on the hop diameter.
+
+    Runs one BFS from the graph's first node, then a second BFS from a node
+    the first sweep found farthest away; the larger eccentricity is a lower
+    bound on the diameter that is exact on trees and empirically tight on the
+    small-world topologies the large-``n`` sweeps use.  Deterministic (no
+    randomness, ties broken by BFS visit order), and two BFS passes instead
+    of the ``n`` passes :func:`diameter` needs.
+
+    Raises:
+        ValueError: if the graph is empty or disconnected.
+    """
+    if graph.num_nodes() == 0:
+        raise ValueError("the diameter of an empty graph is undefined")
+    first = graph.nodes()[0]
+    levels = breadth_first_levels(graph, first)
+    if len(levels) != graph.num_nodes():
+        raise ValueError("the diameter of a disconnected graph is undefined")
+    first_ecc = 0
+    farthest = first
+    for node, level in levels.items():
+        if level > first_ecc:
+            first_ecc = level
+            farthest = node
+    second_levels = breadth_first_levels(graph, farthest)
+    return max(first_ecc, max(second_levels.values()))
 
 
 def graph_radius(graph: WeightedGraph) -> int:

@@ -20,11 +20,52 @@ from repro.experiments import (
 
 class TestHarness:
     def test_make_topology_kinds(self):
-        for kind in ("grid", "ring", "geometric"):
+        for kind in ("grid", "ring", "geometric", "scale_free", "ad_hoc"):
             graph = harness.make_topology(kind, 30, seed=1)
             assert graph.num_nodes() >= 25
         with pytest.raises(ValueError):
             harness.make_topology("hyperloop", 30)
+
+    def test_make_topology_new_kinds_connected_and_deterministic(self):
+        from repro.topology.properties import is_connected
+
+        for kind in ("scale_free", "ad_hoc"):
+            graph = harness.make_topology(kind, 100, seed=7)
+            assert is_connected(graph)
+            again = harness.make_topology(kind, 100, seed=7)
+            assert graph.edges() == again.edges()
+
+    def test_topology_diameter_matches_exact(self):
+        from repro.topology.properties import diameter
+
+        for kind, n in (
+            ("ring", 30),
+            ("ring", 31),
+            ("grid", 36),
+            ("geometric", 40),
+            ("scale_free", 60),
+            ("ad_hoc", 60),
+        ):
+            graph = harness.make_topology(kind, n, seed=3)
+            assert harness.topology_diameter(kind, graph) == diameter(graph)
+
+    def test_topology_diameter_large_n_fallback(self, monkeypatch):
+        # above the exact-scan cutoff the irregular kinds use the double
+        # sweep; shrink the cutoff so the branch runs at test sizes
+        from repro.topology.properties import approximate_diameter, diameter
+
+        monkeypatch.setattr(harness, "EXACT_DIAMETER_MAX_N", 10)
+        for kind in ("geometric", "scale_free", "ad_hoc"):
+            graph = harness.make_topology(kind, 64, seed=5)
+            reported = harness.topology_diameter(kind, graph)
+            assert reported == approximate_diameter(graph)
+            exact = diameter(graph)
+            # the double sweep is a lower bound, never an overestimate
+            assert reported <= exact
+            assert reported >= max(1, exact // 2)
+        # regular kinds keep their closed forms regardless of the cutoff
+        ring = harness.make_topology("ring", 64, seed=5)
+        assert harness.topology_diameter("ring", ring) == 32
 
     def test_sweep_sizes(self):
         rows = harness.sweep_sizes((16, 36), lambda g: {"nodes": g.num_nodes()})
@@ -64,6 +105,25 @@ class TestExperimentsProduceTables:
         speedup_vs_p2p, speedup_vs_channel = row[-2], row[-1]
         assert speedup_vs_p2p > 1.0
         assert speedup_vs_channel > 1.0
+
+    def test_e7_runs_on_new_topology_kinds(self):
+        for kind in ("scale_free", "ad_hoc"):
+            table = e07_model_separation.run(
+                sizes=(64,), topology=kind, channel_baseline=False
+            )
+            row = table.rows[0]
+            assert row[0] == 64
+            # the measured channel baseline is skipped, the bound still shown
+            assert row[4] == "-"
+            assert row[6] >= 64 // 2
+
+    def test_e10_runs_on_new_topology_kinds(self):
+        table = e10_model_variations.run(
+            sizes=(36,), seeds=(1,), topology="scale_free"
+        )
+        row = table.rows[0]
+        assert row[1] <= 2.0 + 1e-9
+        assert row[4] is True
 
     def test_e8_lower_bound_respected(self):
         table = e08_lower_bound_gap.run(params=((8, 8),))

@@ -18,7 +18,7 @@ from repro.core.global_function.semigroup import (
     standard_functions,
 )
 from repro.core.partition.deterministic import DeterministicPartitioner
-from repro.topology.generators import grid_graph, ring_graph
+from repro.topology.generators import ring_graph
 from repro.topology.weights import assign_distinct_weights
 
 

@@ -18,7 +18,6 @@ from repro.core.size_estimation import (
 )
 from repro.topology.generators import grid_graph, ray_graph, ring_graph
 from repro.topology.properties import diameter
-from repro.topology.weights import assign_distinct_weights
 
 
 class TestBoundFormulas:

@@ -13,7 +13,6 @@ from repro.core.partition.randomized import (
 from repro.core.partition.validation import validate_partition
 from repro.topology.generators import grid_graph, ring_graph
 from repro.topology.graph import WeightedGraph
-from repro.topology.weights import assign_distinct_weights
 
 
 class TestHelpers:

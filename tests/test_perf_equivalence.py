@@ -32,8 +32,16 @@ def _compute_state():
     state = {}
 
     # topology fingerprints: edge iteration order and weight assignment are
-    # load-bearing (they feed every seeded experiment), so pin them exactly
-    for kind, n in (("grid", 64), ("grid", 144), ("ring", 256)):
+    # load-bearing (they feed every seeded experiment), so pin them exactly.
+    # scale_free/ad_hoc entered with PR 2 — their fingerprints pin the new
+    # generators the same way the seed topologies are pinned.
+    for kind, n in (
+        ("grid", 64),
+        ("grid", 144),
+        ("ring", 256),
+        ("scale_free", 128),
+        ("ad_hoc", 128),
+    ):
         graph = make_topology(kind, n, seed=11)
         state[f"graph/{kind}/{n}"] = {
             "n": graph.num_nodes(),
@@ -58,21 +66,24 @@ def _compute_state():
             "messages": result.metrics.point_to_point_messages,
         }
 
-    # randomized partition (Las Vegas): forest + accounting on fixed seeds
-    for seed in (1, 3):
-        graph = make_topology("grid", 100, seed=11)
-        result = RandomizedPartitioner(graph, seed=seed, las_vegas=True).run()
-        parent_map = result.forest.parent_map()
-        state[f"rand_partition/grid/100/seed{seed}"] = {
-            "parents": sorted(
-                [node, parent] for node, parent in parent_map.items()
-                if parent is not None
-            ),
-            "cores": sorted(result.forest.cores),
-            "rounds": result.metrics.rounds,
-            "messages": result.metrics.point_to_point_messages,
-            "restarts": result.restarts,
-        }
+    # randomized partition (Las Vegas): forest + accounting on fixed seeds;
+    # the scale_free case guards the partition pipeline on the new
+    # heavy-tailed topology end to end
+    for kind, n, seeds in (("grid", 100, (1, 3)), ("scale_free", 128, (1,))):
+        for seed in seeds:
+            graph = make_topology(kind, n, seed=11)
+            result = RandomizedPartitioner(graph, seed=seed, las_vegas=True).run()
+            parent_map = result.forest.parent_map()
+            state[f"rand_partition/{kind}/{n}/seed{seed}"] = {
+                "parents": sorted(
+                    [node, parent] for node, parent in parent_map.items()
+                    if parent is not None
+                ),
+                "cores": sorted(result.forest.cores),
+                "rounds": result.metrics.rounds,
+                "messages": result.metrics.point_to_point_messages,
+                "restarts": result.restarts,
+            }
 
     # multimedia MST: exact tree + accounting
     graph = make_topology("ring", 256, seed=11)
@@ -117,10 +128,13 @@ def test_golden_covers_same_workloads(golden, current):
         "graph/grid/64",
         "graph/grid/144",
         "graph/ring/256",
+        "graph/scale_free/128",
+        "graph/ad_hoc/128",
         "det_partition/grid/64",
         "det_partition/grid/144",
         "rand_partition/grid/100/seed1",
         "rand_partition/grid/100/seed3",
+        "rand_partition/scale_free/128/seed1",
         "mst/ring/256",
     ],
 )

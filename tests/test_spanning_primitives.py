@@ -23,7 +23,7 @@ from repro.protocols.spanning.tree_utils import (
     validate_parent_map,
 )
 from repro.sim.multimedia import MultimediaNetwork
-from repro.topology.generators import grid_graph, path_graph, ring_graph
+from repro.topology.generators import grid_graph, path_graph
 from repro.topology.properties import breadth_first_levels
 
 

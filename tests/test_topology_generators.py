@@ -3,6 +3,8 @@
 import pytest
 
 from repro.topology.generators import (
+    ad_hoc_affectance_graph,
+    barabasi_albert_graph,
     complete_graph,
     erdos_renyi_graph,
     grid_graph,
@@ -113,3 +115,102 @@ class TestRayGraph:
         graph = ray_graph(3, 4)
         leaves = [v for v in graph.nodes() if graph.degree(v) == 1]
         assert len(leaves) == 3
+
+
+class TestBarabasiAlbert:
+    def test_counts_and_connectivity(self):
+        graph = barabasi_albert_graph(500, attachment=2, seed=7)
+        assert graph.num_nodes() == 500
+        # every node after the seed stage contributes exactly `attachment` edges
+        assert graph.num_edges() == 2 * (500 - 2)
+        assert is_connected(graph)
+
+    def test_degree_distribution_is_heavy_tailed(self):
+        graph = barabasi_albert_graph(2000, attachment=2, seed=11)
+        degrees = sorted(graph.degree(v) for v in graph.nodes())
+        n = len(degrees)
+        # every non-seed node has degree >= attachment
+        assert degrees[0] >= 1
+        assert degrees[n // 2] <= 4  # median stays near the attachment count
+        # preferential attachment must concentrate mass on a few hubs: the
+        # largest hub dwarfs the median degree and the uniform-random level
+        assert degrees[-1] >= 10 * degrees[n // 2]
+        # power-law sanity: the top decile holds a disproportionate share
+        top_decile = sum(degrees[-n // 10:])
+        assert top_decile >= 0.25 * sum(degrees)
+
+    def test_deterministic_under_seed(self):
+        a = barabasi_albert_graph(300, seed=5)
+        b = barabasi_albert_graph(300, seed=5)
+        assert a.edges() == b.edges()
+        c = barabasi_albert_graph(300, seed=6)
+        assert a.edges() != c.edges()
+
+    def test_small_n_degenerates_to_complete(self):
+        graph = barabasi_albert_graph(3, attachment=2, seed=1)
+        assert graph.num_edges() == 3
+
+    def test_parameter_validation(self):
+        with pytest.raises(ValueError):
+            barabasi_albert_graph(0)
+        with pytest.raises(ValueError):
+            barabasi_albert_graph(10, attachment=0)
+
+
+class TestAdHocAffectance:
+    def test_connected_and_sparse(self):
+        graph = ad_hoc_affectance_graph(400, seed=3)
+        assert graph.num_nodes() == 400
+        assert is_connected(graph)
+        # the default range keeps the network in the Θ(log n) degree regime,
+        # far sparser than the plain geometric default
+        average_degree = 2 * graph.num_edges() / graph.num_nodes()
+        assert 3 <= average_degree <= 40
+
+    def test_deterministic_under_seed(self):
+        a = ad_hoc_affectance_graph(300, seed=9)
+        b = ad_hoc_affectance_graph(300, seed=9)
+        assert a.edges() == b.edges()
+        c = ad_hoc_affectance_graph(300, seed=10)
+        assert a.edges() != c.edges()
+
+    @staticmethod
+    def _edge_set(graph):
+        return {tuple(sorted((edge.u, edge.v))) for edge in graph.edges()}
+
+    def test_links_respect_the_smaller_range(self):
+        # the same seed draws the same positions and the same range
+        # fractions, so growing base_range can only add links (the link rule
+        # is distance <= min of the two ranges, both proportional to base)
+        narrow = ad_hoc_affectance_graph(
+            200, seed=4, power_spread=2.0, base_range=0.08, ensure_connected=False
+        )
+        wide = ad_hoc_affectance_graph(
+            200, seed=4, power_spread=2.0, base_range=0.16, ensure_connected=False
+        )
+        assert 0 < narrow.num_edges() < wide.num_edges()
+        assert self._edge_set(narrow) <= self._edge_set(wide)
+        # a larger power spread raises both endpoints' ranges (same draws),
+        # so it can only add links as well
+        boosted = ad_hoc_affectance_graph(
+            200, seed=4, power_spread=3.0, base_range=0.08, ensure_connected=False
+        )
+        assert self._edge_set(narrow) <= self._edge_set(boosted)
+
+    def test_range_extremes(self):
+        # ranges covering the whole unit square link every pair; ranges
+        # smaller than any inter-node gap link none
+        everyone = ad_hoc_affectance_graph(
+            40, seed=2, base_range=2.0, ensure_connected=False
+        )
+        assert everyone.num_edges() == 40 * 39 // 2
+        nobody = ad_hoc_affectance_graph(
+            40, seed=2, base_range=1e-9, ensure_connected=False
+        )
+        assert nobody.num_edges() == 0
+
+    def test_parameter_validation(self):
+        with pytest.raises(ValueError):
+            ad_hoc_affectance_graph(0)
+        with pytest.raises(ValueError):
+            ad_hoc_affectance_graph(10, power_spread=0.5)

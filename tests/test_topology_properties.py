@@ -94,3 +94,38 @@ class TestTreeRadius:
         parents = {0: 1, 1: 0}
         with pytest.raises(ValueError):
             tree_radius_from_root(parents, 0)
+
+
+class TestApproximateDiameter:
+    def test_exact_on_paths_trees_and_rings(self):
+        from repro.topology.generators import path_graph, random_tree, ring_graph
+        from repro.topology.properties import approximate_diameter, diameter
+
+        assert approximate_diameter(path_graph(17)) == 16
+        tree = random_tree(40, seed=8)
+        assert approximate_diameter(tree) == diameter(tree)
+        # on a cycle the second sweep starts at an antipode, whose
+        # eccentricity equals the true diameter
+        assert approximate_diameter(ring_graph(30)) == 15
+        assert approximate_diameter(ring_graph(31)) == 15
+
+    def test_lower_bound_never_exceeds_exact(self):
+        from repro.topology.generators import erdos_renyi_graph
+        from repro.topology.properties import approximate_diameter, diameter
+
+        for seed in (1, 2, 3):
+            graph = erdos_renyi_graph(60, 0.08, seed=seed)
+            assert approximate_diameter(graph) <= diameter(graph)
+
+    def test_rejects_empty_and_disconnected(self):
+        import pytest
+
+        from repro.topology.graph import WeightedGraph
+        from repro.topology.properties import approximate_diameter
+
+        with pytest.raises(ValueError):
+            approximate_diameter(WeightedGraph())
+        disconnected = WeightedGraph()
+        disconnected.add_nodes([0, 1])
+        with pytest.raises(ValueError):
+            approximate_diameter(disconnected)
