@@ -2,13 +2,9 @@
 
 from conftest import run_experiment
 
-from repro.experiments import e10_model_variations as experiment
-
 
 def test_e10_model_variations(benchmark):
-    table = run_experiment(
-        benchmark, experiment.run, sizes=(36, 64, 100), seeds=(1, 2, 3)
-    )
-    for row in table.rows:
-        assert row[1] <= 2.0 + 1e-9  # Corollary 4: ≤ 2× messages
-        assert row[4] is True        # Section 7.3: exact n
+    result = run_experiment(benchmark, "e10")
+    for row in result.rows:
+        assert row["sync_msg_overhead(≤2)"] <= 2.0 + 1e-9  # Corollary 4: ≤ 2× messages
+        assert row["det_size_exact"] is True               # Section 7.3: exact n

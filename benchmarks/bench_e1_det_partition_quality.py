@@ -2,9 +2,7 @@
 
 from conftest import run_experiment
 
-from repro.experiments import e01_det_partition_quality as experiment
-
 
 def test_e1_det_partition_quality(benchmark):
-    table = run_experiment(benchmark, experiment.run, sizes=(64, 144, 256))
-    assert all(row[-1] for row in table.rows)
+    result = run_experiment(benchmark, "e1")
+    assert all(row["all_bounds_hold"] for row in result.rows)

@@ -2,10 +2,8 @@
 
 from conftest import run_experiment
 
-from repro.experiments import e02_det_partition_complexity as experiment
-
 
 def test_e2_det_partition_complexity(benchmark):
-    table = run_experiment(benchmark, experiment.run, sizes=(64, 144, 256))
+    result = run_experiment(benchmark, "e2")
     # the measured/bound ratios stay within a constant band
-    assert all(row[5] < 50 for row in table.rows)
+    assert all(row["rounds/bound"] < 50 for row in result.rows)

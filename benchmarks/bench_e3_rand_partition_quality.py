@@ -2,11 +2,7 @@
 
 from conftest import run_experiment
 
-from repro.experiments import e03_rand_partition_quality as experiment
-
 
 def test_e3_rand_partition_quality(benchmark):
-    table = run_experiment(
-        benchmark, experiment.run, sizes=(64, 144, 256), seeds=(1, 2, 3)
-    )
-    assert all(row[-1] for row in table.rows)
+    result = run_experiment(benchmark, "e3")
+    assert all(row["structure_ok"] for row in result.rows)

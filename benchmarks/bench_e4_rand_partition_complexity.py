@@ -2,11 +2,7 @@
 
 from conftest import run_experiment
 
-from repro.experiments import e04_rand_partition_complexity as experiment
-
 
 def test_e4_rand_partition_complexity(benchmark):
-    table = run_experiment(
-        benchmark, experiment.run, sizes=(64, 144, 256), seeds=(1, 2, 3)
-    )
-    assert all(row[-1] <= 3 for row in table.rows)
+    result = run_experiment(benchmark, "e4")
+    assert all(row["total_restarts"] <= 3 for row in result.rows)

@@ -2,9 +2,7 @@
 
 from conftest import run_experiment
 
-from repro.experiments import e05_global_deterministic as experiment
-
 
 def test_e5_global_deterministic(benchmark):
-    table = run_experiment(benchmark, experiment.run, sizes=(64, 144, 256))
-    assert all(row[-1] for row in table.rows)
+    result = run_experiment(benchmark, "e5")
+    assert all(row["value_correct"] for row in result.rows)

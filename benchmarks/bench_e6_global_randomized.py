@@ -2,11 +2,7 @@
 
 from conftest import run_experiment
 
-from repro.experiments import e06_global_randomized as experiment
-
 
 def test_e6_global_randomized(benchmark):
-    table = run_experiment(
-        benchmark, experiment.run, sizes=(64, 144, 256), seeds=(1, 2, 3)
-    )
-    assert all(row[-1] for row in table.rows)
+    result = run_experiment(benchmark, "e6")
+    assert all(row["values_correct"] for row in result.rows)

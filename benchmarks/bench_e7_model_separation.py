@@ -2,11 +2,10 @@
 
 from conftest import run_experiment
 
-from repro.experiments import e07_model_separation as experiment
-
 
 def test_e7_model_separation(benchmark):
-    table = run_experiment(benchmark, experiment.run, sizes=(128, 256, 512))
+    result = run_experiment(benchmark, "e7")
     # at the largest size the multimedia network beats both single media
-    last = table.rows[-1]
-    assert last[-2] > 1.0 and last[-1] > 1.0
+    last = result.rows[-1]
+    assert last["speedup_vs_p2p"] > 1.0
+    assert last["speedup_vs_channel"] > 1.0

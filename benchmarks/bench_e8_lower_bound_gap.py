@@ -2,11 +2,7 @@
 
 from conftest import run_experiment
 
-from repro.experiments import e08_lower_bound_gap as experiment
-
 
 def test_e8_lower_bound_gap(benchmark):
-    table = run_experiment(
-        benchmark, experiment.run, params=((8, 8), (16, 8), (16, 16))
-    )
-    assert all(row[-2] for row in table.rows)
+    result = run_experiment(benchmark, "e8")
+    assert all(row["lb ≤ measured"] for row in result.rows)

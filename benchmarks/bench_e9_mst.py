@@ -2,11 +2,9 @@
 
 from conftest import run_experiment
 
-from repro.experiments import e09_mst as experiment
-
 
 def test_e9_mst(benchmark):
-    table = run_experiment(benchmark, experiment.run, sizes=(64, 256, 1024, 2048))
+    result = run_experiment(benchmark, "e9")
     # exact MST everywhere, and the channel pays off at the largest size
-    assert all(row[-1] for row in table.rows)
-    assert table.rows[-1][-2] > 1.0
+    assert all(row["matches_kruskal"] for row in result.rows)
+    assert result.rows[-1]["speedup"] > 1.0

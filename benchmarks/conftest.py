@@ -1,22 +1,29 @@
 """Benchmark configuration.
 
-Each ``bench_eNN_*.py`` file regenerates one experiment of EXPERIMENTS.md:
-the benchmarked callable runs the experiment sweep (on slightly reduced sizes
-so a full `pytest benchmarks/ --benchmark-only` stays in the minutes range)
-and the rendered table is attached to the benchmark's ``extra_info`` and
-printed, so the rows the paper-claim reproduction rests on are visible in the
-benchmark output.
+Each ``bench_eNN_*.py`` file regenerates one experiment of EXPERIMENTS.md by
+running its registered spec at the ``default`` preset — the exact workload
+the benchmark trajectory (``python -m repro bench``) records in
+``BENCH_core.json``, resolved through the same registry, so the two can
+never drift apart.  The structured result is returned for assertions on its
+row dictionaries; the rendered table is attached to the benchmark's
+``extra_info`` and printed, so the rows the paper-claim reproduction rests
+on are visible in the benchmark output.
 """
 
 from __future__ import annotations
 
+from repro.experiments.registry import DEFAULT_PRESET
+from repro.experiments.runner import run_experiment as _run_experiment
 
-def run_experiment(benchmark, experiment_run, **kwargs):
-    """Benchmark ``experiment_run(**kwargs)`` and print its table once."""
-    table = benchmark.pedantic(
-        lambda: experiment_run(**kwargs), iterations=1, rounds=1
+
+def run_experiment(benchmark, experiment_id, preset=DEFAULT_PRESET, **overrides):
+    """Benchmark one registered experiment sweep and print its table once."""
+    result = benchmark.pedantic(
+        lambda: _run_experiment(experiment_id, preset=preset, overrides=overrides),
+        iterations=1,
+        rounds=1,
     )
-    rendered = table.render()
+    rendered = result.to_table().render()
     benchmark.extra_info["table"] = rendered
     print("\n" + rendered)
-    return table
+    return result

@@ -1,295 +1,28 @@
-"""Headless benchmark trajectory runner for the e1–e10 experiment suite.
+"""Headless benchmark trajectory runner — thin shim over the package CLI.
 
-Runs every experiment sweep (on the same reduced sizes the ``bench_eNN_*``
-pytest benchmarks use), times each one, extracts the message counts its table
-reports, probes the largest feasible ``n`` for the hot experiments
-(e2/e4/e9), and records everything under a named label in ``BENCH_core.json``
-at the repository root.  Re-running with a different label merges into the
-same file, so the file accumulates the performance trajectory across PRs:
+The suite itself is declared by the experiment specs (see
+:mod:`repro.experiments.registry`) and executed by
+:mod:`repro.experiments.trajectory`; this script only bootstraps ``sys.path``
+so the historical invocation keeps working from a plain checkout:
 
     PYTHONPATH=src python benchmarks/run_benchmarks.py --label after
 
-Labels are sequenced in the order they are first recorded; the runner writes
-the per-experiment wall-clock speedup between every consecutive pair of
-labels (``speedups``) in addition to the original ``speedup_before_to_after``
-pair, so each PR's ≥1.5–2× targets are checked against its predecessor.
+which is equivalent to:
 
-CI runs the suite in smoke mode:
-
-    PYTHONPATH=src python benchmarks/run_benchmarks.py --quick
-
-which sweeps tiny sizes, skips the max-``n`` probes, and writes nothing (the
-committed ``BENCH_core.json`` trajectory is never clobbered by CI) — it
-exists to prove every experiment entry point still runs end to end.
-
-The runner is deliberately dependency-free (no pytest-benchmark): it is the
-thing CI and the driver can execute headlessly.
+    PYTHONPATH=src python -m repro bench --label after
 """
 
 from __future__ import annotations
 
-import argparse
-import json
-import platform
 import sys
-import time
 from pathlib import Path
-from typing import Callable, Dict, List, Optional, Tuple
 
 REPO_ROOT = Path(__file__).resolve().parent.parent
 SRC = REPO_ROOT / "src"
 if str(SRC) not in sys.path:
     sys.path.insert(0, str(SRC))
 
-from repro.experiments import (  # noqa: E402
-    e01_det_partition_quality,
-    e02_det_partition_complexity,
-    e03_rand_partition_quality,
-    e04_rand_partition_complexity,
-    e05_global_deterministic,
-    e06_global_randomized,
-    e07_model_separation,
-    e08_lower_bound_gap,
-    e09_mst,
-    e10_model_variations,
-)
-
-DEFAULT_OUTPUT = REPO_ROOT / "BENCH_core.json"
-
-# Every experiment sweep with the sizes the bench_eNN pytest files use, so the
-# JSON numbers and the pytest-benchmark numbers describe the same workloads.
-SUITE: List[Tuple[str, Callable[[], object]]] = [
-    ("e1", lambda: e01_det_partition_quality.run(sizes=(64, 144, 256))),
-    ("e2", lambda: e02_det_partition_complexity.run(sizes=(64, 144, 256))),
-    ("e3", lambda: e03_rand_partition_quality.run(sizes=(64, 144, 256), seeds=(1, 2, 3))),
-    ("e4", lambda: e04_rand_partition_complexity.run(sizes=(64, 144, 256), seeds=(1, 2, 3))),
-    ("e5", lambda: e05_global_deterministic.run(sizes=(64, 144, 256))),
-    ("e6", lambda: e06_global_randomized.run(sizes=(64, 144, 256), seeds=(1, 2, 3))),
-    ("e7", lambda: e07_model_separation.run(sizes=(128, 256, 512))),
-    ("e8", lambda: e08_lower_bound_gap.run(params=((8, 8), (16, 8), (16, 16)))),
-    ("e9", lambda: e09_mst.run(sizes=(64, 256, 1024, 2048))),
-    ("e10", lambda: e10_model_variations.run(sizes=(36, 64, 100), seeds=(1, 2, 3))),
-    # hot sweeps: the same experiments at sizes where wall time is measured in
-    # seconds, so the before/after speedup numbers are not timer noise
-    ("e2_hot", lambda: e02_det_partition_complexity.run(sizes=(1024, 4096, 16384))),
-    ("e4_hot", lambda: e04_rand_partition_complexity.run(
-        sizes=(1024, 4096, 16384), seeds=(1, 2))),
-    ("e9_hot", lambda: e09_mst.run(sizes=(4096, 16384))),
-    # scenario breadth: the scale-free and ad-hoc wireless topologies at
-    # n ≥ 10^4 (the measured channel-only baseline is skipped there — it is
-    # Θ(n) slots of Θ(n) work regardless of topology and would dwarf the rest
-    # of the suite while adding nothing beyond the reported lower bound)
-    ("e7_scale_free_hot", lambda: e07_model_separation.run(
-        sizes=(4096, 10240), topology="scale_free", channel_baseline=False)),
-    ("e7_ad_hoc_hot", lambda: e07_model_separation.run(
-        sizes=(4096, 10240), topology="ad_hoc", channel_baseline=False)),
-    ("e10_scale_free", lambda: e10_model_variations.run(
-        sizes=(256, 1024), seeds=(1, 2), topology="scale_free")),
-]
-
-# Smoke-mode twin of SUITE: tiny sizes, every entry point (including the new
-# topology kinds), a few seconds total.  CI runs this to prove the harness
-# still executes end to end; the numbers are never recorded.
-QUICK_SUITE: List[Tuple[str, Callable[[], object]]] = [
-    ("e1", lambda: e01_det_partition_quality.run(sizes=(16, 36))),
-    ("e2", lambda: e02_det_partition_complexity.run(sizes=(16, 36))),
-    ("e3", lambda: e03_rand_partition_quality.run(sizes=(16, 36), seeds=(1,))),
-    ("e4", lambda: e04_rand_partition_complexity.run(sizes=(16, 36), seeds=(1,))),
-    ("e5", lambda: e05_global_deterministic.run(sizes=(16, 36))),
-    ("e6", lambda: e06_global_randomized.run(sizes=(16, 36), seeds=(1,))),
-    ("e7", lambda: e07_model_separation.run(sizes=(16, 32))),
-    ("e8", lambda: e08_lower_bound_gap.run(params=((4, 4), (8, 4)))),
-    ("e9", lambda: e09_mst.run(sizes=(16, 64))),
-    ("e10", lambda: e10_model_variations.run(sizes=(16, 36), seeds=(1,))),
-    ("e7_scale_free", lambda: e07_model_separation.run(
-        sizes=(64, 128), topology="scale_free", channel_baseline=False)),
-    ("e7_ad_hoc", lambda: e07_model_separation.run(
-        sizes=(64, 128), topology="ad_hoc", channel_baseline=False)),
-    ("e10_scale_free", lambda: e10_model_variations.run(
-        sizes=(36,), seeds=(1,), topology="scale_free")),
-]
-
-
-def _message_counts(table) -> Dict[str, List[int]]:
-    """Extract the per-row message counts from a table, when it reports any."""
-    counts: Dict[str, List[int]] = {}
-    for index, column in enumerate(table.columns):
-        name = column.lower()
-        if "message" in name and "bound" not in name and "/" not in name:
-            counts[column] = [row[index] for row in table.rows]
-    return counts
-
-
-def run_suite(
-    only: Optional[List[str]] = None,
-    suite: Optional[List[Tuple[str, Callable[[], object]]]] = None,
-) -> Dict[str, Dict[str, object]]:
-    """Run (a subset of) the suite and return per-experiment stats."""
-    results: Dict[str, Dict[str, object]] = {}
-    for name, runner in (suite if suite is not None else SUITE):
-        if only and name not in only:
-            continue
-        start = time.perf_counter()
-        table = runner()
-        elapsed = time.perf_counter() - start
-        ns = [row[0] for row in table.rows]
-        results[name] = {
-            "wall_seconds": round(elapsed, 4),
-            "sweep_max_n": max(ns) if ns else None,
-            "messages": _message_counts(table),
-        }
-        print(f"{name:>16}: {elapsed:8.3f}s  (max n = {results[name]['sweep_max_n']})")
-    return results
-
-
-# ----------------------------------------------------------------------
-# max-feasible-n probes for the hot experiments
-# ----------------------------------------------------------------------
-def _probe(single_run: Callable[[int], None], start_n: int, budget: float) -> Dict[str, object]:
-    """Double ``n`` until one run exceeds ``budget`` seconds; report the last fit."""
-    n = start_n
-    feasible = None
-    feasible_seconds = None
-    while n <= 2 ** 22:
-        start = time.perf_counter()
-        single_run(n)
-        elapsed = time.perf_counter() - start
-        if elapsed > budget:
-            break
-        feasible = n
-        feasible_seconds = round(elapsed, 4)
-        n *= 2
-    return {
-        "max_feasible_n": feasible,
-        "seconds_at_max": feasible_seconds,
-        "budget_seconds": budget,
-    }
-
-
-def probe_max_n(budget: float) -> Dict[str, Dict[str, object]]:
-    """Probe the largest single-instance ``n`` each hot experiment can afford."""
-    from repro.core.mst.multimedia_mst import MultimediaMST
-    from repro.core.partition.deterministic import DeterministicPartitioner
-    from repro.core.partition.randomized import RandomizedPartitioner
-    from repro.experiments.harness import make_topology
-
-    def det(n: int) -> None:
-        DeterministicPartitioner(make_topology("grid", n, seed=11)).run()
-
-    def rand(n: int) -> None:
-        RandomizedPartitioner(
-            make_topology("grid", n, seed=11), seed=1, las_vegas=True
-        ).run()
-
-    def mst(n: int) -> None:
-        MultimediaMST(make_topology("ring", n, seed=11)).run()
-
-    probes = {}
-    for name, fn in (("e2", det), ("e4", rand), ("e9", mst)):
-        probes[name] = _probe(fn, 64, budget)
-        print(f"{name:>16}: max feasible n = {probes[name]['max_feasible_n']} "
-              f"({probes[name]['seconds_at_max']}s/run, budget {budget}s)")
-    return probes
-
-
-# ----------------------------------------------------------------------
-# JSON trajectory file
-# ----------------------------------------------------------------------
-def _pair_speedups(
-    before: Dict[str, Dict[str, object]], after: Dict[str, Dict[str, object]]
-) -> Dict[str, float]:
-    """Per-experiment wall-clock speedups between two recorded runs.
-
-    Entries that carry no timing on either side are skipped — probe-only
-    entries (a ``--only`` run still writes the e2/e4/e9 max-``n`` probes)
-    have no ``wall_seconds``.
-    """
-    speedups = {}
-    for name, before_entry in before.items():
-        before_seconds = before_entry.get("wall_seconds")
-        after_seconds = after.get(name, {}).get("wall_seconds")
-        if before_seconds and after_seconds:
-            speedups[name] = round(before_seconds / after_seconds, 2)
-    return speedups
-
-
-def _chain_speedups(runs: Dict[str, Dict[str, object]]) -> Dict[str, Dict[str, float]]:
-    """Speedups between every consecutive pair of labels (by sequence)."""
-    ordered = sorted(runs, key=lambda label: runs[label].get("sequence", 0))
-    chain: Dict[str, Dict[str, float]] = {}
-    for earlier, later in zip(ordered, ordered[1:]):
-        chain[f"{earlier}->{later}"] = _pair_speedups(
-            runs[earlier].get("experiments", {}), runs[later].get("experiments", {})
-        )
-    return chain
-
-
-def main(argv: Optional[List[str]] = None) -> int:
-    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
-    parser.add_argument("--label", default="after",
-                        help="name this run is recorded under (e.g. before/after)")
-    parser.add_argument("--output", type=Path, default=None,
-                        help="trajectory JSON file to merge into "
-                             "(default: BENCH_core.json at the repo root)")
-    parser.add_argument("--only", nargs="*", default=None,
-                        help="run only these experiments (e.g. --only e2 e4 e9)")
-    parser.add_argument("--probe-budget", type=float, default=2.0,
-                        help="per-run seconds allowed by the max-n probes (0 disables)")
-    parser.add_argument("--quick", action="store_true",
-                        help="CI smoke mode: tiny sweeps, no probes, and no "
-                             "write to BENCH_core.json unless --output is given")
-    parser.add_argument("--note", default="", help="free-form note stored with the run")
-    args = parser.parse_args(argv)
-
-    suite = QUICK_SUITE if args.quick else SUITE
-    if args.only:
-        unknown = set(args.only) - {name for name, _ in suite}
-        if unknown:
-            parser.error(f"unknown experiment(s): {', '.join(sorted(unknown))}")
-    experiments = run_suite(args.only, suite=suite)
-    run_probes = args.probe_budget > 0 and not args.quick
-    probes = probe_max_n(args.probe_budget) if run_probes else {}
-    for name, probe in probes.items():
-        experiments.setdefault(name, {}).update(probe)
-
-    if args.quick and args.output is None:
-        print("quick mode: smoke run complete, trajectory file left untouched")
-        return 0
-    output = args.output if args.output is not None else DEFAULT_OUTPUT
-
-    data: Dict[str, object] = {"schema": 1, "runs": {}}
-    if output.exists():
-        data = json.loads(output.read_text())
-    runs = data.setdefault("runs", {})
-    # legacy trajectory files predate the sequence field; the original two
-    # labels are known to be PR 0 ("before") and PR 1 ("after")
-    for legacy_sequence, legacy_label in enumerate(("before", "after"), start=1):
-        if legacy_label in runs and "sequence" not in runs[legacy_label]:
-            runs[legacy_label]["sequence"] = legacy_sequence
-    previous = runs.get(args.label, {})
-    sequence = previous.get(
-        "sequence",
-        1 + max((run.get("sequence", 0) for run in runs.values()), default=0),
-    )
-    runs[args.label] = {
-        "note": args.note,
-        "python": platform.python_version(),
-        "sequence": sequence,
-        "experiments": experiments,
-    }
-    if "before" in runs and "after" in runs:
-        data["speedup_before_to_after"] = _pair_speedups(
-            runs["before"].get("experiments", {}),
-            runs["after"].get("experiments", {}),
-        )
-    data["speedups"] = _chain_speedups(runs)
-    output.write_text(json.dumps(data, indent=2, sort_keys=True) + "\n")
-    print(f"wrote {output} (label={args.label!r})")
-    for pair, speedups in data["speedups"].items():
-        if speedups:
-            print(f"speedups {pair}: {speedups}")
-    return 0
-
+from repro.experiments.trajectory import main  # noqa: E402
 
 if __name__ == "__main__":
     raise SystemExit(main())

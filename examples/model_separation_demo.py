@@ -6,55 +6,27 @@ takes Θ(n) time on the point-to-point network alone and Θ(n) slots on the
 channel alone, but only Õ(√n) on the combination — and the paper's
 Ω(min{d, √n}) lower bound says no multimedia algorithm can do much better.
 
+The sweep is the registered ``e7`` experiment — the same spec `python -m
+repro run e7` and the benchmark suite execute — driven here at custom sizes
+through the unified runner.
+
 Run with:  python examples/model_separation_demo.py
 """
 
-from repro.analysis.reporting import Table
-from repro.core.global_function import (
-    INTEGER_ADDITION,
-    compute_global_function,
-    compute_on_channel_only,
-    compute_on_point_to_point_only,
-)
-from repro.core.lower_bounds import (
-    broadcast_lower_bound,
-    multimedia_lower_bound,
-    point_to_point_lower_bound,
-)
-from repro.topology import ring_graph
-from repro.topology.properties import diameter
-from repro.topology.weights import assign_distinct_weights
+from repro.experiments.runner import run_experiment
 
 
 def main() -> None:
-    table = Table(
-        title="Computing the network-wide sum on an n-node ring (time in rounds/slots)",
-        columns=[
-            "n", "d", "multimedia", "p2p only", "channel only",
-            "Ω bound (mm)", "Ω bound (p2p)", "Ω bound (chan)",
-        ],
-    )
-    for n in (64, 256, 1024):
-        graph = assign_distinct_weights(ring_graph(n), seed=1)
-        d = diameter(graph)
-        inputs = {node: 1 for node in graph.nodes()}
-        multimedia = compute_global_function(
-            graph, INTEGER_ADDITION, inputs, method="randomized", seed=5
-        )
-        p2p = compute_on_point_to_point_only(graph, INTEGER_ADDITION, inputs)
-        channel = compute_on_channel_only(graph, INTEGER_ADDITION, inputs, seed=5)
-        assert multimedia.value == p2p.value == channel.value == n
-        table.add_row(
-            n, d, multimedia.total_rounds, p2p.rounds, channel.rounds,
-            multimedia_lower_bound(n, d),
-            point_to_point_lower_bound(d),
-            broadcast_lower_bound(n),
-        )
-    print(table.render())
+    result = run_experiment("e7", overrides={"sizes": (64, 256, 1024)})
+    print(result.to_table().render())
+    rows = result.rows
+    assert all(row["speedup_vs_p2p"] > 1.0 for row in rows[1:])
     print(
         "\nBoth single-medium columns grow linearly with n while the multimedia "
         "column grows like √n — the combination is strictly more powerful than "
-        "either of its parts (Theorem 2 / Corollary 3)."
+        "either of its parts (Theorem 2 / Corollary 3).\n"
+        "Try other topologies and presets:  python -m repro run e7 "
+        "--topology ad_hoc --preset hot"
     )
 
 

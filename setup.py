@@ -1,10 +1,20 @@
-"""Legacy setup shim.
+"""Setuptools metadata for the reproduction package.
 
-The canonical project metadata lives in ``pyproject.toml``; this file exists
-so that ``pip install -e . --no-use-pep517`` works in offline environments
-that lack the ``wheel`` package required by PEP 517 editable installs.
+Kept as a plain ``setup.py`` (no ``pyproject.toml``) so that
+``pip install -e . --no-use-pep517`` works in offline environments that lack
+the ``wheel`` package required by PEP 517 editable installs.  Installing
+exposes the ``repro`` console script (the same CLI as ``python -m repro``).
 """
 
-from setuptools import setup
+from setuptools import find_packages, setup
 
-setup()
+setup(
+    name="repro-multimedia-networks",
+    version="1.0.0",
+    description="Reproduction of Afek, Landau, Schieber, Yung (PODC 1988): "
+    "the power of multimedia networks",
+    package_dir={"": "src"},
+    packages=find_packages("src"),
+    python_requires=">=3.10",
+    entry_points={"console_scripts": ["repro=repro.cli:main"]},
+)

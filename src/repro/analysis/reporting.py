@@ -1,14 +1,17 @@
 """Plain-text table formatting for the experiment reports.
 
-Every experiment module prints its results in the same tabular shape that
+Every experiment prints its results in the same tabular shape that
 EXPERIMENTS.md records, so re-running a benchmark reproduces the documented
-rows verbatim (up to randomness noted per experiment).
+rows verbatim (up to randomness noted per experiment).  The experiment
+sweeps themselves produce structured row dictionaries (see
+:mod:`repro.experiments.runner`); :func:`table_from_records` lays those out
+as a :class:`Table` in the declared column order.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Sequence
+from typing import List, Mapping, Sequence
 
 
 @dataclass
@@ -40,6 +43,22 @@ class Table:
     def render(self) -> str:
         """Return the table as aligned plain text."""
         return format_table(self.title, self.columns, self.rows)
+
+
+def table_from_records(
+    title: str,
+    columns: Sequence[str],
+    records: Sequence[Mapping[str, object]],
+) -> Table:
+    """Build a :class:`Table` from row dictionaries keyed by ``columns``.
+
+    Raises:
+        KeyError: when a record lacks one of the declared columns.
+    """
+    table = Table(title=title, columns=list(columns))
+    for record in records:
+        table.add_row(*(record[column] for column in columns))
+    return table
 
 
 def _format_cell(value: object) -> str:

@@ -1,0 +1,180 @@
+"""The ``repro`` command line: list, run, and benchmark the experiments.
+
+Everything goes through the declarative registry
+(:mod:`repro.experiments.registry`) and the unified runner
+(:mod:`repro.experiments.runner`), so the CLI exposes exactly the sweeps the
+pytest benches and the benchmark trajectory execute::
+
+    python -m repro list
+    python -m repro run e7 --topology ad_hoc --preset hot --json out.json
+    python -m repro run e3 --sizes 64 144 --seeds 1 2 -j 4
+    python -m repro bench --quick
+
+Installed as a ``repro`` console script by ``setup.py``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import ast
+import json
+import sys
+from pathlib import Path
+from typing import Any, Dict, List, Optional
+
+from repro.experiments.registry import DEFAULT_PRESET, all_experiments, get_experiment
+from repro.experiments.runner import run_experiment
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Reproduction driver for the multimedia-network experiments "
+        "(Afek, Landau, Schieber, Yung 1988).",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    list_parser = sub.add_parser(
+        "list", help="list the registered experiments and their presets"
+    )
+    list_parser.add_argument(
+        "--json", action="store_true", help="emit the registry as JSON"
+    )
+
+    run_parser = sub.add_parser(
+        "run", help="run one experiment sweep and print its table"
+    )
+    run_parser.add_argument("experiment", help="experiment id (e1 … e10)")
+    run_parser.add_argument(
+        "--preset", default=DEFAULT_PRESET,
+        help="parameter preset: quick, default, or hot (default: default)",
+    )
+    run_parser.add_argument(
+        "--topology", default=None, help="topology kind override (e.g. ad_hoc)"
+    )
+    run_parser.add_argument(
+        "--sizes", type=int, nargs="+", default=None, help="instance sizes override"
+    )
+    run_parser.add_argument(
+        "--seeds", type=int, nargs="+", default=None, help="algorithm seeds override"
+    )
+    run_parser.add_argument(
+        "--set", dest="assignments", action="append", default=[],
+        metavar="KEY=VALUE",
+        help="extra parameter override; VALUE is parsed as a Python literal "
+        "(e.g. --set channel_baseline=False)",
+    )
+    run_parser.add_argument(
+        "--processes", "-j", type=int, default=0,
+        help="run sweep points in a process pool of this many workers "
+        "(rows are bit-identical to a serial run)",
+    )
+    run_parser.add_argument(
+        "--json", type=Path, default=None, metavar="PATH",
+        help="write the structured result (rows + params) to this JSON file",
+    )
+    run_parser.add_argument(
+        "--quiet", action="store_true", help="suppress the rendered table"
+    )
+
+    # `bench` is dispatched before this parser runs (argparse.REMAINDER
+    # cannot forward leading --options); the subparser exists so the command
+    # shows up in `repro --help`.
+    sub.add_parser(
+        "bench",
+        help="time the benchmark suite and merge into BENCH_core.json "
+        "(see `repro bench --help`)",
+    )
+    return parser
+
+
+def _parse_assignment(text: str) -> tuple:
+    key, sep, raw = text.partition("=")
+    if not sep or not key:
+        raise ValueError(f"expected KEY=VALUE, got {text!r}")
+    try:
+        value = ast.literal_eval(raw)
+    except (ValueError, SyntaxError):
+        value = raw
+    return key, value
+
+
+def _overrides_from(args: argparse.Namespace) -> Dict[str, Any]:
+    overrides: Dict[str, Any] = {}
+    if args.topology is not None:
+        overrides["topology"] = args.topology
+    if args.sizes is not None:
+        overrides["sizes"] = tuple(args.sizes)
+    if args.seeds is not None:
+        overrides["seeds"] = tuple(args.seeds)
+    for assignment in args.assignments:
+        key, value = _parse_assignment(assignment)
+        overrides[key] = value
+    return overrides
+
+
+def _command_list(args: argparse.Namespace) -> int:
+    specs = all_experiments()
+    if args.json:
+        payload = [
+            {
+                "id": spec.id,
+                "description": spec.description,
+                "columns": list(spec.columns),
+                "topologies": list(spec.topologies),
+                "presets": {name: dict(params) for name, params in spec.presets.items()},
+            }
+            for spec in specs
+        ]
+        print(json.dumps(payload, indent=2))
+        return 0
+    for spec in specs:
+        print(f"{spec.id:>4}  {spec.description}")
+        for name in ("quick", "default", "hot"):
+            params = spec.presets[name]
+            summary = ", ".join(f"{key}={value}" for key, value in params.items())
+            print(f"      {name:<8} {summary}")
+        if spec.topologies:
+            print(f"      topologies: {', '.join(spec.topologies)}")
+    return 0
+
+
+def _command_run(args: argparse.Namespace) -> int:
+    # validate the user's inputs up front so a bad id/preset/override exits
+    # cleanly with a usage error, while a genuine failure *inside* a sweep
+    # keeps its traceback instead of masquerading as operator error
+    try:
+        overrides = _overrides_from(args)
+        spec = get_experiment(args.experiment)
+        spec.params_for(args.preset, overrides)
+    except (KeyError, ValueError) as error:
+        message = error.args[0] if error.args else str(error)
+        print(f"error: {message}", file=sys.stderr)
+        return 2
+    result = run_experiment(
+        spec, preset=args.preset, overrides=overrides, processes=args.processes
+    )
+    if not args.quiet:
+        print(result.to_table().render())
+    if args.json is not None:
+        args.json.write_text(result.to_json())
+        print(f"wrote {args.json}", file=sys.stderr)
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """Entry point for ``python -m repro`` and the ``repro`` console script."""
+    argv = list(sys.argv[1:]) if argv is None else list(argv)
+    if argv[:1] == ["bench"]:
+        # delegate to the trajectory CLI, which owns the bench options
+        from repro.experiments.trajectory import main as bench_main
+
+        return bench_main(argv[1:])
+    args = _build_parser().parse_args(argv)
+    if args.command == "list":
+        return _command_list(args)
+    return _command_run(args)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

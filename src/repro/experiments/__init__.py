@@ -1,14 +1,37 @@
-"""Experiment harness: one module per quantitative claim of the paper.
+"""Experiment harness: one registered spec per quantitative claim of the paper.
 
 The paper is a theory paper without measured tables, so its "evaluation" is
 the set of complexity claims and model-separation results listed in
-DESIGN.md §4.  Each ``eNN_*`` module reproduces one of them: it sweeps the
-instance sizes, runs the relevant algorithms on the simulator, and returns a
-:class:`repro.analysis.reporting.Table` whose rows are recorded in
-EXPERIMENTS.md.  The ``benchmarks/`` directory contains one pytest-benchmark
-target per experiment that calls the corresponding ``run`` function.
+DESIGN.md §4.  Each ``eNN_*`` module reproduces one of them by declaring an
+:class:`~repro.experiments.registry.ExperimentSpec`: the parameter presets
+(``quick``/``default``/``hot``), the supported topology kinds, the row
+schema, and a per-point sweep function returning structured row
+dictionaries.  The unified runner (:mod:`repro.experiments.runner`) executes
+any spec at any preset — serially or across a process pool — and its results
+render to the historical plain-text tables recorded in EXPERIMENTS.md and
+serialize to JSON.  ``python -m repro`` (see :mod:`repro.cli`) is the
+command-line entry point; the benchmark trajectory
+(:mod:`repro.experiments.trajectory`) and the pytest benches under
+``benchmarks/`` drive the same registry.
 """
 
-from repro.experiments.harness import ExperimentConfig, sweep_sizes
+from repro.experiments.harness import ExperimentConfig, make_topology, sweep_sizes
+from repro.experiments.registry import (
+    ExperimentSpec,
+    all_experiments,
+    get_experiment,
+    register_experiment,
+)
+from repro.experiments.runner import ExperimentResult, run_experiment
 
-__all__ = ["ExperimentConfig", "sweep_sizes"]
+__all__ = [
+    "ExperimentConfig",
+    "ExperimentResult",
+    "ExperimentSpec",
+    "all_experiments",
+    "get_experiment",
+    "make_topology",
+    "register_experiment",
+    "run_experiment",
+    "sweep_sizes",
+]

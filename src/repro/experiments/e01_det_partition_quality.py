@@ -9,50 +9,67 @@ at most √n trees.
 from __future__ import annotations
 
 import math
-from typing import Sequence
+from typing import Dict, Sequence
 
 from repro.analysis.reporting import Table
 from repro.core.partition.deterministic import DeterministicPartitioner
 from repro.core.partition.validation import validate_partition
 from repro.experiments.harness import make_topology
+from repro.experiments.registry import register_experiment
+from repro.experiments.runner import run_experiment
 
 DEFAULT_SIZES = (64, 144, 256, 400, 625)
 
 
-def run(sizes: Sequence[int] = DEFAULT_SIZES, topology: str = "grid") -> Table:
-    """Run the sweep and return the E1 table."""
-    table = Table(
-        title="E1  Deterministic partition quality (bounds: #trees ≤ √n, "
-        "min size ≥ √n, radius ≤ 8√n, trees ⊆ MST)",
-        columns=[
-            "n", "m", "sqrt_n", "fragments", "min_size", "max_radius",
-            "radius/sqrt_n", "subtrees_of_MST", "all_bounds_hold",
-        ],
+@register_experiment(
+    id="e1",
+    title="E1  Deterministic partition quality (bounds: #trees ≤ √n, "
+    "min size ≥ √n, radius ≤ 8√n, trees ⊆ MST)",
+    description="deterministic partition quality bounds (Section 3, Claims 1–2)",
+    columns=(
+        "n", "m", "sqrt_n", "fragments", "min_size", "max_radius",
+        "radius/sqrt_n", "subtrees_of_MST", "all_bounds_hold",
+    ),
+    topologies=("grid", "ring", "geometric", "scale_free", "ad_hoc"),
+    presets={
+        "quick": {"sizes": (16, 36), "topology": "grid"},
+        "default": {"sizes": (64, 144, 256), "topology": "grid"},
+        "hot": {"sizes": (4096, 16384), "topology": "grid"},
+    },
+    bench_extras=(("e1_hot", "hot", {}),),
+)
+def sweep_point(n: int, topology: str = "grid") -> Dict[str, object]:
+    """Partition one topology and validate every Section 3 bound."""
+    graph = make_topology(topology, n, seed=11)
+    result = DeterministicPartitioner(graph).run()
+    sqrt_n = math.sqrt(graph.num_nodes())
+    report = validate_partition(
+        result.forest,
+        graph,
+        check_mst_subtrees=True,
+        min_size_bound=sqrt_n,
+        max_radius_bound=8 * sqrt_n,
+        max_fragments_bound=sqrt_n,
     )
-    for n in sizes:
-        graph = make_topology(topology, n, seed=11)
-        result = DeterministicPartitioner(graph).run()
-        sqrt_n = math.sqrt(graph.num_nodes())
-        report = validate_partition(
-            result.forest,
-            graph,
-            check_mst_subtrees=True,
-            min_size_bound=sqrt_n,
-            max_radius_bound=8 * sqrt_n,
-            max_fragments_bound=sqrt_n,
-        )
-        table.add_row(
-            report.n,
-            graph.num_edges(),
-            round(sqrt_n, 1),
-            report.num_fragments,
-            report.min_size,
-            report.max_radius,
-            report.radius_ratio,
-            bool(report.subtrees_of_mst),
-            report.ok,
-        )
-    return table
+    return {
+        "n": report.n,
+        "m": graph.num_edges(),
+        "sqrt_n": round(sqrt_n, 1),
+        "fragments": report.num_fragments,
+        "min_size": report.min_size,
+        "max_radius": report.max_radius,
+        "radius/sqrt_n": report.radius_ratio,
+        "subtrees_of_MST": bool(report.subtrees_of_mst),
+        "all_bounds_hold": report.ok,
+    }
+
+
+def run(sizes: Sequence[int] = DEFAULT_SIZES, topology: str = "grid") -> Table:
+    """Run the sweep and return the E1 table (registry-backed)."""
+    result = run_experiment(
+        "e1", overrides={"sizes": tuple(sizes), "topology": topology}
+    )
+    return result.to_table()
 
 
 if __name__ == "__main__":

@@ -9,7 +9,7 @@ constant band as n grows.
 
 from __future__ import annotations
 
-from typing import Sequence
+from typing import Dict, Sequence
 
 from repro.analysis.complexity import (
     det_partition_message_bound,
@@ -18,37 +18,54 @@ from repro.analysis.complexity import (
 from repro.analysis.reporting import Table
 from repro.core.partition.deterministic import DeterministicPartitioner
 from repro.experiments.harness import make_topology
+from repro.experiments.registry import register_experiment
+from repro.experiments.runner import run_experiment
 
 DEFAULT_SIZES = (64, 144, 256, 400, 625)
 
 
+@register_experiment(
+    id="e2",
+    title="E2  Deterministic partition complexity "
+    "(bounds: time O(√n log* n), messages O(m + n log n log* n))",
+    description="deterministic partition time/message complexity (Section 3)",
+    columns=(
+        "n", "m", "rounds", "busy_rounds", "time_bound",
+        "rounds/bound", "messages", "message_bound", "messages/bound",
+    ),
+    topologies=("grid", "ring", "geometric", "scale_free", "ad_hoc"),
+    presets={
+        "quick": {"sizes": (16, 36), "topology": "grid"},
+        "default": {"sizes": (64, 144, 256), "topology": "grid"},
+        "hot": {"sizes": (1024, 4096, 16384), "topology": "grid"},
+    },
+    bench_extras=(("e2_hot", "hot", {}),),
+)
+def sweep_point(n: int, topology: str = "grid") -> Dict[str, object]:
+    """Partition one topology and compare its cost to the Section 3 bounds."""
+    graph = make_topology(topology, n, seed=11)
+    result = DeterministicPartitioner(graph).run()
+    time_bound = det_partition_time_bound(graph.num_nodes())
+    message_bound = det_partition_message_bound(graph.num_nodes(), graph.num_edges())
+    return {
+        "n": graph.num_nodes(),
+        "m": graph.num_edges(),
+        "rounds": result.metrics.rounds,
+        "busy_rounds": result.busy_rounds,
+        "time_bound": round(time_bound, 1),
+        "rounds/bound": result.metrics.rounds / time_bound,
+        "messages": result.metrics.point_to_point_messages,
+        "message_bound": round(message_bound, 1),
+        "messages/bound": result.metrics.point_to_point_messages / message_bound,
+    }
+
+
 def run(sizes: Sequence[int] = DEFAULT_SIZES, topology: str = "grid") -> Table:
-    """Run the sweep and return the E2 table."""
-    table = Table(
-        title="E2  Deterministic partition complexity "
-        "(bounds: time O(√n log* n), messages O(m + n log n log* n))",
-        columns=[
-            "n", "m", "rounds", "busy_rounds", "time_bound",
-            "rounds/bound", "messages", "message_bound", "messages/bound",
-        ],
+    """Run the sweep and return the E2 table (registry-backed)."""
+    result = run_experiment(
+        "e2", overrides={"sizes": tuple(sizes), "topology": topology}
     )
-    for n in sizes:
-        graph = make_topology(topology, n, seed=11)
-        result = DeterministicPartitioner(graph).run()
-        time_bound = det_partition_time_bound(graph.num_nodes())
-        message_bound = det_partition_message_bound(graph.num_nodes(), graph.num_edges())
-        table.add_row(
-            graph.num_nodes(),
-            graph.num_edges(),
-            result.metrics.rounds,
-            result.busy_rounds,
-            round(time_bound, 1),
-            result.metrics.rounds / time_bound,
-            result.metrics.point_to_point_messages,
-            round(message_bound, 1),
-            result.metrics.point_to_point_messages / message_bound,
-        )
-    return table
+    return result.to_table()
 
 
 if __name__ == "__main__":

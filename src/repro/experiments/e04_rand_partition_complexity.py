@@ -8,7 +8,7 @@ the expected cost matches the Monte-Carlo cost.
 
 from __future__ import annotations
 
-from typing import Sequence
+from typing import Dict, Sequence
 
 from repro.analysis.complexity import (
     rand_partition_message_bound,
@@ -18,9 +18,54 @@ from repro.analysis.reporting import Table
 from repro.analysis.statistics import mean
 from repro.core.partition.randomized import RandomizedPartitioner
 from repro.experiments.harness import make_topology
+from repro.experiments.registry import register_experiment
+from repro.experiments.runner import run_experiment
 
 DEFAULT_SIZES = (64, 144, 256, 400)
 DEFAULT_SEEDS = (1, 2, 3, 4, 5)
+
+
+@register_experiment(
+    id="e4",
+    title="E4  Randomized partition complexity "
+    "(bounds: time O(√n log* n), messages O(m + n log* n); Las-Vegas restarts rare)",
+    description="randomized partition complexity + Las-Vegas restarts (Section 4)",
+    columns=(
+        "n", "m", "mean_rounds", "time_bound", "rounds/bound",
+        "mean_messages", "message_bound", "messages/bound", "total_restarts",
+    ),
+    topologies=("grid", "ring", "geometric", "scale_free", "ad_hoc"),
+    presets={
+        "quick": {"sizes": (16, 36), "seeds": (1,), "topology": "grid"},
+        "default": {"sizes": (64, 144, 256), "seeds": (1, 2, 3), "topology": "grid"},
+        "hot": {"sizes": (1024, 4096, 16384), "seeds": (1, 2), "topology": "grid"},
+    },
+    bench_extras=(("e4_hot", "hot", {}),),
+)
+def sweep_point(
+    n: int, seeds: Sequence[int] = DEFAULT_SEEDS, topology: str = "grid"
+) -> Dict[str, object]:
+    """Run the Las-Vegas partitioner across seeds and compare to the bounds."""
+    graph = make_topology(topology, n, seed=11)
+    rounds, messages, restarts = [], [], 0
+    for seed in seeds:
+        result = RandomizedPartitioner(graph, seed=seed, las_vegas=True).run()
+        rounds.append(result.metrics.rounds)
+        messages.append(result.metrics.point_to_point_messages)
+        restarts += result.restarts
+    time_bound = rand_partition_time_bound(graph.num_nodes())
+    message_bound = rand_partition_message_bound(graph.num_nodes(), graph.num_edges())
+    return {
+        "n": graph.num_nodes(),
+        "m": graph.num_edges(),
+        "mean_rounds": mean(rounds),
+        "time_bound": round(time_bound, 1),
+        "rounds/bound": mean(rounds) / time_bound,
+        "mean_messages": mean(messages),
+        "message_bound": round(message_bound, 1),
+        "messages/bound": mean(messages) / message_bound,
+        "total_restarts": restarts,
+    }
 
 
 def run(
@@ -28,37 +73,12 @@ def run(
     seeds: Sequence[int] = DEFAULT_SEEDS,
     topology: str = "grid",
 ) -> Table:
-    """Run the sweep and return the E4 table."""
-    table = Table(
-        title="E4  Randomized partition complexity "
-        "(bounds: time O(√n log* n), messages O(m + n log* n); Las-Vegas restarts rare)",
-        columns=[
-            "n", "m", "mean_rounds", "time_bound", "rounds/bound",
-            "mean_messages", "message_bound", "messages/bound", "total_restarts",
-        ],
+    """Run the sweep and return the E4 table (registry-backed)."""
+    result = run_experiment(
+        "e4",
+        overrides={"sizes": tuple(sizes), "seeds": tuple(seeds), "topology": topology},
     )
-    for n in sizes:
-        graph = make_topology(topology, n, seed=11)
-        rounds, messages, restarts = [], [], 0
-        for seed in seeds:
-            result = RandomizedPartitioner(graph, seed=seed, las_vegas=True).run()
-            rounds.append(result.metrics.rounds)
-            messages.append(result.metrics.point_to_point_messages)
-            restarts += result.restarts
-        time_bound = rand_partition_time_bound(graph.num_nodes())
-        message_bound = rand_partition_message_bound(graph.num_nodes(), graph.num_edges())
-        table.add_row(
-            graph.num_nodes(),
-            graph.num_edges(),
-            mean(rounds),
-            round(time_bound, 1),
-            mean(rounds) / time_bound,
-            mean(messages),
-            round(message_bound, 1),
-            mean(messages) / message_bound,
-            restarts,
-        )
-    return table
+    return result.to_table()
 
 
 if __name__ == "__main__":

@@ -8,50 +8,67 @@ messages stay at O(m + n log n log* n).  Both variants are measured here.
 
 from __future__ import annotations
 
-from typing import Sequence
+from typing import Dict, Sequence
 
 from repro.analysis.complexity import global_det_time_bound
 from repro.analysis.reporting import Table
 from repro.core.global_function.multimedia import compute_global_function
 from repro.core.global_function.semigroup import INTEGER_ADDITION
 from repro.experiments.harness import make_topology
+from repro.experiments.registry import register_experiment
+from repro.experiments.runner import run_experiment
 
 DEFAULT_SIZES = (64, 144, 256, 400)
 
 
-def run(sizes: Sequence[int] = DEFAULT_SIZES, topology: str = "grid") -> Table:
-    """Run the sweep and return the E5 table."""
-    table = Table(
-        title="E5  Deterministic global sensitive function (sum) "
-        "(bound with tightened balance: O(√(n log n log* n)) time)",
-        columns=[
-            "n", "fragments", "rounds_standard", "rounds_tightened",
-            "time_bound", "tightened/bound", "global_slots", "value_correct",
-        ],
+@register_experiment(
+    id="e5",
+    title="E5  Deterministic global sensitive function (sum) "
+    "(bound with tightened balance: O(√(n log n log* n)) time)",
+    description="deterministic global sensitive function, both balances (Section 5.1)",
+    columns=(
+        "n", "fragments", "rounds_standard", "rounds_tightened",
+        "time_bound", "tightened/bound", "global_slots", "value_correct",
+    ),
+    topologies=("grid", "ring", "geometric", "scale_free", "ad_hoc"),
+    presets={
+        "quick": {"sizes": (16, 36), "topology": "grid"},
+        "default": {"sizes": (64, 144, 256), "topology": "grid"},
+        "hot": {"sizes": (1024, 4096), "topology": "grid"},
+    },
+    bench_extras=(("e5_hot", "hot", {}),),
+)
+def sweep_point(n: int, topology: str = "grid") -> Dict[str, object]:
+    """Compute the network-wide sum deterministically under both balances."""
+    graph = make_topology(topology, n, seed=11)
+    inputs = {node: int(node) for node in graph.nodes()}
+    expected = sum(inputs.values())
+    standard = compute_global_function(
+        graph, INTEGER_ADDITION, inputs, method="deterministic", seed=7
     )
-    for n in sizes:
-        graph = make_topology(topology, n, seed=11)
-        inputs = {node: int(node) for node in graph.nodes()}
-        expected = sum(inputs.values())
-        standard = compute_global_function(
-            graph, INTEGER_ADDITION, inputs, method="deterministic", seed=7
-        )
-        tightened = compute_global_function(
-            graph, INTEGER_ADDITION, inputs, method="deterministic", seed=7,
-            tightened_balance=True,
-        )
-        bound = global_det_time_bound(graph.num_nodes())
-        table.add_row(
-            graph.num_nodes(),
-            standard.num_fragments,
-            standard.total_rounds,
-            tightened.total_rounds,
-            round(bound, 1),
-            tightened.total_rounds / bound,
-            standard.global_slots,
-            standard.value == expected and tightened.value == expected,
-        )
-    return table
+    tightened = compute_global_function(
+        graph, INTEGER_ADDITION, inputs, method="deterministic", seed=7,
+        tightened_balance=True,
+    )
+    bound = global_det_time_bound(graph.num_nodes())
+    return {
+        "n": graph.num_nodes(),
+        "fragments": standard.num_fragments,
+        "rounds_standard": standard.total_rounds,
+        "rounds_tightened": tightened.total_rounds,
+        "time_bound": round(bound, 1),
+        "tightened/bound": tightened.total_rounds / bound,
+        "global_slots": standard.global_slots,
+        "value_correct": standard.value == expected and tightened.value == expected,
+    }
+
+
+def run(sizes: Sequence[int] = DEFAULT_SIZES, topology: str = "grid") -> Table:
+    """Run the sweep and return the E5 table (registry-backed)."""
+    result = run_experiment(
+        "e5", overrides={"sizes": tuple(sizes), "topology": topology}
+    )
+    return result.to_table()
 
 
 if __name__ == "__main__":

@@ -7,7 +7,7 @@ messages; the global stage needs only O(1) expected slots per fragment root.
 
 from __future__ import annotations
 
-from typing import Sequence
+from typing import Dict, Sequence
 
 from repro.analysis.complexity import global_rand_time_bound, rand_partition_message_bound
 from repro.analysis.reporting import Table
@@ -15,9 +15,63 @@ from repro.analysis.statistics import mean
 from repro.core.global_function.multimedia import compute_global_function
 from repro.core.global_function.semigroup import INTEGER_ADDITION, INTEGER_MINIMUM, XOR
 from repro.experiments.harness import make_topology
+from repro.experiments.registry import register_experiment
+from repro.experiments.runner import run_experiment
 
 DEFAULT_SIZES = (64, 144, 256, 400)
 DEFAULT_SEEDS = (1, 2, 3)
+
+_FUNCTIONS = (INTEGER_ADDITION, INTEGER_MINIMUM, XOR)
+
+
+@register_experiment(
+    id="e6",
+    title="E6  Randomized global sensitive functions (sum/min/xor) "
+    "(bounds: E[time] O(√n log* n), messages O(m + n log* n), "
+    "O(1) expected slots per root)",
+    description="randomized global sensitive functions (Section 5.1)",
+    columns=(
+        "n", "mean_rounds", "time_bound", "rounds/bound",
+        "mean_messages", "messages/bound", "slots_per_root", "values_correct",
+    ),
+    topologies=("grid", "ring", "geometric", "scale_free", "ad_hoc"),
+    presets={
+        "quick": {"sizes": (16, 36), "seeds": (1,), "topology": "grid"},
+        "default": {"sizes": (64, 144, 256), "seeds": (1, 2, 3), "topology": "grid"},
+        "hot": {"sizes": (1024, 4096), "seeds": (1, 2), "topology": "grid"},
+    },
+    bench_extras=(("e6_hot", "hot", {}),),
+)
+def sweep_point(
+    n: int, seeds: Sequence[int] = DEFAULT_SEEDS, topology: str = "grid"
+) -> Dict[str, object]:
+    """Aggregate sum/min/xor across seeds and compare to the Section 5.1 bounds."""
+    graph = make_topology(topology, n, seed=11)
+    inputs = {node: int(node) + 1 for node in graph.nodes()}
+    rounds, messages, slots_per_root = [], [], []
+    correct = True
+    for seed in seeds:
+        function = _FUNCTIONS[seed % len(_FUNCTIONS)]
+        expected = function.evaluate(list(inputs.values()))
+        result = compute_global_function(
+            graph, function, inputs, method="randomized", seed=seed
+        )
+        correct = correct and result.value == expected
+        rounds.append(result.total_rounds)
+        messages.append(result.metrics.point_to_point_messages)
+        slots_per_root.append(result.global_slots / max(1, result.num_fragments))
+    time_bound = global_rand_time_bound(graph.num_nodes())
+    message_bound = rand_partition_message_bound(graph.num_nodes(), graph.num_edges())
+    return {
+        "n": graph.num_nodes(),
+        "mean_rounds": mean(rounds),
+        "time_bound": round(time_bound, 1),
+        "rounds/bound": mean(rounds) / time_bound,
+        "mean_messages": mean(messages),
+        "messages/bound": mean(messages) / message_bound,
+        "slots_per_root": mean(slots_per_root),
+        "values_correct": correct,
+    }
 
 
 def run(
@@ -25,45 +79,12 @@ def run(
     seeds: Sequence[int] = DEFAULT_SEEDS,
     topology: str = "grid",
 ) -> Table:
-    """Run the sweep and return the E6 table."""
-    table = Table(
-        title="E6  Randomized global sensitive functions (sum/min/xor) "
-        "(bounds: E[time] O(√n log* n), messages O(m + n log* n), "
-        "O(1) expected slots per root)",
-        columns=[
-            "n", "mean_rounds", "time_bound", "rounds/bound",
-            "mean_messages", "messages/bound", "slots_per_root", "values_correct",
-        ],
+    """Run the sweep and return the E6 table (registry-backed)."""
+    result = run_experiment(
+        "e6",
+        overrides={"sizes": tuple(sizes), "seeds": tuple(seeds), "topology": topology},
     )
-    functions = (INTEGER_ADDITION, INTEGER_MINIMUM, XOR)
-    for n in sizes:
-        graph = make_topology(topology, n, seed=11)
-        inputs = {node: int(node) + 1 for node in graph.nodes()}
-        rounds, messages, slots_per_root = [], [], []
-        correct = True
-        for seed in seeds:
-            function = functions[seed % len(functions)]
-            expected = function.evaluate(list(inputs.values()))
-            result = compute_global_function(
-                graph, function, inputs, method="randomized", seed=seed
-            )
-            correct = correct and result.value == expected
-            rounds.append(result.total_rounds)
-            messages.append(result.metrics.point_to_point_messages)
-            slots_per_root.append(result.global_slots / max(1, result.num_fragments))
-        time_bound = global_rand_time_bound(graph.num_nodes())
-        message_bound = rand_partition_message_bound(graph.num_nodes(), graph.num_edges())
-        table.add_row(
-            graph.num_nodes(),
-            mean(rounds),
-            round(time_bound, 1),
-            mean(rounds) / time_bound,
-            mean(messages),
-            mean(messages) / message_bound,
-            mean(slots_per_root),
-            correct,
-        )
-    return table
+    return result.to_table()
 
 
 if __name__ == "__main__":

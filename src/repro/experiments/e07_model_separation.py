@@ -18,7 +18,7 @@ the reported ``lb_channel`` column.
 
 from __future__ import annotations
 
-from typing import Sequence
+from typing import Dict, Mapping, Sequence
 
 from repro.analysis.reporting import Table
 from repro.core.global_function.baselines import (
@@ -33,8 +33,97 @@ from repro.core.lower_bounds import (
     point_to_point_lower_bound,
 )
 from repro.experiments.harness import make_topology, topology_diameter
+from repro.experiments.registry import register_experiment
+from repro.experiments.runner import run_experiment
 
 DEFAULT_SIZES = (64, 128, 256, 512, 1024)
+
+
+def _title(params: Mapping[str, object]) -> str:
+    topology = params.get("topology", "ring")
+    if topology == "ring":
+        return (
+            "E7  Model separation on diameter-Θ(n) topologies "
+            "(multimedia Õ(√n) vs point-to-point Ω(d) vs channel Ω(n))"
+        )
+    # low-diameter kinds: the point-to-point Ω(d) bound is weak there,
+    # so the separation is carried by the channel-only Ω(n) bound
+    return (
+        f"E7  Model separation on {topology} topologies "
+        "(multimedia Õ(√n) vs point-to-point Ω(d) vs channel Ω(n); "
+        "low diameter — the channel Ω(n) bound carries the gap)"
+    )
+
+
+@register_experiment(
+    id="e7",
+    title=_title,
+    description="multimedia vs single-medium separation (Theorem 2, Corollary 3)",
+    columns=(
+        "n", "diameter", "t_multimedia", "t_p2p_only", "t_channel_only",
+        "lb_p2p", "lb_channel", "lb_multimedia",
+        "speedup_vs_p2p", "speedup_vs_channel",
+    ),
+    topologies=("ring", "grid", "geometric", "scale_free", "ad_hoc"),
+    presets={
+        "quick": {"sizes": (16, 32), "topology": "ring", "channel_baseline": True},
+        "default": {"sizes": (128, 256, 512), "topology": "ring",
+                    "channel_baseline": True},
+        # hot sizes are only affordable without the Θ(n²) measured
+        # channel-only baseline; the lb_channel column still reports Ω(n)
+        "hot": {"sizes": (4096, 10240), "topology": "scale_free",
+                "channel_baseline": False},
+    },
+    bench_extras=(
+        ("e7_scale_free_hot", "hot", {}),
+        ("e7_ad_hoc_hot", "hot", {"topology": "ad_hoc"}),
+    ),
+    quick_extras=(
+        ("e7_scale_free", "quick",
+         {"sizes": (64, 128), "topology": "scale_free", "channel_baseline": False}),
+        ("e7_ad_hoc", "quick",
+         {"sizes": (64, 128), "topology": "ad_hoc", "channel_baseline": False}),
+    ),
+)
+def sweep_point(
+    n: int, topology: str = "ring", channel_baseline: bool = True
+) -> Dict[str, object]:
+    """Measure all three media on one topology and report the separation.
+
+    Raises:
+        AssertionError: if any medium computes the wrong aggregate — the
+            separation claim is only meaningful when all three agree on the
+            network-wide sum.
+    """
+    graph = make_topology(topology, n, seed=11)
+    d = topology_diameter(topology, graph)
+    inputs = {node: int(node) for node in graph.nodes()}
+    expected = sum(inputs.values())
+    multimedia = compute_global_function(
+        graph, INTEGER_ADDITION, inputs, method="randomized", seed=5
+    )
+    p2p = compute_on_point_to_point_only(graph, INTEGER_ADDITION, inputs, seed=5)
+    assert multimedia.value == expected and p2p.value == expected
+    if channel_baseline:
+        channel = compute_on_channel_only(graph, INTEGER_ADDITION, inputs, seed=5)
+        assert channel.value == expected
+        channel_rounds: object = channel.rounds
+        channel_speedup: object = channel.rounds / multimedia.total_rounds
+    else:
+        channel_rounds = "-"
+        channel_speedup = "-"
+    return {
+        "n": graph.num_nodes(),
+        "diameter": d,
+        "t_multimedia": multimedia.total_rounds,
+        "t_p2p_only": p2p.rounds,
+        "t_channel_only": channel_rounds,
+        "lb_p2p": point_to_point_lower_bound(d),
+        "lb_channel": broadcast_lower_bound(graph.num_nodes()),
+        "lb_multimedia": multimedia_lower_bound(graph.num_nodes(), d),
+        "speedup_vs_p2p": p2p.rounds / multimedia.total_rounds,
+        "speedup_vs_channel": channel_speedup,
+    }
 
 
 def run(
@@ -42,7 +131,7 @@ def run(
     topology: str = "ring",
     channel_baseline: bool = True,
 ) -> Table:
-    """Run the sweep and return the E7 table.
+    """Run the sweep and return the E7 table (registry-backed).
 
     Args:
         sizes: approximate node counts, one row per entry.
@@ -51,55 +140,15 @@ def run(
             ``n ≥ 10^4`` sweeps; the ``lb_channel`` column still reports the
             Ω(n) bound and the cell shows ``-``).
     """
-    if topology == "ring":
-        title = (
-            "E7  Model separation on diameter-Θ(n) topologies "
-            "(multimedia Õ(√n) vs point-to-point Ω(d) vs channel Ω(n))"
-        )
-    else:
-        # low-diameter kinds: the point-to-point Ω(d) bound is weak there,
-        # so the separation is carried by the channel-only Ω(n) bound
-        title = (
-            f"E7  Model separation on {topology} topologies "
-            "(multimedia Õ(√n) vs point-to-point Ω(d) vs channel Ω(n); "
-            "low diameter — the channel Ω(n) bound carries the gap)"
-        )
-    table = Table(
-        title=title,
-        columns=[
-            "n", "diameter", "t_multimedia", "t_p2p_only", "t_channel_only",
-            "lb_p2p", "lb_channel", "lb_multimedia",
-            "speedup_vs_p2p", "speedup_vs_channel",
-        ],
+    result = run_experiment(
+        "e7",
+        overrides={
+            "sizes": tuple(sizes),
+            "topology": topology,
+            "channel_baseline": channel_baseline,
+        },
     )
-    for n in sizes:
-        graph = make_topology(topology, n, seed=11)
-        d = topology_diameter(topology, graph)
-        inputs = {node: int(node) for node in graph.nodes()}
-        multimedia = compute_global_function(
-            graph, INTEGER_ADDITION, inputs, method="randomized", seed=5
-        )
-        p2p = compute_on_point_to_point_only(graph, INTEGER_ADDITION, inputs, seed=5)
-        if channel_baseline:
-            channel = compute_on_channel_only(graph, INTEGER_ADDITION, inputs, seed=5)
-            channel_rounds: object = channel.rounds
-            channel_speedup: object = channel.rounds / multimedia.total_rounds
-        else:
-            channel_rounds = "-"
-            channel_speedup = "-"
-        table.add_row(
-            graph.num_nodes(),
-            d,
-            multimedia.total_rounds,
-            p2p.rounds,
-            channel_rounds,
-            point_to_point_lower_bound(d),
-            broadcast_lower_bound(graph.num_nodes()),
-            multimedia_lower_bound(graph.num_nodes(), d),
-            p2p.rounds / multimedia.total_rounds,
-            channel_speedup,
-        )
-    return table
+    return result.to_table()
 
 
 if __name__ == "__main__":

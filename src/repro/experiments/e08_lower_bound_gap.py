@@ -12,13 +12,15 @@ measured = Õ(upper bound).
 
 from __future__ import annotations
 
-from typing import Sequence
+from typing import Dict, List, Mapping, Sequence
 
 from repro.analysis.complexity import global_rand_time_bound
 from repro.analysis.reporting import Table
 from repro.core.global_function.multimedia import compute_global_function
 from repro.core.global_function.semigroup import INTEGER_ADDITION
 from repro.core.lower_bounds import claim4_sensitivity_trace, multimedia_lower_bound
+from repro.experiments.registry import register_experiment
+from repro.experiments.runner import run_experiment
 from repro.topology.generators import ray_graph
 from repro.topology.properties import diameter
 from repro.topology.weights import assign_distinct_weights
@@ -27,38 +29,63 @@ DEFAULT_PARAMS = ((8, 8), (16, 8), (16, 16), (32, 16))
 """(num_rays, ray_length) pairs — n = rays·length + 1, d = 2·length."""
 
 
-def run(params: Sequence = DEFAULT_PARAMS) -> Table:
-    """Run the sweep and return the E8 table."""
-    table = Table(
-        title="E8  Multimedia lower bound on ray graphs "
-        "(Ω(min{d,√n}) ≤ measured ≤ O(√n log* n))",
-        columns=[
-            "n", "diameter", "adversary_horizon", "lower_bound",
-            "t_multimedia", "upper_bound", "lb ≤ measured", "measured/upper",
-        ],
+def _ray_points(params: Mapping[str, object]) -> List[Dict[str, object]]:
+    """One sweep point per (num_rays, ray_length) pair."""
+    return [
+        {"num_rays": num_rays, "ray_length": ray_length}
+        for num_rays, ray_length in params["params"]
+    ]
+
+
+@register_experiment(
+    id="e8",
+    title="E8  Multimedia lower bound on ray graphs "
+    "(Ω(min{d,√n}) ≤ measured ≤ O(√n log* n))",
+    description="Ω(min{d,√n}) lower bound vs measured time on ray graphs (§5.2)",
+    columns=(
+        "n", "diameter", "adversary_horizon", "lower_bound",
+        "t_multimedia", "upper_bound", "lb ≤ measured", "measured/upper",
+    ),
+    # the sweep is over ray-graph shapes, not make_topology kinds
+    topologies=(),
+    points=_ray_points,
+    presets={
+        "quick": {"params": ((4, 4), (8, 4))},
+        "default": {"params": ((8, 8), (16, 8), (16, 16))},
+        "hot": {"params": ((32, 32), (64, 32))},
+    },
+    bench_extras=(("e8_hot", "hot", {}),),
+)
+def sweep_point(num_rays: int, ray_length: int) -> Dict[str, object]:
+    """Run the multimedia algorithm on one ray graph against Claim 4's bound."""
+    graph = assign_distinct_weights(ray_graph(num_rays, ray_length), seed=11)
+    n = graph.num_nodes()
+    d = diameter(graph)
+    trace = claim4_sensitivity_trace(n, d)
+    inputs = {node: int(node) for node in graph.nodes()}
+    result = compute_global_function(
+        graph, INTEGER_ADDITION, inputs, method="randomized", seed=5
     )
-    for num_rays, ray_length in params:
-        graph = assign_distinct_weights(ray_graph(num_rays, ray_length), seed=11)
-        n = graph.num_nodes()
-        d = diameter(graph)
-        trace = claim4_sensitivity_trace(n, d)
-        inputs = {node: int(node) for node in graph.nodes()}
-        result = compute_global_function(
-            graph, INTEGER_ADDITION, inputs, method="randomized", seed=5
-        )
-        lower = multimedia_lower_bound(n, d)
-        upper = global_rand_time_bound(n)
-        table.add_row(
-            n,
-            d,
-            trace.horizon,
-            lower,
-            result.total_rounds,
-            round(upper, 1),
-            result.total_rounds >= lower,
-            result.total_rounds / upper,
-        )
-    return table
+    lower = multimedia_lower_bound(n, d)
+    upper = global_rand_time_bound(n)
+    return {
+        "n": n,
+        "diameter": d,
+        "adversary_horizon": trace.horizon,
+        "lower_bound": lower,
+        "t_multimedia": result.total_rounds,
+        "upper_bound": round(upper, 1),
+        "lb ≤ measured": result.total_rounds >= lower,
+        "measured/upper": result.total_rounds / upper,
+    }
+
+
+def run(params: Sequence = DEFAULT_PARAMS) -> Table:
+    """Run the sweep and return the E8 table (registry-backed)."""
+    result = run_experiment(
+        "e8", overrides={"params": tuple(tuple(pair) for pair in params)}
+    )
+    return result.to_table()
 
 
 if __name__ == "__main__":

@@ -9,7 +9,7 @@ growing with n.
 
 from __future__ import annotations
 
-from typing import Sequence
+from typing import Dict, Sequence
 
 from repro.analysis.complexity import mst_message_bound, mst_time_bound
 from repro.analysis.reporting import Table
@@ -17,6 +17,8 @@ from repro.core.mst.ghs_baseline import PointToPointMST
 from repro.core.mst.kruskal import kruskal_mst
 from repro.core.mst.multimedia_mst import MultimediaMST
 from repro.experiments.harness import make_topology
+from repro.experiments.registry import register_experiment
+from repro.experiments.runner import run_experiment
 
 DEFAULT_SIZES = (64, 256, 1024, 2048, 4096)
 """Ring sizes spanning the crossover: below ≈1.5k the point-to-point baseline's
@@ -24,40 +26,55 @@ smaller constants win; beyond it the multimedia algorithm's O(√n log n) time
 dominates the baseline's Θ(n log n)."""
 
 
-def run(sizes: Sequence[int] = DEFAULT_SIZES, topology: str = "ring") -> Table:
-    """Run the sweep and return the E9 table."""
-    table = Table(
-        title="E9  Multimedia MST vs point-to-point-only baseline "
-        "(bounds: time O(√n log n), messages O(m + n log n log* n); exact MST)",
-        columns=[
-            "n", "m", "t_multimedia", "time_bound", "t/bound",
-            "messages", "messages/bound", "t_p2p_only", "speedup", "matches_kruskal",
-        ],
+@register_experiment(
+    id="e9",
+    title="E9  Multimedia MST vs point-to-point-only baseline "
+    "(bounds: time O(√n log n), messages O(m + n log n log* n); exact MST)",
+    description="multimedia MST vs point-to-point baseline, exactness (Section 6)",
+    columns=(
+        "n", "m", "t_multimedia", "time_bound", "t/bound",
+        "messages", "messages/bound", "t_p2p_only", "speedup", "matches_kruskal",
+    ),
+    topologies=("ring", "grid", "geometric", "scale_free", "ad_hoc"),
+    presets={
+        "quick": {"sizes": (16, 64), "topology": "ring"},
+        "default": {"sizes": (64, 256, 1024, 2048), "topology": "ring"},
+        "hot": {"sizes": (4096, 16384), "topology": "ring"},
+    },
+    bench_extras=(("e9_hot", "hot", {}),),
+)
+def sweep_point(n: int, topology: str = "ring") -> Dict[str, object]:
+    """Build one MST with all three algorithms and compare cost and output."""
+    graph = make_topology(topology, n, seed=11)
+    reference = kruskal_mst(graph)
+    multimedia = MultimediaMST(graph).run()
+    baseline = PointToPointMST(graph).run()
+    matches = (
+        multimedia.mst.edge_keys() == reference.edge_keys()
+        and baseline.mst.edge_keys() == reference.edge_keys()
     )
-    for n in sizes:
-        graph = make_topology(topology, n, seed=11)
-        reference = kruskal_mst(graph)
-        multimedia = MultimediaMST(graph).run()
-        baseline = PointToPointMST(graph).run()
-        matches = (
-            multimedia.mst.edge_keys() == reference.edge_keys()
-            and baseline.mst.edge_keys() == reference.edge_keys()
-        )
-        time_bound = mst_time_bound(graph.num_nodes())
-        message_bound = mst_message_bound(graph.num_nodes(), graph.num_edges())
-        table.add_row(
-            graph.num_nodes(),
-            graph.num_edges(),
-            multimedia.total_rounds,
-            round(time_bound, 1),
-            multimedia.total_rounds / time_bound,
-            multimedia.metrics.point_to_point_messages,
-            multimedia.metrics.point_to_point_messages / message_bound,
-            baseline.total_rounds,
-            baseline.total_rounds / multimedia.total_rounds,
-            matches,
-        )
-    return table
+    time_bound = mst_time_bound(graph.num_nodes())
+    message_bound = mst_message_bound(graph.num_nodes(), graph.num_edges())
+    return {
+        "n": graph.num_nodes(),
+        "m": graph.num_edges(),
+        "t_multimedia": multimedia.total_rounds,
+        "time_bound": round(time_bound, 1),
+        "t/bound": multimedia.total_rounds / time_bound,
+        "messages": multimedia.metrics.point_to_point_messages,
+        "messages/bound": multimedia.metrics.point_to_point_messages / message_bound,
+        "t_p2p_only": baseline.total_rounds,
+        "speedup": baseline.total_rounds / multimedia.total_rounds,
+        "matches_kruskal": matches,
+    }
+
+
+def run(sizes: Sequence[int] = DEFAULT_SIZES, topology: str = "ring") -> Table:
+    """Run the sweep and return the E9 table (registry-backed)."""
+    result = run_experiment(
+        "e9", overrides={"sizes": tuple(sizes), "topology": topology}
+    )
+    return result.to_table()
 
 
 if __name__ == "__main__":

@@ -12,7 +12,7 @@ Claims reproduced:
 
 from __future__ import annotations
 
-from typing import Sequence
+from typing import Dict, Sequence
 
 from repro.analysis.reporting import Table
 from repro.analysis.statistics import mean
@@ -21,6 +21,8 @@ from repro.core.size_estimation import (
     estimate_size_randomized,
 )
 from repro.experiments.harness import make_topology
+from repro.experiments.registry import register_experiment
+from repro.experiments.runner import run_experiment
 from repro.protocols.spanning.broadcast_convergecast import TreeAggregationProtocol
 from repro.protocols.spanning.bfs import build_bfs_forest
 from repro.protocols.spanning.tree_utils import children_map
@@ -46,12 +48,78 @@ def _aggregation_inputs(graph, root):
     }
 
 
+@register_experiment(
+    id="e10",
+    title="E10  Model variations: synchronizer overhead (Cor. 4), "
+    "exact size computation (7.3), randomized size estimate (7.4)",
+    description="synchronizer overhead + size computation/estimation (Section 7)",
+    columns=(
+        "n", "sync_msg_overhead(≤2)", "sync_pulses", "sync_time",
+        "det_size_exact", "mean_GL_estimate", "GL_error_factor",
+    ),
+    topologies=("grid", "ring", "geometric", "scale_free", "ad_hoc"),
+    presets={
+        "quick": {"sizes": (16, 36), "seeds": (1,), "topology": "grid"},
+        "default": {"sizes": (36, 64, 100), "seeds": (1, 2, 3), "topology": "grid"},
+        "hot": {"sizes": (1024, 4096), "seeds": (1, 2), "topology": "grid"},
+    },
+    bench_extras=(
+        ("e10_hot", "hot", {}),
+        ("e10_scale_free", "hot",
+         {"sizes": (256, 1024), "topology": "scale_free"}),
+    ),
+    quick_extras=(
+        ("e10_scale_free", "quick", {"sizes": (36,), "topology": "scale_free"}),
+    ),
+)
+def sweep_point(
+    n: int, seeds: Sequence[int] = DEFAULT_SEEDS, topology: str = "grid"
+) -> Dict[str, object]:
+    """Exercise the Section 7 variations on one topology.
+
+    Raises:
+        AssertionError: if the synchronous and synchronized runs disagree on
+            the aggregate (both must equal the true node count).
+    """
+    graph = make_topology(topology, n, seed=11)
+    true_n = graph.num_nodes()
+    root = min(graph.nodes())
+    inputs = _aggregation_inputs(graph, root)
+
+    # Corollary 4: run the same aggregation synchronously and under the
+    # channel synchronizer on an asynchronous network
+    sync_run = MultimediaNetwork(graph, seed=3).run(
+        TreeAggregationProtocol, inputs=inputs
+    )
+    async_run = ChannelSynchronizer(graph, max_link_delay=3, seed=3).run(
+        TreeAggregationProtocol, inputs=inputs
+    )
+    assert async_run.results[root] == sync_run.results[root] == true_n
+
+    det = compute_size_deterministically(graph, seed=1)
+    estimates = [
+        estimate_size_randomized(graph, seed=seed).estimate for seed in seeds
+    ]
+    error = mean(
+        [max(est / true_n, true_n / est) if est else float("inf") for est in estimates]
+    )
+    return {
+        "n": true_n,
+        "sync_msg_overhead(≤2)": async_run.message_overhead_factor,
+        "sync_pulses": async_run.pulses,
+        "sync_time": round(async_run.asynchronous_time, 1),
+        "det_size_exact": det.n == true_n,
+        "mean_GL_estimate": mean(estimates),
+        "GL_error_factor": error,
+    }
+
+
 def run(
     sizes: Sequence[int] = DEFAULT_SIZES,
     seeds: Sequence[int] = DEFAULT_SEEDS,
     topology: str = "grid",
 ) -> Table:
-    """Run the sweep and return the E10 table.
+    """Run the sweep and return the E10 table (registry-backed).
 
     Args:
         sizes: approximate node counts, one row per entry.
@@ -61,47 +129,11 @@ def run(
             scale-free / ad-hoc kinds exercise Section 7 on irregular degree
             distributions.
     """
-    table = Table(
-        title="E10  Model variations: synchronizer overhead (Cor. 4), "
-        "exact size computation (7.3), randomized size estimate (7.4)",
-        columns=[
-            "n", "sync_msg_overhead(≤2)", "sync_pulses", "sync_time",
-            "det_size_exact", "mean_GL_estimate", "GL_error_factor",
-        ],
+    result = run_experiment(
+        "e10",
+        overrides={"sizes": tuple(sizes), "seeds": tuple(seeds), "topology": topology},
     )
-    for n in sizes:
-        graph = make_topology(topology, n, seed=11)
-        true_n = graph.num_nodes()
-        root = min(graph.nodes())
-        inputs = _aggregation_inputs(graph, root)
-
-        # Corollary 4: run the same aggregation synchronously and under the
-        # channel synchronizer on an asynchronous network
-        sync_run = MultimediaNetwork(graph, seed=3).run(
-            TreeAggregationProtocol, inputs=inputs
-        )
-        async_run = ChannelSynchronizer(graph, max_link_delay=3, seed=3).run(
-            TreeAggregationProtocol, inputs=inputs
-        )
-        assert async_run.results[root] == sync_run.results[root] == true_n
-
-        det = compute_size_deterministically(graph, seed=1)
-        estimates = [
-            estimate_size_randomized(graph, seed=seed).estimate for seed in seeds
-        ]
-        error = mean(
-            [max(est / true_n, true_n / est) if est else float("inf") for est in estimates]
-        )
-        table.add_row(
-            true_n,
-            async_run.message_overhead_factor,
-            async_run.pulses,
-            round(async_run.asynchronous_time, 1),
-            det.n == true_n,
-            mean(estimates),
-            error,
-        )
-    return table
+    return result.to_table()
 
 
 if __name__ == "__main__":

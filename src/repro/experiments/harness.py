@@ -2,6 +2,7 @@
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass
 from typing import Callable, Dict, List, Sequence
 
@@ -25,17 +26,41 @@ EXACT_DIAMETER_MAX_N = 1024
 class ExperimentConfig:
     """Instance sizes and seeds shared by the experiment sweeps.
 
-    The defaults are sized so the full suite runs in a few minutes on a
-    laptop; pass larger ``sizes`` to push the asymptotics further.
+    .. deprecated::
+        Superseded by the declarative spec layer: experiments now declare
+        their parameter presets via
+        :func:`repro.experiments.registry.register_experiment` and run
+        through :func:`repro.experiments.runner.run_experiment`.  This class
+        remains only for callers that built ad-hoc sweeps on top of it.
+
+    Attributes:
+        sizes: instance sizes, one graph per entry.
+        seeds: algorithm seeds (the randomized algorithms consume these).
+        topology: a :func:`make_topology` kind.
+        topology_seed: seed the topologies are generated with.  Historically
+            :meth:`graphs` silently hardcoded ``seed=11`` whatever was
+            configured; the seed is now an explicit, honoured field (with the
+            old value as its default).
     """
 
     sizes: Sequence[int] = (64, 144, 256, 400)
     seeds: Sequence[int] = (1, 2, 3)
     topology: str = "grid"
+    topology_seed: int = 11
 
     def graphs(self) -> List[WeightedGraph]:
         """Return one weighted graph per configured size."""
-        return [make_topology(self.topology, n, seed=11) for n in self.sizes]
+        warnings.warn(
+            "ExperimentConfig is deprecated; declare an ExperimentSpec via "
+            "repro.experiments.registry and run it with "
+            "repro.experiments.runner.run_experiment instead",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        return [
+            make_topology(self.topology, n, seed=self.topology_seed)
+            for n in self.sizes
+        ]
 
 
 def make_topology(kind: str, n: int, seed: int = 0) -> WeightedGraph:

@@ -1,0 +1,190 @@
+"""Unified experiment runner: one code path from spec to structured result.
+
+:func:`run_experiment` resolves an :class:`~repro.experiments.registry.ExperimentSpec`
+(by id or directly), expands the chosen preset into sweep points, executes
+each point — serially or across a process pool — and returns an
+:class:`ExperimentResult` holding the structured row dictionaries.  The
+result renders to the exact plain-text :class:`~repro.analysis.reporting.Table`
+the experiment modules historically printed **and** serializes to JSON, so
+the CLI, the benchmark trajectory, the pytest benches and CI all consume the
+same records instead of scraping rendered tables.
+
+Parallel determinism: every sweep point carries its own seeds (see
+:mod:`repro.experiments.registry`), so a process-pool run computes exactly
+the rows a serial run computes, in the same order — guarded by
+``tests/test_experiment_registry.py``.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import time
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Mapping, Optional, Tuple, Union
+
+from repro.analysis.reporting import Table, table_from_records
+from repro.experiments.registry import (
+    DEFAULT_PRESET,
+    ExperimentSpec,
+    get_experiment,
+)
+
+RESULT_SCHEMA = 1
+
+
+@dataclass
+class ExperimentResult:
+    """The structured outcome of one experiment sweep.
+
+    Attributes:
+        experiment_id: the spec id (``e1`` … ``e10``).
+        title: rendered table title for the resolved parameters.
+        columns: row schema, in rendering order.
+        rows: one dict per sweep point, keyed by ``columns``.
+        params: the resolved parameters the sweep ran with.
+        preset: the preset the parameters were based on.
+        wall_seconds: wall-clock duration of the sweep.
+    """
+
+    experiment_id: str
+    title: str
+    columns: Tuple[str, ...]
+    rows: List[Dict[str, Any]]
+    params: Dict[str, Any] = field(default_factory=dict)
+    preset: str = DEFAULT_PRESET
+    wall_seconds: float = 0.0
+
+    def to_table(self) -> Table:
+        """Render the rows as the experiment's historical plain-text table."""
+        return table_from_records(self.title, self.columns, self.rows)
+
+    def to_json_dict(self) -> Dict[str, Any]:
+        """Return a JSON-serializable representation of the result."""
+        return {
+            "schema": RESULT_SCHEMA,
+            "experiment": self.experiment_id,
+            "title": self.title,
+            "preset": self.preset,
+            "params": _jsonable(self.params),
+            "columns": list(self.columns),
+            "rows": _jsonable(self.rows),
+            "wall_seconds": round(self.wall_seconds, 4),
+        }
+
+    def to_json(self, indent: int = 2) -> str:
+        """Serialize to a JSON string."""
+        return json.dumps(self.to_json_dict(), indent=indent) + "\n"
+
+    @classmethod
+    def from_json_dict(cls, data: Mapping[str, Any]) -> "ExperimentResult":
+        """Rebuild a result from :meth:`to_json_dict` output.
+
+        Raises:
+            ValueError: on an unknown schema version.
+        """
+        if data.get("schema") != RESULT_SCHEMA:
+            raise ValueError(f"unsupported result schema: {data.get('schema')!r}")
+        return cls(
+            experiment_id=data["experiment"],
+            title=data["title"],
+            columns=tuple(data["columns"]),
+            rows=[dict(row) for row in data["rows"]],
+            params=dict(data.get("params", {})),
+            preset=data.get("preset", DEFAULT_PRESET),
+            wall_seconds=data.get("wall_seconds", 0.0),
+        )
+
+    @classmethod
+    def from_json(cls, text: str) -> "ExperimentResult":
+        """Rebuild a result from a JSON string."""
+        return cls.from_json_dict(json.loads(text))
+
+
+def _jsonable(value: Any) -> Any:
+    """Round-trip ``value`` through strictly-JSON-compatible containers.
+
+    Non-finite floats (e10's ``GL_error_factor`` is ``inf`` when an estimate
+    degenerates to zero) are mapped to their string forms so the emitted
+    files stay valid for strict JSON consumers.
+    """
+    return json.loads(json.dumps(_finite(value), allow_nan=False))
+
+
+def _finite(value: Any) -> Any:
+    if isinstance(value, dict):
+        return {key: _finite(item) for key, item in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_finite(item) for item in value]
+    if isinstance(value, float) and not math.isfinite(value):
+        return str(value)
+    return value
+
+
+def _resolve(experiment: Union[str, ExperimentSpec]) -> ExperimentSpec:
+    if isinstance(experiment, ExperimentSpec):
+        return experiment
+    return get_experiment(experiment)
+
+
+def _execute_point(spec: ExperimentSpec, point: Mapping[str, Any]) -> Dict[str, Any]:
+    """Execute one sweep point of ``spec`` and validate its row schema."""
+    row = spec.point_fn(**point)
+    missing = [column for column in spec.columns if column not in row]
+    if missing or len(row) != len(spec.columns):
+        raise ValueError(
+            f"experiment {spec.id!r} returned a row whose keys do not "
+            f"match its declared columns (missing: {missing}, got: {list(row)})"
+        )
+    return row
+
+
+def _run_point_packed(packed: Tuple[str, Mapping[str, Any]]) -> Dict[str, Any]:
+    """Pool-worker entry: resolve the spec by id (ids pickle, functions vary)."""
+    experiment_id, point = packed
+    return _execute_point(get_experiment(experiment_id), point)
+
+
+def run_experiment(
+    experiment: Union[str, ExperimentSpec],
+    preset: str = DEFAULT_PRESET,
+    overrides: Optional[Mapping[str, Any]] = None,
+    processes: int = 0,
+) -> ExperimentResult:
+    """Run one experiment sweep and return its structured result.
+
+    Args:
+        experiment: a spec id (``"e7"``) or the spec itself.
+        preset: parameter preset (``quick``/``default``/``hot``).
+        overrides: parameter overrides on top of the preset (e.g.
+            ``{"topology": "ad_hoc", "sizes": (64, 128)}``).
+        processes: when > 1, execute sweep points in a process pool of this
+            many workers; rows come back in sweep order and are bit-identical
+            to a serial run (every point is independently seeded).  The pool
+            workers re-resolve the spec by id, so parallel execution needs a
+            *registered* spec; serial execution runs any spec object as-is.
+
+    Raises:
+        KeyError: on an unknown experiment id or preset.
+        ValueError: on unsupported parameter overrides.
+    """
+    spec = _resolve(experiment)
+    params = spec.params_for(preset, overrides)
+    points = spec.points(params)
+    start = time.perf_counter()
+    if processes > 1 and len(points) > 1:
+        with ProcessPoolExecutor(max_workers=min(processes, len(points))) as pool:
+            rows = list(pool.map(_run_point_packed, [(spec.id, p) for p in points]))
+    else:
+        rows = [_execute_point(spec, point) for point in points]
+    elapsed = time.perf_counter() - start
+    return ExperimentResult(
+        experiment_id=spec.id,
+        title=spec.render_title(params),
+        columns=spec.columns,
+        rows=rows,
+        params=dict(params),
+        preset=preset,
+        wall_seconds=elapsed,
+    )

@@ -22,7 +22,7 @@ records the number of such rounds for the caller's complexity accounting.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Hashable, List, Optional
+from typing import Dict, Hashable, Optional
 
 from repro.protocols.symmetry.cole_vishkin import (
     cole_vishkin_step,
@@ -46,14 +46,6 @@ class ColoringResult:
 
     colors: Dict[NodeId, int]
     communication_rounds: int
-
-
-def _children_map(parents: Dict[NodeId, Optional[NodeId]]) -> Dict[NodeId, List[NodeId]]:
-    children: Dict[NodeId, List[NodeId]] = {node: [] for node in parents}
-    for node, parent in parents.items():
-        if parent is not None:
-            children[parent].append(node)
-    return children
 
 
 def is_legal_coloring(
@@ -108,26 +100,34 @@ def three_color_rooted_forest(
             break
         num_colors = next_bound
 
-    # Phase 2: eliminate colours 5, 4, 3 via shift-down + recolour.
-    children = _children_map(parents)
+    # Phase 2: eliminate colours 5, 4, 3 via shift-down + recolour.  The
+    # shift-down and recolour passes are fused into one pass per eliminated
+    # colour: a vertex's shifted colour is its parent's old colour (roots
+    # recolour against their own old colour), and after the shift all of a
+    # vertex's children agree on the vertex's *old* colour — so the recolour
+    # step never needs the materialized shifted dictionary, only O(1)
+    # lookups (parent's shifted colour = grandparent's old colour) plus
+    # whether the vertex has children at all.
+    has_children = {parent for parent in parents.values() if parent is not None}
     for eliminated in (5, 4, 3):
-        shifted: Dict[NodeId, int] = {}
+        recolored: Dict[NodeId, int] = {}
         for node, parent in parents.items():
             if parent is None:
-                shifted[node] = _smallest_excluding({colors[node]})
+                shifted = _smallest_excluding({colors[node]})
             else:
-                shifted[node] = colors[parent]
-        colors = shifted
-        recolored = dict(colors)
-        for node in parents:
-            if colors[node] != eliminated:
+                shifted = colors[parent]
+            if shifted != eliminated:
+                recolored[node] = shifted
                 continue
             forbidden = set()
-            parent = parents[node]
             if parent is not None:
-                forbidden.add(colors[parent])
-            for child in children[node]:
-                forbidden.add(colors[child])
+                grandparent = parents[parent]
+                if grandparent is None:
+                    forbidden.add(_smallest_excluding({colors[parent]}))
+                else:
+                    forbidden.add(colors[grandparent])
+            if node in has_children:
+                forbidden.add(colors[node])
             recolored[node] = _smallest_excluding(forbidden)
         colors = recolored
         rounds += 1

@@ -1,0 +1,309 @@
+"""Tests for the declarative experiment layer: registry, runner, CLI, trajectory.
+
+Covers the acceptance criteria of the spec-registry refactor: every
+experiment e1–e10 is registered with valid presets, the unified runner
+produces structured rows that render to the historical tables and round-trip
+through JSON, process-pool execution is bit-identical to serial execution,
+and the ``python -m repro`` CLI exposes ``list``/``run``/``bench``.
+"""
+
+import json
+
+import pytest
+
+from repro import cli
+from repro.analysis.reporting import table_from_records
+from repro.experiments import registry
+from repro.experiments.registry import (
+    REQUIRED_PRESETS,
+    all_experiments,
+    get_experiment,
+    register_experiment,
+)
+from repro.experiments.runner import ExperimentResult, run_experiment
+from repro.experiments.trajectory import suite_entries
+
+EXPECTED_IDS = [f"e{i}" for i in range(1, 11)]
+
+
+class TestRegistryCompleteness:
+    def test_all_ten_experiments_registered(self):
+        assert [spec.id for spec in all_experiments()] == EXPECTED_IDS
+
+    def test_every_spec_has_required_presets(self):
+        for spec in all_experiments():
+            for preset in REQUIRED_PRESETS:
+                params = spec.params_for(preset)
+                points = spec.points(params)
+                assert points, f"{spec.id}/{preset} expands to no points"
+
+    def test_every_spec_declares_columns_and_description(self):
+        for spec in all_experiments():
+            assert spec.columns
+            assert spec.description
+
+    def test_quick_points_match_columns(self):
+        # one real sweep point per experiment: the row keys must equal the
+        # declared schema (order included — rendering relies on it)
+        for spec in all_experiments():
+            point = spec.points(spec.params_for("quick"))[0]
+            row = spec.point_fn(**point)
+            assert list(row) == list(spec.columns), spec.id
+
+    def test_bench_variants_reference_known_presets(self):
+        for spec in all_experiments():
+            for variant in spec.bench_extras + spec.quick_extras:
+                assert variant.preset in spec.presets
+                # overrides must resolve cleanly
+                spec.params_for(variant.preset, variant.overrides)
+
+    def test_unknown_experiment_raises(self):
+        with pytest.raises(KeyError, match="unknown experiment"):
+            get_experiment("e99")
+
+    def test_unknown_preset_raises(self):
+        with pytest.raises(KeyError, match="no preset"):
+            get_experiment("e1").params_for("warm")
+
+    def test_unsupported_topology_raises(self):
+        with pytest.raises(ValueError, match="does not support topology"):
+            get_experiment("e1").params_for("quick", {"topology": "hyperloop"})
+
+    def test_scalar_override_of_sequence_parameter_is_coerced(self):
+        params = get_experiment("e1").params_for("quick", {"sizes": 64})
+        assert params["sizes"] == (64,)
+        params = get_experiment("e3").params_for("quick", {"seeds": 7})
+        assert params["seeds"] == (7,)
+
+    def test_unknown_override_key_raises(self):
+        # e1 is deterministic: it has no seeds parameter to override
+        with pytest.raises(ValueError, match="does not accept parameter"):
+            get_experiment("e1").params_for("quick", {"seeds": (1,)})
+        # e8 sweeps ray-graph shapes, not sizes — a sizes override must not
+        # be silently ignored
+        with pytest.raises(ValueError, match="does not accept parameter"):
+            get_experiment("e8").params_for("quick", {"sizes": (999,)})
+
+    def test_duplicate_registration_rejected(self):
+        with pytest.raises(ValueError, match="already registered"):
+            register_experiment(
+                id="e1",
+                title="dup",
+                columns=("n",),
+                presets={name: {"sizes": (4,)} for name in REQUIRED_PRESETS},
+            )(lambda n: {"n": n})
+
+    def test_reimport_of_same_module_keeps_first_registration(self):
+        # executing an eNN module as a script registers its spec under
+        # __main__; load_all() then imports the same file as the package
+        # module — the second registration must be a no-op, not an error
+        spec = get_experiment("e1")
+        redecorated = register_experiment(
+            id="e1",
+            title="dup from re-import",
+            columns=spec.columns,
+            presets=spec.presets,
+        )(spec.point_fn)
+        assert get_experiment("e1") is spec
+        assert redecorated.spec is spec
+
+    def test_missing_preset_rejected(self):
+        with pytest.raises(ValueError, match="missing preset"):
+            register_experiment(
+                id="e_tmp_missing_preset",
+                title="tmp",
+                columns=("n",),
+                presets={"quick": {"sizes": (4,)}},
+            )(lambda n: {"n": n})
+        assert "e_tmp_missing_preset" not in registry._REGISTRY
+
+
+class TestRunner:
+    def test_rows_render_to_table(self):
+        result = run_experiment("e1", preset="quick")
+        table = result.to_table()
+        assert table.columns == list(result.columns)
+        assert len(table.rows) == len(result.rows)
+        rendered = table.render()
+        assert "E1" in rendered
+
+    def test_row_schema_mismatch_is_rejected(self):
+        spec = get_experiment("e1")
+        with pytest.raises(ValueError, match="columns"):
+            register_experiment(
+                id="e_tmp_bad_row",
+                title="tmp",
+                columns=("n", "extra"),
+                presets={name: {"sizes": (4,)} for name in REQUIRED_PRESETS},
+            )(lambda n: {"n": n})
+            run_experiment("e_tmp_bad_row", preset="quick")
+        registry._REGISTRY.pop("e_tmp_bad_row", None)
+        assert spec is get_experiment("e1")
+
+    def test_json_round_trip(self):
+        result = run_experiment("e8", preset="quick")
+        clone = ExperimentResult.from_json(result.to_json())
+        assert clone.experiment_id == result.experiment_id
+        assert clone.title == result.title
+        assert list(clone.columns) == list(result.columns)
+        assert clone.rows == json.loads(json.dumps(result.rows))
+        assert clone.to_table().render() == result.to_table().render()
+
+    def test_from_json_rejects_unknown_schema(self):
+        with pytest.raises(ValueError, match="schema"):
+            ExperimentResult.from_json_dict({"schema": 99})
+
+    def test_to_json_is_strict_for_non_finite_floats(self):
+        result = ExperimentResult(
+            experiment_id="e10",
+            title="t",
+            columns=("n", "GL_error_factor"),
+            rows=[{"n": 4, "GL_error_factor": float("inf")}],
+        )
+        text = result.to_json()
+        assert "Infinity" not in text
+        assert json.loads(text)["rows"][0]["GL_error_factor"] == "inf"
+
+    def test_parallel_is_bit_identical_to_serial(self):
+        for experiment_id in ("e3", "e9"):
+            serial = run_experiment(experiment_id, preset="quick")
+            parallel = run_experiment(experiment_id, preset="quick", processes=2)
+            assert parallel.rows == serial.rows
+            assert parallel.to_table().render() == serial.to_table().render()
+
+    def test_serial_run_honours_an_unregistered_spec_object(self):
+        from repro.experiments.registry import ExperimentSpec
+
+        spec = ExperimentSpec(
+            id="custom-unregistered",
+            title="custom",
+            columns=("n",),
+            point_fn=lambda n: {"n": n},
+            presets={name: {"sizes": (2, 3)} for name in REQUIRED_PRESETS},
+        )
+        result = run_experiment(spec, preset="quick")
+        assert result.rows == [{"n": 2}, {"n": 3}]
+
+    def test_table_from_records_checks_columns(self):
+        table = table_from_records("t", ("a", "b"), [{"a": 1, "b": 2}])
+        assert table.rows == [[1, 2]]
+        with pytest.raises(KeyError):
+            table_from_records("t", ("a", "b"), [{"a": 1}])
+
+
+class TestTrajectorySuite:
+    def test_suite_covers_every_experiment(self):
+        names = [entry.name for entry in suite_entries(quick=False)]
+        for experiment_id in EXPECTED_IDS:
+            assert experiment_id in names
+        # the historical hot/topology variants stay present under their
+        # recorded BENCH_core.json names
+        for name in ("e2_hot", "e4_hot", "e9_hot",
+                     "e7_scale_free_hot", "e7_ad_hoc_hot", "e10_scale_free"):
+            assert name in names
+        assert len(names) == len(set(names))
+
+    def test_quick_suite_covers_every_experiment(self):
+        names = [entry.name for entry in suite_entries(quick=True)]
+        for experiment_id in EXPECTED_IDS:
+            assert experiment_id in names
+        for name in ("e7_scale_free", "e7_ad_hoc", "e10_scale_free"):
+            assert name in names
+        assert len(names) == len(set(names))
+
+
+class TestCli:
+    def test_list_shows_all_experiments(self, capsys):
+        assert cli.main(["list"]) == 0
+        out = capsys.readouterr().out
+        for experiment_id in EXPECTED_IDS:
+            assert f"{experiment_id:>4}  " in out
+
+    def test_list_json(self, capsys):
+        assert cli.main(["list", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert [entry["id"] for entry in payload] == EXPECTED_IDS
+        assert all(set(REQUIRED_PRESETS) <= set(entry["presets"]) for entry in payload)
+
+    def test_run_renders_table(self, capsys):
+        assert cli.main(["run", "e1", "--preset", "quick"]) == 0
+        out = capsys.readouterr().out
+        assert "E1" in out and "all_bounds_hold" in out
+
+    def test_run_json_round_trip(self, tmp_path, capsys):
+        output = tmp_path / "result.json"
+        code = cli.main([
+            "run", "e7", "--preset", "quick", "--topology", "grid",
+            "--set", "channel_baseline=False", "--json", str(output),
+        ])
+        assert code == 0
+        capsys.readouterr()
+        loaded = ExperimentResult.from_json(output.read_text())
+        direct = run_experiment(
+            "e7", preset="quick",
+            overrides={"topology": "grid", "channel_baseline": False},
+        )
+        assert loaded.rows == json.loads(json.dumps(direct.rows))
+        assert loaded.to_table().render() == direct.to_table().render()
+
+    def test_run_overrides_sizes_and_seeds(self, capsys):
+        assert cli.main(["run", "e3", "--sizes", "16", "--seeds", "1", "2"]) == 0
+        out = capsys.readouterr().out
+        assert out.count("\n") >= 5  # title + rules + header + one row
+
+    def test_run_unknown_experiment_fails_cleanly(self, capsys):
+        assert cli.main(["run", "e99"]) == 2
+        assert "unknown experiment" in capsys.readouterr().err
+
+    def test_run_unknown_preset_fails_cleanly(self, capsys):
+        assert cli.main(["run", "e1", "--preset", "warm"]) == 2
+        assert "no preset" in capsys.readouterr().err
+
+    def test_run_unknown_override_fails_cleanly(self, capsys):
+        assert cli.main(["run", "e1", "--seeds", "1"]) == 2
+        assert "does not accept parameter" in capsys.readouterr().err
+        assert cli.main(["run", "e1", "--set", "bogus=1"]) == 2
+        assert "does not accept parameter" in capsys.readouterr().err
+
+    def test_bench_quick_only_writes_nothing(self, capsys, tmp_path, monkeypatch):
+        monkeypatch.chdir(tmp_path)
+        assert cli.main(["bench", "--quick", "--only", "e1"]) == 0
+        out = capsys.readouterr().out
+        assert "trajectory file left untouched" in out
+        assert list(tmp_path.iterdir()) == []
+
+    def test_bench_rejects_unknown_entry(self, capsys):
+        with pytest.raises(SystemExit):
+            cli.main(["bench", "--quick", "--only", "e99"])
+        assert "unknown experiment" in capsys.readouterr().err
+
+    def test_run_set_scalar_sequence_value(self, capsys):
+        assert cli.main(["run", "e1", "--set", "sizes=16"]) == 0
+        out = capsys.readouterr().out
+        assert "16" in out
+
+    def test_bench_only_merges_into_existing_label(self, capsys, tmp_path):
+        output = tmp_path / "traj.json"
+        argv = ["bench", "--quick", "--label", "t", "--output", str(output)]
+        assert cli.main(argv + ["--only", "e1", "--note", "first"]) == 0
+        assert cli.main(argv + ["--only", "e8"]) == 0
+        capsys.readouterr()
+        run = json.loads(output.read_text())["runs"]["t"]
+        # the e8 re-run must not wipe the previously recorded e1 entry, nor
+        # the label's stored note
+        assert {"e1", "e8"} <= set(run["experiments"])
+        assert run["note"] == "first"
+
+    def test_bench_only_probes_do_not_clobber_stored_sweeps(self, capsys, tmp_path):
+        output = tmp_path / "traj.json"
+        argv = ["bench", "--label", "t", "--output", str(output)]
+        # record a full e2 sweep entry (probes disabled)
+        assert cli.main(argv + ["--only", "e2", "--probe-budget", "0"]) == 0
+        # a targeted e1 refresh whose max-n probes also touch e2/e4/e9
+        assert cli.main(argv + ["--only", "e1", "--probe-budget", "0.01"]) == 0
+        capsys.readouterr()
+        recorded = json.loads(output.read_text())["runs"]["t"]["experiments"]
+        # the probe fields merge into the stored e2 sweep instead of
+        # replacing it with a probe-only dict
+        assert "wall_seconds" in recorded["e2"]
+        assert "max_feasible_n" in recorded["e2"]

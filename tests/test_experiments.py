@@ -1,21 +1,11 @@
 """Smoke tests for the experiment harness: every experiment runs end to end on
-tiny instances and reproduces the paper's qualitative claims."""
+tiny instances (through the spec registry and unified runner) and reproduces
+the paper's qualitative claims."""
 
 import pytest
 
 from repro.experiments import harness
-from repro.experiments import (
-    e01_det_partition_quality,
-    e02_det_partition_complexity,
-    e03_rand_partition_quality,
-    e04_rand_partition_complexity,
-    e05_global_deterministic,
-    e06_global_randomized,
-    e07_model_separation,
-    e08_lower_bound_gap,
-    e09_mst,
-    e10_model_variations,
-)
+from repro.experiments.runner import run_experiment
 
 
 class TestHarness:
@@ -73,68 +63,100 @@ class TestHarness:
         assert rows[0]["nodes"] == rows[0]["n"]
 
 
-class TestExperimentsProduceTables:
+class TestExperimentConfig:
+    def test_graphs_is_deprecated_and_honours_topology_seed(self):
+        config = harness.ExperimentConfig(sizes=(16, 36), topology_seed=5)
+        with pytest.deprecated_call():
+            graphs = config.graphs()
+        assert [g.num_nodes() for g in graphs] == [16, 36]
+        expected = [harness.make_topology("grid", n, seed=5) for n in (16, 36)]
+        assert [g.edges() for g in graphs] == [g.edges() for g in expected]
+
+    def test_graphs_default_seed_matches_historical_value(self):
+        config = harness.ExperimentConfig(sizes=(16,))
+        with pytest.deprecated_call():
+            (graph,) = config.graphs()
+        assert graph.edges() == harness.make_topology("grid", 16, seed=11).edges()
+
+
+class TestExperimentsProduceRows:
     def test_e1_all_bounds_hold(self):
-        table = e01_det_partition_quality.run(sizes=(36, 64))
-        assert all(row[-1] for row in table.rows)
+        result = run_experiment("e1", overrides={"sizes": (36, 64)})
+        assert all(row["all_bounds_hold"] for row in result.rows)
 
     def test_e2_ratios_bounded(self):
-        table = e02_det_partition_complexity.run(sizes=(36, 64))
-        ratios = [row[5] for row in table.rows]
-        assert all(ratio < 50 for ratio in ratios)
+        result = run_experiment("e2", overrides={"sizes": (36, 64)})
+        assert all(row["rounds/bound"] < 50 for row in result.rows)
 
     def test_e3_structure_ok(self):
-        table = e03_rand_partition_quality.run(sizes=(36,), seeds=(1, 2))
-        assert all(row[-1] for row in table.rows)
+        result = run_experiment("e3", overrides={"sizes": (36,), "seeds": (1, 2)})
+        assert all(row["structure_ok"] for row in result.rows)
 
     def test_e4_no_excessive_restarts(self):
-        table = e04_rand_partition_complexity.run(sizes=(36,), seeds=(1, 2))
-        assert all(row[-1] <= 2 for row in table.rows)
+        result = run_experiment("e4", overrides={"sizes": (36,), "seeds": (1, 2)})
+        assert all(row["total_restarts"] <= 2 for row in result.rows)
 
     def test_e5_values_correct(self):
-        table = e05_global_deterministic.run(sizes=(36,))
-        assert all(row[-1] for row in table.rows)
+        result = run_experiment("e5", overrides={"sizes": (36,)})
+        assert all(row["value_correct"] for row in result.rows)
 
     def test_e6_values_correct(self):
-        table = e06_global_randomized.run(sizes=(36,), seeds=(1, 2))
-        assert all(row[-1] for row in table.rows)
+        result = run_experiment("e6", overrides={"sizes": (36,), "seeds": (1, 2)})
+        assert all(row["values_correct"] for row in result.rows)
 
     def test_e7_multimedia_beats_both_at_scale(self):
-        table = e07_model_separation.run(sizes=(512,))
-        row = table.rows[0]
-        speedup_vs_p2p, speedup_vs_channel = row[-2], row[-1]
-        assert speedup_vs_p2p > 1.0
-        assert speedup_vs_channel > 1.0
+        result = run_experiment("e7", overrides={"sizes": (512,)})
+        row = result.rows[0]
+        assert row["speedup_vs_p2p"] > 1.0
+        assert row["speedup_vs_channel"] > 1.0
 
     def test_e7_runs_on_new_topology_kinds(self):
         for kind in ("scale_free", "ad_hoc"):
-            table = e07_model_separation.run(
-                sizes=(64,), topology=kind, channel_baseline=False
+            result = run_experiment(
+                "e7",
+                overrides={
+                    "sizes": (64,), "topology": kind, "channel_baseline": False
+                },
             )
-            row = table.rows[0]
-            assert row[0] == 64
+            row = result.rows[0]
+            assert row["n"] == 64
             # the measured channel baseline is skipped, the bound still shown
-            assert row[4] == "-"
-            assert row[6] >= 64 // 2
-
-    def test_e10_runs_on_new_topology_kinds(self):
-        table = e10_model_variations.run(
-            sizes=(36,), seeds=(1,), topology="scale_free"
-        )
-        row = table.rows[0]
-        assert row[1] <= 2.0 + 1e-9
-        assert row[4] is True
+            assert row["t_channel_only"] == "-"
+            assert row["lb_channel"] >= 64 // 2
 
     def test_e8_lower_bound_respected(self):
-        table = e08_lower_bound_gap.run(params=((8, 8),))
-        assert all(row[-2] for row in table.rows)
+        result = run_experiment("e8", overrides={"params": ((8, 8),)})
+        assert all(row["lb ≤ measured"] for row in result.rows)
 
     def test_e9_mst_matches_kruskal(self):
-        table = e09_mst.run(sizes=(36, 64))
-        assert all(row[-1] for row in table.rows)
+        result = run_experiment("e9", overrides={"sizes": (36, 64)})
+        assert all(row["matches_kruskal"] for row in result.rows)
 
     def test_e10_synchronizer_and_sizes(self):
-        table = e10_model_variations.run(sizes=(36,), seeds=(1, 2))
-        row = table.rows[0]
-        assert row[1] <= 2.0 + 1e-9
-        assert row[4] is True
+        result = run_experiment("e10", overrides={"sizes": (36,), "seeds": (1, 2)})
+        row = result.rows[0]
+        assert row["sync_msg_overhead(≤2)"] <= 2.0 + 1e-9
+        assert row["det_size_exact"] is True
+
+    def test_e10_runs_on_new_topology_kinds(self):
+        result = run_experiment(
+            "e10",
+            overrides={"sizes": (36,), "seeds": (1,), "topology": "scale_free"},
+        )
+        row = result.rows[0]
+        assert row["sync_msg_overhead(≤2)"] <= 2.0 + 1e-9
+        assert row["det_size_exact"] is True
+
+
+class TestLegacyRunWrappers:
+    """The module-level ``run()`` wrappers stay drop-in compatible."""
+
+    def test_run_returns_identical_table(self):
+        from repro.experiments import e01_det_partition_quality as e1
+
+        table = e1.run(sizes=(16, 36))
+        result = run_experiment("e1", overrides={"sizes": (16, 36)})
+        assert table.columns == list(result.columns)
+        assert table.rows == [
+            [row[column] for column in result.columns] for row in result.rows
+        ]
