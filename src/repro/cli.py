@@ -9,6 +9,7 @@ pytest benches and the benchmark trajectory execute::
     python -m repro run e7 --topology ad_hoc --preset hot --json out.json
     python -m repro run e3 --sizes 64 144 --seeds 1 2 -j 4
     python -m repro bench --quick
+    python -m repro docs --check
 
 Installed as a ``repro`` console script by ``setup.py``.
 """
@@ -27,6 +28,7 @@ from repro.experiments.runner import run_experiment
 
 
 def _build_parser() -> argparse.ArgumentParser:
+    """Build the top-level ``repro`` argument parser and its subcommands."""
     parser = argparse.ArgumentParser(
         prog="repro",
         description="Reproduction driver for the multimedia-network experiments "
@@ -85,10 +87,30 @@ def _build_parser() -> argparse.ArgumentParser:
         help="time the benchmark suite and merge into BENCH_core.json "
         "(see `repro bench --help`)",
     )
+
+    docs_parser = sub.add_parser(
+        "docs",
+        help="regenerate docs/experiments.md from the experiment registry",
+    )
+    docs_parser.add_argument(
+        "--output-dir", type=Path, default=None, metavar="DIR",
+        help="directory to write the generated files into "
+        "(default: docs/ at the repository root)",
+    )
+    docs_parser.add_argument(
+        "--check", action="store_true",
+        help="write nothing; exit 1 when any generated file is stale "
+        "(the CI docs-freshness job)",
+    )
     return parser
 
 
 def _parse_assignment(text: str) -> tuple:
+    """Split one ``KEY=VALUE`` override; the value parses as a Python literal.
+
+    Raises:
+        ValueError: when the text carries no ``=`` or no key.
+    """
     key, sep, raw = text.partition("=")
     if not sep or not key:
         raise ValueError(f"expected KEY=VALUE, got {text!r}")
@@ -100,6 +122,7 @@ def _parse_assignment(text: str) -> tuple:
 
 
 def _overrides_from(args: argparse.Namespace) -> Dict[str, Any]:
+    """Collect the ``run`` subcommand's parameter overrides from its flags."""
     overrides: Dict[str, Any] = {}
     if args.topology is not None:
         overrides["topology"] = args.topology
@@ -114,6 +137,7 @@ def _overrides_from(args: argparse.Namespace) -> Dict[str, Any]:
 
 
 def _command_list(args: argparse.Namespace) -> int:
+    """``repro list``: print every registered spec (optionally as JSON)."""
     specs = all_experiments()
     if args.json:
         payload = [
@@ -139,7 +163,31 @@ def _command_list(args: argparse.Namespace) -> int:
     return 0
 
 
+def _command_docs(args: argparse.Namespace) -> int:
+    """``repro docs``: (re)generate the registry-derived documentation.
+
+    With ``--check`` nothing is written; the exit status reports whether the
+    committed files match what the registry would generate now.
+    """
+    from repro.experiments.catalog import default_docs_dir, stale_docs, write_docs
+
+    docs_dir = args.output_dir if args.output_dir is not None else default_docs_dir()
+    if args.check:
+        stale = stale_docs(docs_dir)
+        if stale:
+            for path in stale:
+                print(f"stale: {path} (regenerate with `python -m repro docs`)",
+                      file=sys.stderr)
+            return 1
+        print(f"docs under {docs_dir} are up to date")
+        return 0
+    for path in write_docs(docs_dir):
+        print(f"wrote {path}")
+    return 0
+
+
 def _command_run(args: argparse.Namespace) -> int:
+    """``repro run``: execute one sweep, print its table, optionally dump JSON."""
     # validate the user's inputs up front so a bad id/preset/override exits
     # cleanly with a usage error, while a genuine failure *inside* a sweep
     # keeps its traceback instead of masquerading as operator error
@@ -173,6 +221,8 @@ def main(argv: Optional[List[str]] = None) -> int:
     args = _build_parser().parse_args(argv)
     if args.command == "list":
         return _command_list(args)
+    if args.command == "docs":
+        return _command_docs(args)
     return _command_run(args)
 
 

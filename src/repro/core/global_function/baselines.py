@@ -18,7 +18,6 @@ against each medium on its own:
 
 from __future__ import annotations
 
-import math
 import random
 from dataclasses import dataclass
 from typing import Dict, Hashable, Optional

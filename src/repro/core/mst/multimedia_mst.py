@@ -22,7 +22,6 @@ Total: O(√n log n) time and O(m + n log n log* n) messages.
 
 from __future__ import annotations
 
-import math
 from dataclasses import dataclass
 from typing import Dict, Hashable, List, Optional, Set, Tuple
 

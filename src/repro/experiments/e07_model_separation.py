@@ -9,11 +9,17 @@ powerful than either of its parts, with the gap growing with n.
 The sweep also runs on the scale-free (``scale_free``) and ad-hoc wireless
 (``ad_hoc``) topologies: their diameters are small, so there the separation
 is carried by the channel-only Ω(n) bound rather than the point-to-point
-Ω(d) bound.  For large-``n`` instances of those kinds the measured
-channel-only baseline can be disabled (``channel_baseline=False``): it is
-Θ(n) slots at Θ(n) work per slot regardless of topology, so measuring it
-again at ``n ≥ 10^4`` adds minutes of wall clock and no information beyond
-the reported ``lb_channel`` column.
+Ω(d) bound.  The measured channel-only baseline is optional
+(``channel_baseline``): historically it cost Θ(n) slots at Θ(pending) work
+per slot — minutes of wall clock at ``n ≥ 10^4`` — which is why the ``hot``
+preset disables it by default.  The geometric skip-ahead contention scheduler
+(:mod:`repro.protocols.collision.geometric`) now samples the same schedule
+in O(1) work per busy slot, so the baseline column costs ~0.2 s at
+``n = 10240`` on any topology kind; the ``e7_baseline_hot`` trajectory entry
+records it on the hot scale-free preset within the 2 s/run budget (on ring
+at that size the sweep is dominated by the point-to-point baseline's Θ(n)
+rounds, not the channel stage — enable it per run via
+``--set channel_baseline=true``).
 """
 
 from __future__ import annotations
@@ -69,20 +75,24 @@ def _title(params: Mapping[str, object]) -> str:
         "quick": {"sizes": (16, 32), "topology": "ring", "channel_baseline": True},
         "default": {"sizes": (128, 256, 512), "topology": "ring",
                     "channel_baseline": True},
-        # hot sizes are only affordable without the Θ(n²) measured
-        # channel-only baseline; the lb_channel column still reports Ω(n)
+        # the hot preset keeps the measured baseline off so its trajectory
+        # entries stay comparable across labels; e7_baseline_hot turns it on
+        # (affordable since the geometric skip-ahead landed)
         "hot": {"sizes": (4096, 10240), "topology": "scale_free",
                 "channel_baseline": False},
     },
     bench_extras=(
         ("e7_scale_free_hot", "hot", {}),
         ("e7_ad_hoc_hot", "hot", {"topology": "ad_hoc"}),
+        ("e7_baseline_hot", "hot", {"channel_baseline": True}),
     ),
     quick_extras=(
         ("e7_scale_free", "quick",
          {"sizes": (64, 128), "topology": "scale_free", "channel_baseline": False}),
         ("e7_ad_hoc", "quick",
          {"sizes": (64, 128), "topology": "ad_hoc", "channel_baseline": False}),
+        ("e7_baseline", "quick",
+         {"sizes": (256, 512), "topology": "scale_free", "channel_baseline": True}),
     ),
 )
 def sweep_point(

@@ -17,6 +17,12 @@ from repro.protocols.collision.base import (
     ScheduleOutcome,
     run_contention,
 )
+from repro.protocols.collision.geometric import (
+    collision_multiplicity,
+    geometric_idle_run,
+    run_geometric_contention,
+    success_given_busy,
+)
 from repro.protocols.collision.capetanakis import CapetanakisContender
 from repro.protocols.collision.metcalfe_boggs import MetcalfeBoggsContender
 from repro.protocols.collision.greenberg_ladner import (
@@ -34,6 +40,10 @@ __all__ = [
     "ContenderProtocol",
     "ScheduleOutcome",
     "run_contention",
+    "collision_multiplicity",
+    "geometric_idle_run",
+    "run_geometric_contention",
+    "success_given_busy",
     "CapetanakisContender",
     "MetcalfeBoggsContender",
     "GreenbergLadnerEstimator",

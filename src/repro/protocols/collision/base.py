@@ -1,5 +1,10 @@
 """Common machinery for channel conflict-resolution protocols.
 
+The channel is the paper's Section 2 multiaccess medium: per slot, every
+node may write, and all nodes observe the same three-valued feedback
+(idle / success / collision).  The conflict-resolution protocols built on
+it realise the root-scheduling stages of Sections 5 and 6.
+
 A *contender* is a node that has something to broadcast (in the paper: a
 fragment root holding a partial result).  A conflict-resolution protocol
 schedules the contenders so that each one eventually gets a ``success`` slot.
@@ -20,9 +25,11 @@ the full simulator.
 
 from __future__ import annotations
 
+import random
 from dataclasses import dataclass
 from typing import Any, Hashable, List, Optional, Sequence, Tuple
 
+from repro.protocols.collision.geometric import run_geometric_contention
 from repro.sim.channel import SlottedChannel
 from repro.sim.errors import ProtocolError
 from repro.sim.events import ChannelEvent, Message, SlotState
@@ -41,9 +48,21 @@ class ChannelContender:
     subclass whose ``observe``/``resolved`` can report resolution after an
     idle or collision slot must set it to ``False`` so the scheduler rechecks
     the worklist after every slot instead of only after successes.
+
+    Class attribute ``GEOMETRIC_CONTENTION`` opts a protocol into the
+    geometric skip-ahead scheduler
+    (:mod:`repro.protocols.collision.geometric`).  A subclass may set it to
+    ``True`` only when its instances transmit independently per slot with a
+    probability that (a) is shared by every contender with an equal
+    :meth:`contention_signature` and (b) depends only on the publicly heard
+    success count (:meth:`contention_rate`); it must then also implement
+    :meth:`skip_ahead_rng` and :meth:`commit_skip_ahead`.  Deterministic
+    protocols (e.g. Capetanakis tree splitting) keep the default ``False``
+    and run slot by slot, which preserves their exact slot traces.
     """
 
     RESOLVES_ONLY_ON_SUCCESS = True
+    GEOMETRIC_CONTENTION = False
 
     def __init__(self, identity: NodeId, payload: Any = None) -> None:
         self.identity = identity
@@ -77,6 +96,52 @@ class ChannelContender:
         """Return the slot in which this contender succeeded, if any."""
         return self._succeeded_in_slot
 
+    # ------------------------------------------------------------------
+    # geometric skip-ahead capability (see GEOMETRIC_CONTENTION above)
+    # ------------------------------------------------------------------
+    def contention_signature(self) -> object:
+        """Return a value equal across contenders sharing one rate schedule.
+
+        The skip-ahead scheduler only engages when every pending contender
+        reports the same signature — a batch mixing, say, two different
+        contender-count estimates is not a homogeneous Bernoulli field and
+        falls back to the per-slot loop.
+        """
+        raise NotImplementedError
+
+    def contention_rate(self, successes_seen: int) -> float:
+        """Return the per-slot transmit probability after ``successes_seen``.
+
+        Must be a pure function of the publicly heard success count so the
+        scheduler can maintain it centrally instead of delivering every slot
+        outcome to every contender.
+        """
+        raise NotImplementedError
+
+    def contention_successes_seen(self) -> int:
+        """Return how many successes this contender has already heard.
+
+        The scheduler resumes its central success count from here, so a
+        batch that already observed part of a schedule (e.g. survivors of a
+        budget-failed run) keeps contending at the correct rate.
+        """
+        raise NotImplementedError
+
+    def skip_ahead_rng(self) -> "random.Random":
+        """Return the private random source driving this contender's draws."""
+        raise NotImplementedError
+
+    def commit_skip_ahead(self, slot: Optional[int], successes_seen: int) -> None:
+        """Sync local state after a skip-ahead run touched this contender.
+
+        Called with the winning ``slot`` when the contender is scheduled, or
+        with ``slot=None`` when the run failed its budget while the contender
+        was still pending.  ``successes_seen`` counts every success heard so
+        far, including the contender's own.
+        """
+        if slot is not None:
+            self._succeeded_in_slot = slot
+
 
 @dataclass
 class ScheduleOutcome:
@@ -103,6 +168,7 @@ def run_contention(
     metrics: Optional[MetricsRecorder] = None,
     channel: Optional[SlottedChannel] = None,
     start_slot: int = 0,
+    skip_ahead: bool = True,
 ) -> ScheduleOutcome:
     """Schedule ``contenders`` on a slotted channel until all are resolved.
 
@@ -111,6 +177,14 @@ def run_contention(
     never transmits again and its local state can no longer influence the
     schedule.  (Code that needs the full listening behaviour runs contenders
     on the simulator via :class:`ContenderProtocol` instead.)
+
+    When every pending contender opts into ``GEOMETRIC_CONTENTION`` with a
+    shared :meth:`~ChannelContender.contention_signature`, the schedule is
+    sampled by the geometric skip-ahead scheduler
+    (:func:`~repro.protocols.collision.geometric.run_geometric_contention`):
+    identical outcome distribution, O(1) work per busy slot, idle runs
+    skipped in one draw.  Pass ``skip_ahead=False`` to force the per-slot
+    loop (the statistical-equivalence tests compare the two paths).
 
     Raises:
         ProtocolError: if the contenders fail to resolve within ``max_slots``
@@ -134,6 +208,29 @@ def run_contention(
         for contender in contenders
         if not contender.resolved
     ]
+    if (
+        skip_ahead
+        and pending
+        and all(type(entry[0]).GEOMETRIC_CONTENTION for entry in pending)
+    ):
+        # homogeneity covers the whole public schedule state: the shared
+        # signature *and* an agreed count of successes already heard (a
+        # partially-observed batch resumes at its current rate, not at zero)
+        signatures = {
+            (entry[0].contention_signature(), entry[0].contention_successes_seen())
+            for entry in pending
+        }
+        if len(signatures) == 1:
+            start_successes = pending[0][0].contention_successes_seen()
+            return run_geometric_contention(
+                pending,
+                rate=pending[0][0].contention_rate(start_successes),
+                channel=channel,
+                metrics=metrics,
+                max_slots=max_slots,
+                start_slot=start_slot,
+                start_successes=start_successes,
+            )
     # when every contender resolves only in its own successful slot (the
     # declared default), the worklist can stay untouched after idle and
     # collision slots; and when none overrides `resolved`, the filter can

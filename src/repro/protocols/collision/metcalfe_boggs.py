@@ -28,6 +28,13 @@ NodeId = Hashable
 class MetcalfeBoggsContender(ChannelContender):
     """Randomized p-persistent contender with a shared contender-count estimate.
 
+    The per-slot transmit probability ``1/k̂`` is shared by every contender
+    holding the same estimate and depends only on the publicly heard success
+    count, so batches of these contenders qualify for the geometric
+    skip-ahead scheduler (``GEOMETRIC_CONTENTION``; see
+    :mod:`repro.protocols.collision.geometric`): idle runs are sampled in one
+    inverse-transform draw instead of one coin flip per contender per slot.
+
     Args:
         identity: the contender's identifier (used only for bookkeeping).
         estimated_contenders: the publicly known estimate ``k`` of how many
@@ -39,6 +46,8 @@ class MetcalfeBoggsContender(ChannelContender):
     Raises:
         ValueError: if ``estimated_contenders`` is not positive.
     """
+
+    GEOMETRIC_CONTENTION = True
 
     def __init__(
         self,
@@ -77,6 +86,31 @@ class MetcalfeBoggsContender(ChannelContender):
             self._successes_seen += 1
             if transmitted:
                 self._succeeded_in_slot = event.slot
+
+    # ------------------------------------------------------------------
+    # geometric skip-ahead capability
+    # ------------------------------------------------------------------
+    def contention_signature(self) -> object:
+        """Contenders sharing one estimate share one probability schedule."""
+        return self._initial_estimate
+
+    def contention_rate(self, successes_seen: int) -> float:
+        """Per-slot transmit probability after ``successes_seen`` successes."""
+        return 1.0 / max(1, self._initial_estimate - successes_seen)
+
+    def contention_successes_seen(self) -> int:
+        """Successes already heard (the scheduler resumes counting here)."""
+        return self._successes_seen
+
+    def skip_ahead_rng(self):
+        """The private source the skip-ahead scheduler draws from."""
+        return self._rng
+
+    def commit_skip_ahead(self, slot, successes_seen: int) -> None:
+        """Adopt the publicly known state a per-slot run would have built."""
+        self._successes_seen = successes_seen
+        if slot is not None:
+            self._succeeded_in_slot = slot
 
 
 def expected_slots_per_success(estimate: int) -> float:

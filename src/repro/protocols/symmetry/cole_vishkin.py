@@ -62,6 +62,7 @@ def cole_vishkin_step(
     colors: Dict[NodeId, int],
     parents: Dict[NodeId, Optional[NodeId]],
     num_colors: int,
+    out: Optional[Dict[NodeId, int]] = None,
 ) -> Dict[NodeId, int]:
     """Apply one deterministic coin-tossing step to a legal forest colouring.
 
@@ -70,15 +71,28 @@ def cole_vishkin_step(
         parents: rooted-forest structure; roots map to ``None``.
         num_colors: an upper bound on the current number of colours (the new
             colours lie in ``{0, …, 2·⌈log2 num_colors⌉ − 1}``).
+        out: optional dictionary to write the new colouring into (cleared
+            first; must not be ``colors`` itself).  The iterated caller
+            ping-pongs two dictionaries through the ``log* n`` steps instead
+            of allocating a fresh one per step; vertices are inserted in
+            ``parents`` order either way, so the result is bit-identical to
+            the allocating form.
 
     Returns:
-        The new colouring (a fresh dictionary).
+        The new colouring (``out`` when given, else a fresh dictionary).
 
     Raises:
-        ValueError: if the input colouring is not legal.
+        ValueError: if the input colouring is not legal, or ``out`` aliases
+            ``colors``.
     """
     bits = color_bit_length(num_colors)
-    new_colors: Dict[NodeId, int] = {}
+    if out is None:
+        new_colors: Dict[NodeId, int] = {}
+    else:
+        if out is colors:
+            raise ValueError("out must not alias the input colouring")
+        new_colors = out
+        new_colors.clear()
     for node, parent in parents.items():
         own = colors[node]
         if parent is None:

@@ -91,9 +91,13 @@ def three_color_rooted_forest(
     num_colors = max(colors.values()) + 1
     rounds = 0
 
-    # Phase 1: Cole–Vishkin until at most six colours remain.
+    # Phase 1: Cole–Vishkin until at most six colours remain.  The iteration
+    # ping-pongs two dictionaries (`colors` was freshly built above, so it is
+    # safe to recycle): each step writes into the spare and the dicts swap
+    # roles, avoiding a fresh O(n) allocation per log* n step.
+    spare: Dict[NodeId, int] = {}
     while num_colors > 6:
-        colors = cole_vishkin_step(colors, parents, num_colors)
+        colors, spare = cole_vishkin_step(colors, parents, num_colors, out=spare), colors
         next_bound = colors_after_step(num_colors)
         rounds += 1
         if next_bound >= num_colors:

@@ -22,11 +22,39 @@ class SlottedChannel:
     def __init__(self, metrics: Optional[MetricsRecorder] = None) -> None:
         self._metrics = metrics
         self._history: List[ChannelEvent] = []
+        self._idle_skipped = 0
 
     @property
     def slots_elapsed(self) -> int:
-        """Return how many slots have been resolved so far."""
-        return len(self._history)
+        """Return how many slots have been resolved so far.
+
+        Includes idle slots fast-forwarded over by :meth:`skip_idle_slots`,
+        which are accounted but never materialised as events.
+        """
+        return len(self._history) + self._idle_skipped
+
+    @property
+    def idle_slots_skipped(self) -> int:
+        """Return how many idle slots were accounted without an event."""
+        return self._idle_skipped
+
+    def skip_idle_slots(self, count: int) -> None:
+        """Charge ``count`` idle slots in one O(1) batch.
+
+        The skip-ahead contention scheduler
+        (:mod:`repro.protocols.collision.geometric`) knows an idle run's
+        length without resolving its slots one by one; this records the run
+        in the slot accounting (and the metrics, when attached) without
+        appending ``count`` idle events to the history.
+
+        Raises:
+            ValueError: if ``count`` is negative.
+        """
+        if count < 0:
+            raise ValueError("cannot skip a negative number of slots")
+        self._idle_skipped += count
+        if self._metrics is not None and count:
+            self._metrics.record_idle_slots(count)
 
     @property
     def history(self) -> Tuple[ChannelEvent, ...]:
@@ -76,6 +104,7 @@ class SlottedChannel:
 
     def utilisation(self) -> float:
         """Return the fraction of elapsed slots that carried a successful broadcast."""
-        if not self._history:
+        elapsed = self.slots_elapsed
+        if not elapsed:
             return 0.0
-        return len(self.successes()) / len(self._history)
+        return len(self.successes()) / elapsed

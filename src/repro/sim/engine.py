@@ -74,6 +74,28 @@ class EventQueue:
         action(*args)
         return True
 
+    def fast_forward(self, time: float) -> None:
+        """Advance the clock to ``time`` in O(1), without touching the heap.
+
+        The skip-ahead accounting paths (dead busy-tone slots in the channel
+        synchronizer, idle runs on the contention channel) know in advance
+        that a stretch of simulated time contains no events; this jumps the
+        clock over it at constant cost, where :meth:`run_until` would pay a
+        heap peek per slot walked.
+
+        Raises:
+            ValueError: if ``time`` lies in the past, or an event is
+                scheduled at or before ``time`` (fast-forwarding would skip
+                it; use :meth:`run_until` instead).
+        """
+        if time < self._now:
+            raise ValueError("cannot fast-forward into the past")
+        if self._heap and self._heap[0][0] <= time:
+            raise ValueError(
+                "cannot fast-forward past a scheduled event; use run_until"
+            )
+        self._now = time
+
     def run_until(self, time: float) -> None:
         """Execute every event with timestamp ``<= time``."""
         heap = self._heap

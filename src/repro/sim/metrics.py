@@ -122,6 +122,21 @@ class MetricsRecorder:
         else:
             self.channel_collision += 1
 
+    def record_idle_slots(self, count: int) -> None:
+        """Charge ``count`` idle channel slots in one batch.
+
+        Equivalent to ``count`` calls of ``record_slot(SlotState.IDLE, 0)``;
+        used by the skip-ahead fast paths so a fast-forwarded idle run costs
+        O(1) accounting instead of one call per slot.
+
+        Raises:
+            ValueError: if ``count`` is negative.
+        """
+        if count < 0:
+            raise ValueError("cannot record a negative number of slots")
+        self.channel_slots += count
+        self.channel_idle += count
+
     # ------------------------------------------------------------------
     # reading
     # ------------------------------------------------------------------

@@ -65,6 +65,7 @@ class UnslottedChannel:
 def slotted_from_unslotted(
     channel: UnslottedChannel,
     guard_time: float = 0.0,
+    number_by_time: bool = False,
 ) -> List[ChannelEvent]:
     """Convert the transmissions of an unslotted channel into logical slots.
 
@@ -78,11 +79,20 @@ def slotted_from_unslotted(
         channel: the unslotted channel whose transmissions to convert.
         guard_time: extra idle time required on the auxiliary channel before
             a slot boundary is declared.
+        number_by_time: when ``False`` (the historical behaviour) busy
+            periods are numbered densely ``0, 1, 2, …``.  When ``True`` the
+            slot indices additionally account for the whole unit-length idle
+            slots that fit between consecutive busy periods (and before the
+            first one), via one O(1) arithmetic fast-forward per gap — the
+            unslotted analogue of the contention scheduler's idle-run skip:
+            empty slots are *counted* without ever being materialised, so
+            ``events[-1].slot + 1 − len(events)`` is the number of idle slots
+            the conversion fast-forwarded over.
 
     Returns:
-        One :class:`ChannelEvent` per logical slot, in slot order.  Idle slots
-        are not materialised (an unslotted channel has no notion of an empty
-        slot between busy periods).
+        One :class:`ChannelEvent` per busy period, in slot order.  Idle slots
+        are never materialised as events (an unslotted channel has no notion
+        of an empty slot between busy periods).
     """
     if guard_time < 0:
         raise ValueError("guard_time cannot be negative")
@@ -116,6 +126,11 @@ def slotted_from_unslotted(
     for transmission in ordered:
         if current_end is None or transmission.start_time >= current_end + guard_time:
             flush()
+            if number_by_time:
+                # fast-forward the slot counter over the idle gap in O(1):
+                # every whole time unit with no busy tone is one idle slot
+                reference = 0.0 if current_end is None else current_end
+                slot_index += int(transmission.start_time - reference)
             current = [transmission]
             current_end = transmission.start_time + 1.0
         else:

@@ -185,8 +185,10 @@ class ChannelSynchronizer:
                 if next_time is not None:
                     dead = int(next_time - queue.now) - 1
                     if dead > 0:
+                        # the stretch is known event-free, so the clock jumps
+                        # over it in O(1) instead of walking slot by slot
                         counters["busy_slots"] += dead
-                        queue.run_until(queue.now + dead)
+                        queue.fast_forward(queue.now + dead)
                 slot_end = queue.now + 1.0
                 queue.run_until(slot_end)
                 if counters["unacked"] > 0 or not queue.is_empty():

@@ -1,6 +1,5 @@
 """Tests for complexity curves, statistics and report formatting."""
 
-import math
 
 import pytest
 

@@ -199,7 +199,8 @@ class TestTrajectorySuite:
         # the historical hot/topology variants stay present under their
         # recorded BENCH_core.json names
         for name in ("e2_hot", "e4_hot", "e9_hot",
-                     "e7_scale_free_hot", "e7_ad_hoc_hot", "e10_scale_free"):
+                     "e7_scale_free_hot", "e7_ad_hoc_hot", "e7_baseline_hot",
+                     "e10_scale_free"):
             assert name in names
         assert len(names) == len(set(names))
 
@@ -207,9 +208,16 @@ class TestTrajectorySuite:
         names = [entry.name for entry in suite_entries(quick=True)]
         for experiment_id in EXPECTED_IDS:
             assert experiment_id in names
-        for name in ("e7_scale_free", "e7_ad_hoc", "e10_scale_free"):
+        for name in ("e7_scale_free", "e7_ad_hoc", "e7_baseline",
+                     "e10_scale_free"):
             assert name in names
         assert len(names) == len(set(names))
+
+    def test_e7_baseline_variants_measure_the_baseline(self):
+        by_name = {entry.name: entry for entry in suite_entries(quick=False)}
+        assert by_name["e7_baseline_hot"].overrides["channel_baseline"] is True
+        quick = {entry.name: entry for entry in suite_entries(quick=True)}
+        assert quick["e7_baseline"].overrides["channel_baseline"] is True
 
 
 class TestCli:
@@ -307,3 +315,41 @@ class TestCli:
         # replacing it with a probe-only dict
         assert "wall_seconds" in recorded["e2"]
         assert "max_feasible_n" in recorded["e2"]
+
+
+class TestDocsCatalog:
+    def test_markdown_is_deterministic_and_covers_every_spec(self):
+        from repro.experiments.catalog import experiments_markdown
+
+        first = experiments_markdown()
+        assert first == experiments_markdown()
+        for experiment_id in EXPECTED_IDS:
+            assert f"## {experiment_id} — " in first
+        # the catalog documents the presets and the new baseline variants
+        assert "| `quick` |" in first and "| `hot` |" in first
+        assert "`e7_baseline_hot`" in first and "`e7_baseline`" in first
+
+    def test_committed_catalog_is_fresh(self):
+        # the same check the CI docs-freshness job runs: the committed
+        # docs/experiments.md must match what the registry generates now
+        from repro.experiments.catalog import default_docs_dir, stale_docs
+
+        assert stale_docs(default_docs_dir()) == []
+
+    def test_cli_docs_writes_and_checks(self, tmp_path, capsys):
+        docs_dir = tmp_path / "docs"
+        assert cli.main(["docs", "--output-dir", str(docs_dir)]) == 0
+        generated = docs_dir / "experiments.md"
+        assert generated.exists()
+        capsys.readouterr()
+        assert cli.main(["docs", "--output-dir", str(docs_dir), "--check"]) == 0
+        capsys.readouterr()
+        generated.write_text(generated.read_text() + "drift\n")
+        assert cli.main(["docs", "--output-dir", str(docs_dir), "--check"]) == 1
+        assert "stale" in capsys.readouterr().err
+
+    def test_cli_docs_check_missing_file_fails(self, tmp_path, capsys):
+        assert cli.main(
+            ["docs", "--output-dir", str(tmp_path / "nowhere"), "--check"]
+        ) == 1
+        assert "stale" in capsys.readouterr().err

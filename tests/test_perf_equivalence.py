@@ -1,15 +1,27 @@
-"""Seed-vs-optimized equivalence checks for the hot-path overhaul.
+"""Golden equivalence checks for the performance work, versioned by RNG era.
 
-The performance work (indexed graph core, cached tree primitives, rewritten
-hot loops) must not change any algorithm output: same weighted topologies,
-same partition forests, same MSTs, and the same time/message accounting on
-fixed seeds.  This module pins all of that against golden data captured from
-the seed implementation (commit 70c26fe) *before* the optimization landed:
+The hot-path overhauls (indexed graph core, cached tree primitives, rewritten
+inner loops, geometric skip-ahead contention) must not change what the
+algorithms *compute*.  Two golden files pin that, under
+``tests/data/goldens/``:
 
-    PYTHONPATH=src python tests/test_perf_equivalence.py   # regenerate golden
+* ``v1/equivalence_golden.json`` — workloads whose outputs are independent of
+  how the random streams are consumed: topology fingerprints, the
+  deterministic partition, and the (Capetanakis-scheduled, deterministic)
+  multimedia MST.  These values date back to the seed implementation (commit
+  70c26fe) and every PR must reproduce them bit-identically.
+* ``v2/equivalence_golden.json`` — workloads that consume the randomized
+  contention stream: the Las-Vegas randomized partition and the
+  Metcalfe–Boggs contention fingerprints.  PR 4's geometric skip-ahead draws
+  the *same distribution* from the RNG in fewer draws, so these values were
+  regenerated when it landed (the per-slot ↔ skip-ahead distributional match
+  is guarded separately by ``tests/test_skip_ahead.py``).  They are exact for
+  the current stream era and pin it against accidental drift.
 
-Regenerating on purpose is fine when an algorithm change is intended; the
-point of the file is that a *performance* PR shows an empty diff here.
+Regenerate both files (only do this when an RNG-stream or algorithm change is
+intended — a pure performance PR must show an empty diff here):
+
+    PYTHONPATH=src python tests/test_perf_equivalence.py
 """
 
 from __future__ import annotations
@@ -19,14 +31,15 @@ from pathlib import Path
 
 import pytest
 
-GOLDEN_PATH = Path(__file__).parent / "data" / "equivalence_golden.json"
+GOLDEN_DIR = Path(__file__).parent / "data" / "goldens"
+GOLDEN_V1 = GOLDEN_DIR / "v1" / "equivalence_golden.json"
+GOLDEN_V2 = GOLDEN_DIR / "v2" / "equivalence_golden.json"
 
 
-def _compute_state():
-    """Run the fixed-seed workloads and return their observable outputs."""
+def _compute_deterministic_state():
+    """Fixed workloads whose outputs do not depend on RNG stream consumption."""
     from repro.core.mst.multimedia_mst import MultimediaMST
     from repro.core.partition.deterministic import DeterministicPartitioner
-    from repro.core.partition.randomized import RandomizedPartitioner
     from repro.experiments.harness import make_topology
 
     state = {}
@@ -66,9 +79,36 @@ def _compute_state():
             "messages": result.metrics.point_to_point_messages,
         }
 
+    # multimedia MST: exact tree + accounting (roots are scheduled with the
+    # deterministic Capetanakis protocol, so the MST stays in the v1 era)
+    graph = make_topology("ring", 256, seed=11)
+    result = MultimediaMST(graph).run()
+    state["mst/ring/256"] = {
+        "edges": sorted(sorted(edge.key()) for edge in result.mst.edges),
+        "total_weight": result.mst.total_weight,
+        "rounds": result.metrics.rounds,
+        "messages": result.metrics.point_to_point_messages,
+        "initial_fragments": result.initial_fragments,
+    }
+    return state
+
+
+def _compute_stream_state():
+    """Fixed-seed workloads that consume the randomized contention stream."""
+    import random
+
+    from repro.core.global_function.baselines import compute_on_channel_only
+    from repro.core.global_function.semigroup import INTEGER_ADDITION
+    from repro.core.partition.randomized import RandomizedPartitioner
+    from repro.experiments.harness import make_topology
+    from repro.protocols.collision.base import run_contention
+    from repro.protocols.collision.metcalfe_boggs import MetcalfeBoggsContender
+
+    state = {}
+
     # randomized partition (Las Vegas): forest + accounting on fixed seeds;
-    # the scale_free case guards the partition pipeline on the new
-    # heavy-tailed topology end to end
+    # the channel verification stage schedules the roots with Metcalfe–Boggs
+    # contention, so the round counts sit in the skip-ahead stream era
     for kind, n, seeds in (("grid", 100, (1, 3)), ("scale_free", 128, (1,))):
         for seed in seeds:
             graph = make_topology(kind, n, seed=11)
@@ -85,15 +125,37 @@ def _compute_state():
                 "restarts": result.restarts,
             }
 
-    # multimedia MST: exact tree + accounting
+    # raw Metcalfe–Boggs contention fingerprints: the exact schedule the
+    # geometric skip-ahead samples on fixed seeds (order, slot counts)
+    for k, seed in ((16, 7), (48, 21)):
+        rng = random.Random(seed)
+        contenders = [
+            MetcalfeBoggsContender(
+                identity=i,
+                estimated_contenders=k,
+                rng=random.Random(rng.randrange(2**63)),
+                payload=i,
+            )
+            for i in range(k)
+        ]
+        outcome = run_contention(contenders)
+        state[f"contention/metcalfe_boggs/k{k}/seed{seed}"] = {
+            "order": outcome.order,
+            "slots_used": outcome.slots_used,
+            "collisions": outcome.collisions,
+            "idle": outcome.idle,
+        }
+
+    # the channel-only baseline the skip-ahead makes affordable: end-to-end
+    # value + slot accounting on a fixed seed
     graph = make_topology("ring", 256, seed=11)
-    result = MultimediaMST(graph).run()
-    state["mst/ring/256"] = {
-        "edges": sorted(sorted(edge.key()) for edge in result.mst.edges),
-        "total_weight": result.mst.total_weight,
-        "rounds": result.metrics.rounds,
-        "messages": result.metrics.point_to_point_messages,
-        "initial_fragments": result.initial_fragments,
+    inputs = {node: int(node) for node in graph.nodes()}
+    baseline = compute_on_channel_only(graph, INTEGER_ADDITION, inputs, seed=5)
+    state["channel_baseline/ring/256"] = {
+        "value": baseline.value,
+        "rounds": baseline.rounds,
+        "channel_idle": baseline.metrics.channel_idle,
+        "channel_collision": baseline.metrics.channel_collision,
     }
     return state
 
@@ -103,23 +165,41 @@ def _normalize(value):
     return json.loads(json.dumps(value))
 
 
-@pytest.fixture(scope="module")
-def golden():
-    if not GOLDEN_PATH.exists():
+def _load(path: Path):
+    if not path.exists():
         pytest.fail(
-            f"{GOLDEN_PATH} is missing; regenerate it with "
+            f"{path} is missing; regenerate it with "
             "`PYTHONPATH=src python tests/test_perf_equivalence.py`"
         )
-    return json.loads(GOLDEN_PATH.read_text())
+    return json.loads(path.read_text())
 
 
 @pytest.fixture(scope="module")
-def current():
-    return _normalize(_compute_state())
+def golden_v1():
+    return _load(GOLDEN_V1)
 
 
-def test_golden_covers_same_workloads(golden, current):
-    assert set(golden) == set(current)
+@pytest.fixture(scope="module")
+def golden_v2():
+    return _load(GOLDEN_V2)
+
+
+@pytest.fixture(scope="module")
+def current_v1():
+    return _normalize(_compute_deterministic_state())
+
+
+@pytest.fixture(scope="module")
+def current_v2():
+    return _normalize(_compute_stream_state())
+
+
+def test_golden_v1_covers_same_workloads(golden_v1, current_v1):
+    assert set(golden_v1) == set(current_v1)
+
+
+def test_golden_v2_covers_same_workloads(golden_v2, current_v2):
+    assert set(golden_v2) == set(current_v2)
 
 
 @pytest.mark.parametrize(
@@ -132,22 +212,41 @@ def test_golden_covers_same_workloads(golden, current):
         "graph/ad_hoc/128",
         "det_partition/grid/64",
         "det_partition/grid/144",
-        "rand_partition/grid/100/seed1",
-        "rand_partition/grid/100/seed3",
-        "rand_partition/scale_free/128/seed1",
         "mst/ring/256",
     ],
 )
-def test_output_matches_seed_golden(golden, current, key):
-    assert current[key] == golden[key], (
+def test_output_matches_seed_golden(golden_v1, current_v1, key):
+    assert current_v1[key] == golden_v1[key], (
         f"{key} diverged from the seed implementation; if the algorithm "
-        "change is intentional, regenerate tests/data/equivalence_golden.json"
+        "change is intentional, regenerate tests/data/goldens/"
+    )
+
+
+@pytest.mark.parametrize(
+    "key",
+    [
+        "rand_partition/grid/100/seed1",
+        "rand_partition/grid/100/seed3",
+        "rand_partition/scale_free/128/seed1",
+        "contention/metcalfe_boggs/k16/seed7",
+        "contention/metcalfe_boggs/k48/seed21",
+        "channel_baseline/ring/256",
+    ],
+)
+def test_output_matches_stream_golden(golden_v2, current_v2, key):
+    assert current_v2[key] == golden_v2[key], (
+        f"{key} diverged from the v2 (skip-ahead) RNG stream era; if the "
+        "stream change is intentional, regenerate tests/data/goldens/"
     )
 
 
 if __name__ == "__main__":
-    GOLDEN_PATH.parent.mkdir(parents=True, exist_ok=True)
-    GOLDEN_PATH.write_text(
-        json.dumps(_normalize(_compute_state()), indent=2, sort_keys=True) + "\n"
-    )
-    print(f"wrote {GOLDEN_PATH}")
+    for path, state in (
+        (GOLDEN_V1, _compute_deterministic_state()),
+        (GOLDEN_V2, _compute_stream_state()),
+    ):
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(
+            json.dumps(_normalize(state), indent=2, sort_keys=True) + "\n"
+        )
+        print(f"wrote {path}")

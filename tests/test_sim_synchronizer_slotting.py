@@ -53,6 +53,29 @@ class TestEventQueue:
         queue.run_until(2)
         assert seen == [1]
 
+    def test_fast_forward_jumps_event_free_stretch(self):
+        queue = EventQueue()
+        seen = []
+        queue.schedule(10, lambda: seen.append(10))
+        queue.fast_forward(9.0)
+        assert queue.now == 9.0
+        assert seen == []
+        queue.run_all()
+        assert seen == [10]
+
+    def test_fast_forward_refuses_to_skip_events(self):
+        queue = EventQueue()
+        queue.schedule(2, lambda: None)
+        with pytest.raises(ValueError):
+            queue.fast_forward(2.0)
+
+    def test_fast_forward_refuses_past(self):
+        queue = EventQueue()
+        queue.schedule(1, lambda: None)
+        queue.run_all()
+        with pytest.raises(ValueError):
+            queue.fast_forward(0.5)
+
 
 class TestChannelSynchronizer:
     def test_same_result_as_synchronous_run(self):
@@ -103,6 +126,33 @@ class TestSlottedFromUnslotted:
         channel.transmit(2, "b", 1.2)
         assert len(slotted_from_unslotted(channel, guard_time=0.0)) == 2
         assert len(slotted_from_unslotted(channel, guard_time=0.5)) == 1
+
+    def test_number_by_time_counts_idle_gaps(self):
+        channel = UnslottedChannel()
+        channel.transmit(1, "a", 0.0)
+        channel.transmit(2, "b", 5.5)
+        dense = slotted_from_unslotted(channel)
+        assert [e.slot for e in dense] == [0, 1]
+        timed = slotted_from_unslotted(channel, number_by_time=True)
+        # the first period ends at 1.0; 4 whole idle slots fit before 5.5
+        assert [e.slot for e in timed] == [0, 5]
+        assert timed[-1].slot + 1 - len(timed) == 4  # fast-forwarded idles
+        assert verify_slot_semantics(timed)
+
+    def test_number_by_time_counts_leading_idle(self):
+        channel = UnslottedChannel()
+        channel.transmit(1, "a", 3.25)
+        (event,) = slotted_from_unslotted(channel, number_by_time=True)
+        assert event.slot == 3
+
+    def test_number_by_time_contiguous_matches_dense(self):
+        channel = UnslottedChannel()
+        channel.transmit(1, "a", 0.0)
+        channel.transmit(2, "b", 1.0)
+        channel.transmit(3, "c", 2.0)
+        dense = slotted_from_unslotted(channel)
+        timed = slotted_from_unslotted(channel, number_by_time=True)
+        assert [e.slot for e in dense] == [e.slot for e in timed] == [0, 1, 2]
 
     def test_negative_start_rejected(self):
         with pytest.raises(ValueError):
