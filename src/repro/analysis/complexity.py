@@ -1,8 +1,23 @@
 """The paper's complexity bound formulas, used as reference curves.
 
-Experiments fit measured round and message counts against these functions; a
-claim "the algorithm runs in O(f(n))" is reproduced by showing that the ratio
-measured / f(n) stays bounded (and roughly constant) as ``n`` grows.
+Each function evaluates one of the paper's asymptotic claims at a concrete
+instance size — e.g. :func:`det_partition_time_bound` is the Section 3
+``O(√n log* n)`` running-time bound — dropping the hidden constant (every
+bound is reported with an implicit constant of 1).  The experiment sweeps
+divide their *measured* round and message counts by these curves and report
+the ratio as a table column (``rounds/bound``, ``messages/bound``): a claim
+"the algorithm runs in O(f(n))" is reproduced when the ratios stay within a
+constant band as ``n`` grows — they may oscillate, but must not trend
+upward.  :func:`ratio_to_bound` computes those ratio sequences.
+
+The iterated-logarithm helpers come from the modules that own them
+(:func:`~repro.protocols.symmetry.cole_vishkin.log_star` for base-2,
+:func:`~repro.core.partition.randomized.ln_star` for base-e) and are
+re-exported here so analysis code has one import surface.
+
+All bounds guard their domains: sub-logarithmic expressions are clamped at
+small ``n`` (where ``log log n`` would vanish or go negative) so sweeps that
+include tiny smoke sizes never divide by zero.
 """
 
 from __future__ import annotations
@@ -29,54 +44,100 @@ __all__ = [
 
 
 def det_partition_time_bound(n: int) -> float:
-    """O(√n · log* n) — deterministic partition running time (Section 3)."""
+    """O(√n · log* n) — deterministic partition running time (Section 3).
+
+    Args:
+        n: number of network nodes.
+
+    Raises:
+        ValueError: when ``n`` is not positive.
+    """
     if n < 1:
         raise ValueError("n must be positive")
     return math.sqrt(n) * max(1, log_star(max(2, n)))
 
 
 def det_partition_message_bound(n: int, m: int) -> float:
-    """O(m + n · log n · log* n) — deterministic partition messages (Section 3)."""
+    """O(m + n · log n · log* n) — deterministic partition messages (Section 3).
+
+    Args:
+        n: number of network nodes.
+        m: number of point-to-point links.
+
+    Raises:
+        ValueError: when ``n`` is not positive or ``m`` is negative.
+    """
     if n < 1 or m < 0:
         raise ValueError("invalid n or m")
     return m + n * max(1.0, math.log2(max(2, n))) * max(1, log_star(max(2, n)))
 
 
 def rand_partition_time_bound(n: int) -> float:
-    """O(√n · log* n) — randomized partition running time (Section 4)."""
+    """O(√n · log* n) — randomized partition running time (Section 4).
+
+    Identical in form to :func:`det_partition_time_bound`; kept as its own
+    name so the e3/e4 tables state which claim they divide by.
+    """
     return det_partition_time_bound(n)
 
 
 def rand_partition_message_bound(n: int, m: int) -> float:
-    """O(m + n · log* n) — randomized partition messages (Section 4)."""
+    """O(m + n · log* n) — randomized partition messages (Section 4).
+
+    A ``log n`` factor cheaper than the deterministic bound: a message over
+    a link either attaches the link to a BFS tree or removes it forever.
+
+    Args:
+        n: number of network nodes.
+        m: number of point-to-point links.
+
+    Raises:
+        ValueError: when ``n`` is not positive or ``m`` is negative.
+    """
     if n < 1 or m < 0:
         raise ValueError("invalid n or m")
     return m + n * max(1, log_star(max(2, n)))
 
 
 def global_det_time_bound(n: int) -> float:
-    """O(√(n log n log* n)) — deterministic global function time (Section 5.1)."""
+    """O(√(n log n log* n)) — deterministic global function time (Section 5.1).
+
+    The balanced form: Section 5.1 re-runs the partition to target size
+    ``√(n / (log n log* n))`` so the tree and channel stages cost the same.
+    Returns 1.0 below ``n = 2`` (smoke sizes) to keep ratios finite.
+    """
     if n < 2:
         return 1.0
     return math.sqrt(n * math.log2(n) * max(1, log_star(n)))
 
 
 def global_rand_time_bound(n: int) -> float:
-    """O(√n log* n) — randomized global function expected time (Section 5.1)."""
+    """O(√n log* n) — randomized global function expected time (Section 5.1).
+
+    Returns 1.0 below ``n = 2`` (smoke sizes) to keep ratios finite.
+    """
     if n < 2:
         return 1.0
     return math.sqrt(n) * max(1, log_star(n))
 
 
 def mst_time_bound(n: int) -> float:
-    """O(√n · log n) — multimedia MST running time (Section 6)."""
+    """O(√n · log n) — multimedia MST running time (Section 6).
+
+    Returns 1.0 below ``n = 2`` (smoke sizes) to keep ratios finite.
+    """
     if n < 2:
         return 1.0
     return math.sqrt(n) * math.log2(n)
 
 
 def mst_message_bound(n: int, m: int) -> float:
-    """O(m + n log n log* n) — multimedia MST messages (Section 6)."""
+    """O(m + n log n log* n) — multimedia MST messages (Section 6).
+
+    Identical in form to :func:`det_partition_message_bound` (the MST's
+    message cost is dominated by its partition stage); kept as its own name
+    so the e9 table states which claim it divides by.
+    """
     return det_partition_message_bound(n, m)
 
 

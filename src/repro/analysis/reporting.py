@@ -5,7 +5,15 @@ EXPERIMENTS.md records, so re-running a benchmark reproduces the documented
 rows verbatim (up to randomness noted per experiment).  The experiment
 sweeps themselves produce structured row dictionaries (see
 :mod:`repro.experiments.runner`); :func:`table_from_records` lays those out
-as a :class:`Table` in the declared column order.
+as a :class:`Table` in the declared column order, and
+:meth:`Table.render`/:func:`format_table` produce the final aligned text.
+
+The rendering is deliberately dumb and stable — title line, dashed rule,
+headers, dashed rule, rows; floats formatted to two decimals, everything
+else through ``str`` — because the golden-equivalence story depends on it:
+two runs that compute identical rows must print byte-identical tables, and
+several tests diff rendered tables directly.  Anything smarter (locale
+awareness, unit scaling, column elision) belongs in a consumer, not here.
 """
 
 from __future__ import annotations
@@ -20,8 +28,10 @@ class Table:
 
     Attributes:
         title: printed above the table.
-        columns: column headers.
-        rows: one list of cell values per row (converted with ``str``).
+        columns: column headers; every row must supply exactly one cell per
+            header, in the same order.
+        rows: one list of cell values per row (floats render to two
+            decimals, everything else through ``str``).
     """
 
     title: str
@@ -52,6 +62,16 @@ def table_from_records(
 ) -> Table:
     """Build a :class:`Table` from row dictionaries keyed by ``columns``.
 
+    This is how :meth:`~repro.experiments.runner.ExperimentResult.to_table`
+    turns structured sweep rows back into the historical table: the record
+    keys may hold extra entries, but every declared column must be present,
+    and the column order — not the record order — decides the layout.
+
+    Args:
+        title: printed above the table.
+        columns: the declared column order.
+        records: one mapping per row, keyed by (at least) ``columns``.
+
     Raises:
         KeyError: when a record lacks one of the declared columns.
     """
@@ -62,13 +82,18 @@ def table_from_records(
 
 
 def _format_cell(value: object) -> str:
+    """Render one cell: floats to two decimals, everything else via ``str``."""
     if isinstance(value, float):
         return f"{value:.2f}"
     return str(value)
 
 
 def format_table(title: str, columns: Sequence[str], rows: Sequence[Sequence[object]]) -> str:
-    """Render ``rows`` under ``columns`` with a title line and a rule."""
+    """Render ``rows`` under ``columns`` with a title line and a rule.
+
+    Column widths grow to the widest formatted cell (headers included);
+    cells are left-justified and joined with two spaces.
+    """
     formatted_rows = [[_format_cell(cell) for cell in row] for row in rows]
     widths = [len(column) for column in columns]
     for row in formatted_rows:

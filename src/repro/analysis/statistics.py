@@ -1,7 +1,14 @@
 """Small summary-statistics helpers used by the experiment harness.
 
-Kept dependency-free (no numpy) so the core library stays pure-stdlib; the
-tests cross-check these against numpy where it is available.
+The randomized experiment sweeps (e3/e4/e6) run each instance across several
+seeds and report per-size aggregates; these helpers compute them.  Kept
+dependency-free (no numpy) so the core library stays pure-stdlib — a
+constraint the repository holds everywhere (see ROADMAP.md) — and the tests
+cross-check the results against numpy where it happens to be available.
+
+Every function rejects empty input with :class:`ValueError` rather than
+returning a quiet ``nan``: an empty sample reaching an experiment aggregate
+means a sweep produced no rows, which should fail loudly.
 """
 
 from __future__ import annotations
@@ -12,7 +19,10 @@ from typing import Sequence
 
 
 def mean(values: Sequence[float]) -> float:
-    """Return the arithmetic mean.
+    """Return the arithmetic mean of ``values``.
+
+    Args:
+        values: a non-empty sample.
 
     Raises:
         ValueError: if ``values`` is empty.
@@ -23,7 +33,18 @@ def mean(values: Sequence[float]) -> float:
 
 
 def population_std(values: Sequence[float]) -> float:
-    """Return the population standard deviation (zero for a single value)."""
+    """Return the population standard deviation (zero for a single value).
+
+    The *population* form (divide by ``len(values)``, not ``len - 1``) is
+    deliberate: a sweep's seed set is the entire population the table row
+    describes, not a sample from a larger one.
+
+    Args:
+        values: a non-empty sample.
+
+    Raises:
+        ValueError: if ``values`` is empty.
+    """
     if not values:
         raise ValueError("cannot take the deviation of zero values")
     centre = mean(values)
@@ -32,7 +53,15 @@ def population_std(values: Sequence[float]) -> float:
 
 @dataclass(frozen=True)
 class Summary:
-    """Five-number-ish summary of a sample."""
+    """Five-number-ish summary of a sample.
+
+    Attributes:
+        count: number of observations.
+        mean: arithmetic mean.
+        std: population standard deviation (see :func:`population_std`).
+        minimum: smallest observation.
+        maximum: largest observation.
+    """
 
     count: int
     mean: float
@@ -43,6 +72,9 @@ class Summary:
 
 def summarize(values: Sequence[float]) -> Summary:
     """Return a :class:`Summary` of ``values``.
+
+    Args:
+        values: a non-empty sample.
 
     Raises:
         ValueError: if ``values`` is empty.

@@ -8,6 +8,9 @@ pytest benches and the benchmark trajectory execute::
     python -m repro list
     python -m repro run e7 --topology ad_hoc --preset hot --json out.json
     python -m repro run e3 --sizes 64 144 --seeds 1 2 -j 4
+    python -m repro run e7 --executor sharded --preset hot --run-dir runs/e7
+    python -m repro run e7 --shard 2/8 --run-dir runs/e7   # farm out one shard
+    python -m repro run e7 --resume --run-dir runs/e7      # finish what's left
     python -m repro bench --quick
     python -m repro docs --check
 
@@ -23,6 +26,12 @@ import sys
 from pathlib import Path
 from typing import Any, Dict, List, Optional
 
+from repro.experiments.executors import (
+    EXECUTOR_NAMES,
+    ExecutorConfigError,
+    make_executor,
+    parse_shard,
+)
 from repro.experiments.registry import DEFAULT_PRESET, all_experiments, get_experiment
 from repro.experiments.runner import run_experiment
 
@@ -70,6 +79,32 @@ def _build_parser() -> argparse.ArgumentParser:
         "--processes", "-j", type=int, default=0,
         help="run sweep points in a process pool of this many workers "
         "(rows are bit-identical to a serial run)",
+    )
+    run_parser.add_argument(
+        "--executor", choices=EXECUTOR_NAMES, default=None,
+        help="execution backend: serial, process (-j pool), or sharded "
+        "(deterministic checkpointed shards under --run-dir; defaults to "
+        "sharded when any sharded option below is given)",
+    )
+    run_parser.add_argument(
+        "--shard", type=str, default=None, metavar="K/N",
+        help="execute only shard K of N (1-based) of a sharded run; "
+        "shards striped over a shared --run-dir merge into one result",
+    )
+    run_parser.add_argument(
+        "--resume", action="store_true",
+        help="reuse completed shard checkpoints in the run directory and "
+        "compute only what is missing",
+    )
+    run_parser.add_argument(
+        "--run-dir", type=Path, default=None, metavar="DIR",
+        help="shard checkpoint directory (default: .repro_runs/<id>-<preset>-"
+        "<digest> at the repository root)",
+    )
+    run_parser.add_argument(
+        "--max-shards", type=int, default=0, metavar="M",
+        help="compute at most M shards this invocation and leave the rest "
+        "pending (resume later with --resume)",
     )
     run_parser.add_argument(
         "--json", type=Path, default=None, metavar="PATH",
@@ -152,9 +187,11 @@ def _command_list(args: argparse.Namespace) -> int:
         ]
         print(json.dumps(payload, indent=2))
         return 0
+    from repro.experiments.catalog import preset_names
+
     for spec in specs:
         print(f"{spec.id:>4}  {spec.description}")
-        for name in ("quick", "default", "hot"):
+        for name in preset_names(spec):
             params = spec.presets[name]
             summary = ", ".join(f"{key}={value}" for key, value in params.items())
             print(f"      {name:<8} {summary}")
@@ -195,15 +232,54 @@ def _command_run(args: argparse.Namespace) -> int:
         overrides = _overrides_from(args)
         spec = get_experiment(args.experiment)
         spec.params_for(args.preset, overrides)
+        shard = parse_shard(args.shard) if args.shard is not None else None
+        executor_name = args.executor
+        if executor_name is None and (
+            shard is not None or args.resume or args.run_dir is not None
+            or args.max_shards
+        ):
+            executor_name = "sharded"
+        backend = (
+            make_executor(
+                executor_name,
+                processes=args.processes,
+                shard=shard,
+                resume=args.resume,
+                run_dir=args.run_dir,
+                max_shards=args.max_shards,
+            )
+            if executor_name is not None
+            else None
+        )
     except (KeyError, ValueError) as error:
         message = error.args[0] if error.args else str(error)
         print(f"error: {message}", file=sys.stderr)
         return 2
-    result = run_experiment(
-        spec, preset=args.preset, overrides=overrides, processes=args.processes
-    )
+    try:
+        # when a backend was built above it already carries the worker
+        # count; forwarding processes too would trip the instance guard
+        result = run_experiment(
+            spec,
+            preset=args.preset,
+            overrides=overrides,
+            processes=args.processes if backend is None else 0,
+            executor=backend,
+        )
+    except ExecutorConfigError as error:
+        # execution-time operator errors (foreign run directory, shard index
+        # outside the layout) render as usage errors; genuine failures
+        # inside a sweep keep their tracebacks
+        message = error.args[0] if error.args else str(error)
+        print(f"error: {message}", file=sys.stderr)
+        return 2
     if not args.quiet:
         print(result.to_table().render())
+    if result.pending_points:
+        print(
+            f"partial: {result.pending_points} sweep point(s) pending — "
+            "re-run with --resume to finish",
+            file=sys.stderr,
+        )
     if args.json is not None:
         args.json.write_text(result.to_json())
         print(f"wrote {args.json}", file=sys.stderr)

@@ -31,6 +31,23 @@ graphs a node may have to test many links in one phase, so the *measured*
 busy time of a phase can exceed the 5·2^i·log* n budget even though the
 total message count stays within O(m + n log n log* n); the experiments
 report both numbers.
+
+Implementation notes (hot loops, round 2)
+-----------------------------------------
+The orchestration state is **array-indexed**: nodes are enumerated once and
+parent pointers, depths, core membership and the per-node link-scan state
+live in flat integer lists indexed by that enumeration, so the inner loops
+index lists instead of hashing node objects.  Fragment bookkeeping
+(members, sizes, radii, first-appearance order) is maintained
+*incrementally* across phases — only the fragments a merge actually touches
+are updated, where earlier revisions re-derived all of it from scratch every
+phase.  Link rejection marks a dead flag on **both** endpoints' scan lists
+at rejection time (a batched candidate-edge scan with no per-test set
+hashing), replacing the global rejected-edge-key set.  The small fragment
+graph F — whose construction, 3-colouring, MIS and cut are order-sensitive —
+is still built over the original node objects, so the outputs stay
+bit-identical to the pre-optimization implementation (pinned by the v1
+goldens).
 """
 
 from __future__ import annotations
@@ -40,15 +57,16 @@ from dataclasses import dataclass
 from typing import Dict, Hashable, List, Optional, Set, Tuple
 
 from repro.core.partition.forest import Fragment, SpanningForest
-from repro.protocols.spanning.tree_utils import (
-    children_map,
-    reroot,
-)
+from repro.protocols.spanning.tree_utils import children_map
 from repro.protocols.symmetry.cole_vishkin import log_star
 from repro.protocols.symmetry.mis import mis_from_three_coloring
 from repro.protocols.symmetry.three_coloring import three_color_rooted_forest
 from repro.sim.metrics import MetricsRecorder, MetricsSnapshot
-from repro.topology.graph import WeightedGraph, sorted_incident_links
+from repro.topology.graph import (
+    WeightedGraph,
+    is_identity_enumeration,
+    sorted_incident_links,
+)
 from repro.topology.properties import is_connected
 
 NodeId = Hashable
@@ -156,48 +174,86 @@ class DeterministicPartitioner:
         """Execute the algorithm and return the resulting forest."""
         n = self._n
         log_star_n = max(1, log_star(max(2, n)))
-        # Phase 0 state: every node is a singleton fragment whose core is itself.
-        parents: Dict[NodeId, Optional[NodeId]] = {v: None for v in self._graph.nodes()}
-        core_of: Dict[NodeId, NodeId] = {v: v for v in self._graph.nodes()}
-        rejected: Set[Tuple[NodeId, NodeId]] = set()
+        # enumerate the nodes once; all hot state below is indexed by this
+        # enumeration (graph iteration order), not keyed by node objects
+        nodes: List[NodeId] = list(self._graph.nodes())
+        index_of: Dict[NodeId, int] = {node: i for i, node in enumerate(nodes)}
+        # when the nodes are their own 0..n-1 enumeration, index space *is*
+        # node space and the per-phase translation dictionaries are skipped
+        identity = is_identity_enumeration(nodes)
+        # Phase 0 state: every node is a depth-0 singleton fragment whose
+        # core is itself (-1 encodes "no parent")
+        parent_idx: List[int] = [-1] * n
+        core_arr: List[int] = list(range(n))
+        depths: List[int] = [0] * n
         # Each node scans its incident links in (weight, repr) order across
         # all phases (the GHS discipline), so sort them once up front and
         # remember, per node, how far the scan has permanently advanced:
-        # every link before the pointer has been rejected forever.
-        sorted_links = sorted_incident_links(self._graph)
-        link_pos: Dict[NodeId, int] = {node: 0 for node in sorted_links}
+        # every link before the pointer has been rejected forever.  A
+        # rejection marks BOTH endpoints' scan entries dead via the
+        # precomputed reverse positions, so the scan never hashes edge keys.
+        link_nbr: List[List[int]] = [[] for _ in range(n)]
+        link_w: List[List[float]] = [[] for _ in range(n)]
+        link_back: List[List[int]] = [[] for _ in range(n)]
+        edges = self._graph.edges()
+        if len({edge.weight for edge in edges}) == len(edges):
+            # distinct weights (the standard assumption): one global edge
+            # sort populates every node's scan list in (weight, repr) order
+            # — the same order sorted_incident_links produces — and both
+            # reverse positions are known at append time, one pass, no
+            # edge-key computation
+            for edge in sorted(edges, key=lambda edge: edge.weight):
+                u = index_of[edge.u]
+                v = index_of[edge.v]
+                link_back[u].append(len(link_nbr[v]))
+                link_back[v].append(len(link_nbr[u]))
+                link_nbr[u].append(v)
+                link_nbr[v].append(u)
+                link_w[u].append(edge.weight)
+                link_w[v].append(edge.weight)
+        else:
+            # repeated weights: fall back to the per-node (weight, repr)
+            # sort, then derive the reverse positions
+            for node, entries in sorted_incident_links(self._graph).items():
+                i = index_of[node]
+                link_nbr[i] = [index_of[neighbor] for _, neighbor, _ in entries]
+                link_w[i] = [weight for weight, _, _ in entries]
+            positions: List[Dict[int, int]] = [
+                {neighbor: pos for pos, neighbor in enumerate(neighbors)}
+                for neighbors in link_nbr
+            ]
+            link_back = [
+                [positions[neighbor][i] for neighbor in neighbors]
+                for i, neighbors in enumerate(link_nbr)
+            ]
+        link_dead: List[bytearray] = [
+            bytearray(len(neighbors)) for neighbors in link_nbr
+        ]
+        link_pos: List[int] = [0] * n
+
+        # fragment bookkeeping, maintained incrementally across phases (only
+        # the fragments a merge touches are updated); first_pos records the
+        # smallest member index, which is exactly the order fragments appear
+        # in a full scan over the nodes — the historical active-set order
+        members: Dict[int, List[int]] = {i: [i] for i in range(n)}
+        sizes: Dict[int, int] = dict.fromkeys(range(n), 1)
+        radii: Dict[int, int] = dict.fromkeys(range(n), 0)
+        first_pos: Dict[int, int] = {i: i for i in range(n)}
 
         phase_records: List[PhaseRecord] = []
         busy_total = 0
         max_phases = max(1, math.ceil(math.log2(max(2, self._target))) + 1)
 
         self._metrics.set_phase("partition")
-        # node depths are maintained incrementally: every node starts as a
-        # depth-0 singleton, and each merge re-walks only the trees it
-        # touched, so settled fragments are never re-derived
-        depths: Dict[NodeId, int] = {v: 0 for v in self._graph.nodes()}
         for phase in range(max_phases):
-            members = _members_by_core(core_of)
-            # one pass over the fragments yields the sizes, the smallest
-            # size (the stop condition) and the active set (level == phase)
-            sizes: Dict[NodeId, int] = {}
-            min_size = n
-            active: List[NodeId] = []
-            for core, nodes in members.items():
-                size = len(nodes)
-                sizes[core] = size
-                if size < min_size:
-                    min_size = size
-                if size.bit_length() - 1 == phase:
-                    active.append(core)
-            if len(members) <= 1 or min_size >= self._target:
+            if len(members) <= 1 or min(sizes.values()) >= self._target:
                 break
+            active = [
+                core for core in members
+                if sizes[core].bit_length() - 1 == phase
+            ]
+            active.sort(key=first_pos.__getitem__)
             fragments_before = len(members)
-            radii = {core: 0 for core in members}
-            for v, depth in depths.items():
-                core = core_of[v]
-                if depth > radii[core]:
-                    radii[core] = depth
             phase_messages_start = self._metrics.point_to_point_messages
             busy = 0
 
@@ -208,13 +264,35 @@ class DeterministicPartitioner:
 
             if active:
                 # ------------- Step 2: minimum outgoing links -------------
-                chosen_links, step2_busy = self._find_min_outgoing_links(
-                    active, members, radii, core_of, rejected, sorted_links, link_pos
+                chosen, step2_busy = self._find_min_outgoing_links(
+                    active, members, sizes, radii, core_arr, nodes,
+                    link_nbr, link_w, link_back, link_dead, link_pos,
                 )
                 busy += step2_busy
 
                 # ------------- Steps 3-5: colour F and find the MIS -------
-                f_parents, f_edges = self._build_fragment_forest(chosen_links, core_of)
+                # F is small (one vertex per active fragment plus targets)
+                # and its colouring/cut is order-sensitive, so it is built
+                # over the original node objects exactly as before
+                # resolve every chosen link's far-side core while the link
+                # endpoints are still indices (no hashing per lookup)
+                if identity:
+                    chosen_links = chosen
+                    target_cores = {
+                        core: core_arr[v] for core, (_, _, v) in chosen.items()
+                    }
+                else:
+                    chosen_links = {
+                        nodes[core]: (weight, nodes[u], nodes[v])
+                        for core, (weight, u, v) in chosen.items()
+                    }
+                    target_cores = {
+                        nodes[core]: nodes[core_arr[v]]
+                        for core, (_, _, v) in chosen.items()
+                    }
+                f_parents, f_edges = self._build_fragment_forest(
+                    chosen_links, target_cores
+                )
                 coloring = three_color_rooted_forest(
                     f_parents, identifiers=_core_identifiers(f_parents)
                 )
@@ -223,9 +301,13 @@ class DeterministicPartitioner:
                 # each colouring round is a core-to-core exchange routed over
                 # the fragment branches: O(max radius) time, and at most one
                 # relay message per node of every fragment involved in F
-                involved_nodes = sum(sizes[core] for core in f_parents)
+                f_vertex_idx = (
+                    list(f_parents) if identity
+                    else [index_of[core] for core in f_parents]
+                )
+                involved_nodes = sum(sizes[i] for i in f_vertex_idx)
                 max_involved_radius = max(
-                    (radii[core] for core in f_parents), default=0
+                    (radii[i] for i in f_vertex_idx), default=0
                 )
                 busy += coloring_rounds * (2 * max_involved_radius + 1)
                 self._metrics.record_messages(coloring_rounds * involved_nodes)
@@ -235,15 +317,17 @@ class DeterministicPartitioner:
                     f_parents,
                     f_edges,
                     mis.independent_set,
-                    parents,
-                    core_of,
+                    index_of,
+                    parent_idx,
+                    core_arr,
                     members,
+                    sizes,
                     radii,
+                    first_pos,
                     depths,
                 )
                 busy += merge_busy
             else:
-                chosen_links = {}
                 coloring_rounds = 0
 
             # ---------------- phase synchronization ----------------------
@@ -258,7 +342,7 @@ class DeterministicPartitioner:
                     phase=phase,
                     active_fragments=len(active),
                     fragments_before=fragments_before,
-                    fragments_after=len(set(core_of.values())),
+                    fragments_after=len(members),
                     busy_rounds=busy,
                     charged_rounds=charged,
                     messages=self._metrics.point_to_point_messages - phase_messages_start,
@@ -267,6 +351,14 @@ class DeterministicPartitioner:
             )
 
         self._metrics.set_phase(None)
+        # translate the index-space state back to node-keyed maps in graph
+        # iteration order (the order the historical dict-based state kept)
+        parents: Dict[NodeId, Optional[NodeId]] = {}
+        core_of: Dict[NodeId, NodeId] = {}
+        for i, node in enumerate(nodes):
+            parent = parent_idx[i]
+            parents[node] = nodes[parent] if parent >= 0 else None
+            core_of[node] = nodes[core_arr[i]]
         forest = _forest_from_state(parents, core_of)
         return DeterministicPartitionResult(
             forest=forest,
@@ -281,67 +373,90 @@ class DeterministicPartitioner:
     # ------------------------------------------------------------------
     def _find_min_outgoing_links(
         self,
-        active: List[NodeId],
-        members: Dict[NodeId, List[NodeId]],
-        radii: Dict[NodeId, int],
-        core_of: Dict[NodeId, NodeId],
-        rejected: Set[Tuple[NodeId, NodeId]],
-        sorted_links: Dict[NodeId, List[Tuple[float, NodeId, Tuple[NodeId, NodeId]]]],
-        link_pos: Dict[NodeId, int],
-    ) -> Tuple[Dict[NodeId, Tuple[float, NodeId, NodeId]], int]:
+        active: List[int],
+        members: Dict[int, List[int]],
+        sizes: Dict[int, int],
+        radii: Dict[int, int],
+        core_arr: List[int],
+        nodes: List[NodeId],
+        link_nbr: List[List[int]],
+        link_w: List[List[float]],
+        link_back: List[List[int]],
+        link_dead: List[bytearray],
+        link_pos: List[int],
+    ) -> Tuple[Dict[int, Tuple[float, int, int]], int]:
         """Return each active core's chosen link and the rounds the step takes.
 
         The chosen link is ``(weight, u, v)`` with ``u`` inside the fragment
-        and ``v`` outside.  Per the GHS discipline, every node scans its
-        incident links in increasing weight order, testing each link not yet
-        rejected; internal links are rejected permanently (2 messages each,
-        charged once over the whole execution), and the first outgoing link
-        found is the node's candidate (2 messages, re-tested in later
-        phases).  ``sorted_links``/``link_pos`` carry the scan state across
-        phases: the pointer only moves past permanently rejected links, so a
-        node never re-examines them.
+        and ``v`` outside (all three in index space).  Per the GHS
+        discipline, every node scans its incident links in increasing weight
+        order, testing each link not yet rejected; internal links are
+        rejected permanently (2 messages each, charged once over the whole
+        execution), and the first outgoing link found is the node's candidate
+        (2 messages, re-tested in later phases).  The scan state persists
+        across phases: ``link_pos`` only moves past permanently rejected
+        links, and a rejection flips the dead flag on *both* endpoints' scan
+        lists (via ``link_back``), so the partner skips the link without
+        re-testing it and no edge key is ever hashed in the loop.
         """
         busy = 0
         max_active_radius = max((radii[c] for c in active), default=0)
         # substep 1: "you are active" broadcast
         busy += max_active_radius
-        self._metrics.record_messages(sum(len(members[c]) - 1 for c in active))
+        self._metrics.record_messages(sum(sizes[c] - 1 for c in active))
 
-        chosen: Dict[NodeId, Tuple[float, NodeId, NodeId]] = {}
+        chosen: Dict[int, Tuple[float, int, int]] = {}
         max_tests = 0
         total_tests = 0
         for core in active:
-            best: Optional[Tuple[float, NodeId, NodeId]] = None
+            best_w: Optional[float] = None
+            best_u = best_v = -1
             for node in members[core]:
                 tests = 0
-                links = sorted_links[node]
+                neighbors = link_nbr[node]
+                weights = link_w[node]
+                dead = link_dead[node]
+                back = link_back[node]
+                limit = len(neighbors)
                 index = link_pos[node]
-                while index < len(links):
-                    weight, neighbor, key = links[index]
-                    if key in rejected:
+                while index < limit:
+                    if dead[index]:
                         index += 1
                         continue
                     tests += 1  # test + accept/reject: 2 messages
-                    if core_of[neighbor] == core:
-                        rejected.add(key)
+                    neighbor = neighbors[index]
+                    if core_arr[neighbor] == core:
+                        dead[index] = 1
+                        link_dead[neighbor][back[index]] = 1
                         index += 1
                         continue
-                    candidate = (weight, node, neighbor)
-                    if best is None or candidate < best:
-                        best = candidate
+                    weight = weights[index]
+                    # distinct weights decide almost always; the node-object
+                    # tie-break preserves the historical (weight, u, v)
+                    # tuple comparison on graphs with repeated weights
+                    if (
+                        best_w is None
+                        or weight < best_w
+                        or (
+                            weight == best_w
+                            and (nodes[node], nodes[neighbor])
+                            < (nodes[best_u], nodes[best_v])
+                        )
+                    ):
+                        best_w, best_u, best_v = weight, node, neighbor
                     break
                 link_pos[node] = index
                 total_tests += tests
                 if tests > max_tests:
                     max_tests = tests
-            if best is not None:
-                chosen[core] = best
+            if best_w is not None:
+                chosen[core] = (best_w, best_u, best_v)
         self._metrics.record_messages(2 * total_tests)
         # substep 2 time: sequential testing, nodes in parallel
         busy += 2 * max_tests
         # substep 3: convergecast of the minimum to the core
         busy += max_active_radius
-        self._metrics.record_messages(sum(len(members[c]) - 1 for c in active))
+        self._metrics.record_messages(sum(sizes[c] - 1 for c in active))
         return chosen, busy
 
     # ------------------------------------------------------------------
@@ -350,21 +465,22 @@ class DeterministicPartitioner:
     def _build_fragment_forest(
         self,
         chosen_links: Dict[NodeId, Tuple[float, NodeId, NodeId]],
-        core_of: Dict[NodeId, NodeId],
+        target_cores: Dict[NodeId, NodeId],
     ) -> Tuple[Dict[NodeId, Optional[NodeId]], Dict[NodeId, Tuple[NodeId, NodeId]]]:
         """Return the rooted fragment forest F and each F-edge's physical link.
 
-        Vertices of F are fragment cores.  Every active fragment has one
-        outgoing F-edge (to the fragment on the other side of its chosen
-        link); the single cycle that can arise when two fragments choose the
-        same link is broken at the higher-core-id fragment, exactly as in the
-        paper.
+        Vertices of F are fragment cores (node objects; ``target_cores``
+        maps each choosing core to the core on the far side of its chosen
+        link).  Every active fragment has one outgoing F-edge (to the
+        fragment on the other side of its chosen link); the single cycle
+        that can arise when two fragments choose the same link is broken at
+        the higher-core-id fragment, exactly as in the paper.
         """
         out_edge: Dict[NodeId, NodeId] = {}
         physical: Dict[NodeId, Tuple[NodeId, NodeId]] = {}
         vertices: Set[NodeId] = set()
         for core, (_, u, v) in chosen_links.items():
-            target = core_of[v]
+            target = target_cores[core]
             out_edge[core] = target
             physical[core] = (u, v)
             vertices.add(core)
@@ -396,18 +512,23 @@ class DeterministicPartitioner:
         f_parents: Dict[NodeId, Optional[NodeId]],
         f_edges: Dict[NodeId, Tuple[NodeId, NodeId]],
         independent_set: Set[NodeId],
-        parents: Dict[NodeId, Optional[NodeId]],
-        core_of: Dict[NodeId, NodeId],
-        members: Dict[NodeId, List[NodeId]],
-        radii: Dict[NodeId, int],
-        depths: Dict[NodeId, int],
+        index_of: Dict[NodeId, int],
+        parent_idx: List[int],
+        core_arr: List[int],
+        members: Dict[int, List[int]],
+        sizes: Dict[int, int],
+        radii: Dict[int, int],
+        first_pos: Dict[int, int],
+        depths: List[int],
     ) -> int:
         """Cut F at red internal vertices and merge each resulting subtree.
 
-        Returns the step's busy rounds.  ``depths`` is updated in place for
-        every node of a merged tree; nodes of untouched fragments keep their
-        existing depths, so the per-phase depth maintenance is proportional
-        to the work the merge actually did.
+        Returns the step's busy rounds.  The index-space fragment
+        bookkeeping (``members``/``sizes``/``radii``/``first_pos``) and the
+        per-node ``depths`` are updated in place for exactly the fragments a
+        merge touches; untouched fragments keep their existing entries, so
+        the per-phase maintenance is proportional to the work the merge
+        actually did.
         """
         f_children = children_map(f_parents)
         cut_parents = dict(f_parents)
@@ -442,6 +563,7 @@ class DeterministicPartitioner:
         for group_root, group_vertices in groups.items():
             if len(group_vertices) == 1:
                 continue
+            root_idx = index_of[group_root]
             # splice every non-root fragment of the group onto its F-parent
             # via the selected physical link, re-rooting it at the link's
             # inside endpoint (this is the distributed "merge broadcast")
@@ -451,44 +573,67 @@ class DeterministicPartitioner:
                 if vertex == group_root:
                     continue
                 u, v = f_edges[vertex]
-                reroot(parents, members[vertex], u)
-                parents[u] = v
-                vertex_radius = radii[vertex]
+                u_idx = index_of[u]
+                _reroot_indexed(parent_idx, u_idx)
+                parent_idx[u_idx] = index_of[v]
+                vertex_idx = index_of[vertex]
+                vertex_radius = radii[vertex_idx]
                 if vertex_radius > reroot_radius:
                     reroot_radius = vertex_radius
-                spliced_nodes += len(members[vertex])
+                spliced_nodes += sizes[vertex_idx]
             # one broadcast over every spliced fragment performs the
             # re-rooting and the new-core announcement
             self._metrics.record_messages(2 * spliced_nodes)
-            new_members: List[NodeId] = []
+            new_members: List[int] = []
+            new_first = first_pos[root_idx]
             for vertex in group_vertices:
-                new_members.extend(members[vertex])
+                vertex_idx = index_of[vertex]
+                new_members.extend(members[vertex_idx])
+                vertex_first = first_pos[vertex_idx]
+                if vertex_first < new_first:
+                    new_first = vertex_first
+                if vertex_idx != root_idx:
+                    del members[vertex_idx]
+                    del sizes[vertex_idx]
+                    del radii[vertex_idx]
+                    del first_pos[vertex_idx]
             for node in new_members:
-                core_of[node] = group_root
+                core_arr[node] = root_idx
             # the new-core announcement travels to the whole merged fragment
             self._metrics.record_messages(len(new_members))
             # re-walk just the merged tree to refresh depths and obtain its
-            # new radius (the depth assignment is order-independent)
-            children: Dict[NodeId, List[NodeId]] = {}
+            # new radius (the depth assignment is order-independent): mark
+            # every member unknown, then chase each unknown node's parent
+            # chain to the nearest known depth and back-fill — each node is
+            # walked once, with no children index to build
             for node in new_members:
-                node_parent = parents[node]
-                if node_parent is not None:
-                    try:
-                        children[node_parent].append(node)
-                    except KeyError:
-                        children[node_parent] = [node]
-            depths[group_root] = 0
+                depths[node] = -1
+            depths[root_idx] = 0
             new_radius = 0
-            stack = [group_root]
-            empty: List[NodeId] = []
-            while stack:
-                node = stack.pop()
-                child_depth = depths[node] + 1
-                for child in children.get(node, empty):
-                    depths[child] = child_depth
-                    if child_depth > new_radius:
-                        new_radius = child_depth
-                    stack.append(child)
+            for node in new_members:
+                if depths[node] >= 0:
+                    continue
+                chain: List[int] = []
+                current = node
+                while depths[current] < 0:
+                    chain.append(current)
+                    current = parent_idx[current]
+                depth = depths[current]
+                for link in reversed(chain):
+                    depth += 1
+                    depths[link] = depth
+                if depth > new_radius:
+                    new_radius = depth
+            # keep the member list in ascending index order — the order the
+            # historical per-phase rebuild produced.  It is load-bearing:
+            # a link rejection marks BOTH endpoints' scan entries dead, so
+            # whichever member scans first pays the test, and the per-node
+            # test counts feed the busy-rounds accounting
+            new_members.sort()
+            members[root_idx] = new_members
+            sizes[root_idx] = len(new_members)
+            radii[root_idx] = new_radius
+            first_pos[root_idx] = new_first
             group_busy = 2 * reroot_radius + new_radius + 1
             if group_busy > busy:
                 busy = group_busy
@@ -498,6 +643,23 @@ class DeterministicPartitioner:
 # ----------------------------------------------------------------------
 # module-level helpers
 # ----------------------------------------------------------------------
+def _reroot_indexed(parent_idx: List[int], new_root: int) -> None:
+    """Re-root a tree at ``new_root`` in the flat parent-index array.
+
+    The index-space twin of :func:`repro.protocols.spanning.tree_utils.reroot`:
+    only the parent pointers along the path from ``new_root`` to the old
+    root are reversed (``-1`` encodes "no parent").
+    """
+    path = [new_root]
+    current = parent_idx[new_root]
+    while current >= 0:
+        path.append(current)
+        current = parent_idx[current]
+    for index in range(len(path) - 1, 0, -1):
+        parent_idx[path[index]] = path[index - 1]
+    parent_idx[new_root] = -1
+
+
 def _members_by_core(core_of: Dict[NodeId, NodeId]) -> Dict[NodeId, List[NodeId]]:
     members: Dict[NodeId, List[NodeId]] = {}
     for node, core in core_of.items():

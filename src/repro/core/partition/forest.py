@@ -272,10 +272,19 @@ class SpanningForest:
         cls,
         parents: Dict[NodeId, Optional[NodeId]],
     ) -> "SpanningForest":
-        """Build a forest from a global parent map (roots become cores)."""
-        validate_parent_map(parents)
+        """Build a forest from a global parent map (roots become cores).
+
+        Structural validation (closed under parents, acyclic) is folded into
+        the grouping walk itself — every node's chain to its root is walked
+        exactly once with path caching, so building the forest costs one
+        pass instead of a validation pass plus a grouping pass.
+
+        Raises:
+            ValueError: if a referenced parent is missing or a cycle exists.
+        """
         by_root: Dict[NodeId, Dict[NodeId, Optional[NodeId]]] = {}
         root_cache: Dict[NodeId, NodeId] = {}
+        limit = len(parents)
 
         def find_root(node: NodeId) -> NodeId:
             chain = []
@@ -285,7 +294,14 @@ class SpanningForest:
                 if parent is None:
                     root_cache[current] = current
                     break
+                if parent not in parents:
+                    raise ValueError(
+                        f"parent {parent!r} of {current!r} is not in the map"
+                    )
                 chain.append(current)
+                # a chain longer than the map revisits a node: cycle
+                if len(chain) > limit:
+                    raise ValueError("parent map contains a cycle")
                 current = parent
             root = root_cache[current]
             for member in chain:

@@ -21,6 +21,20 @@ simulation: iteration structure, coin flips, BFS label relaxations, link
 removals and the free/unfree rule follow the paper exactly, and the time and
 message charges are those of the synchronous message-passing execution
 (iteration lengths are fixed in advance, as the paper requires).
+
+Implementation notes (hot loops, round 2)
+-----------------------------------------
+The orchestration state is array-indexed: nodes are enumerated once, and
+labels, parent pointers, adjacency and the per-link alive flags live in flat
+lists indexed by that enumeration, so the BFS relaxation and link-removal
+inner loops index lists instead of hashing node objects or edge pairs.  The
+deterministic tie-break order (``repr`` of the node) is precomputed once as
+an integer rank, and link removal flips an alive flag on *both* endpoints'
+adjacency rows via precomputed reverse positions, replacing the
+both-orientations removed-link set.  The random stream is consumed in
+exactly the historical order (coin flips over the free set in repr order),
+so the outputs stay bit-identical to the pre-optimization implementation
+(pinned by the v2 goldens).
 """
 
 from __future__ import annotations
@@ -35,7 +49,7 @@ from repro.core.partition.forest import SpanningForest
 from repro.protocols.collision.base import run_contention
 from repro.protocols.collision.metcalfe_boggs import MetcalfeBoggsContender
 from repro.sim.metrics import MetricsRecorder, MetricsSnapshot
-from repro.topology.graph import WeightedGraph
+from repro.topology.graph import WeightedGraph, is_identity_enumeration
 from repro.topology.properties import is_connected
 
 NodeId = Hashable
@@ -144,9 +158,48 @@ class RandomizedPartitioner:
     # ------------------------------------------------------------------
     def run(self) -> RandomizedPartitionResult:
         """Execute the algorithm (with verification when Las Vegas is enabled)."""
+        # the node enumeration, tie-break ranks and adjacency structure are
+        # invariant across Las-Vegas restarts: build them once and hand each
+        # attempt a fresh copy of only the mutable per-run state
+        nodes: List[NodeId] = list(self._graph.nodes())
+        n = self._n
+        reprs = [repr(node) for node in nodes]
+        rank: List[int] = [0] * n
+        unrank: List[int] = [0] * n
+        for position, i in enumerate(sorted(range(n), key=reprs.__getitem__)):
+            rank[i] = position
+            unrank[position] = i
+        # adjacency rows, their reverse positions and the live-link worklist
+        # come from ONE pass over the edge list (both positions are known at
+        # append time, so no per-node position dictionaries are ever built).
+        # Row order is edge-list order, not iter_neighbors order — nothing
+        # the algorithm computes depends on row order: per-neighbour BFS
+        # winners are minima, and the message/outgoing-link checks are
+        # order-free aggregates over each row.
+        adj: List[List[int]] = [[] for _ in range(n)]
+        adj_back: List[List[int]] = [[] for _ in range(n)]
+        live_template: List[Tuple[int, int, int]] = []
+        # when the nodes are their own 0..n-1 enumeration, the node→index
+        # translation is free
+        if is_identity_enumeration(nodes):
+            endpoint_pairs = ((edge.u, edge.v) for edge in self._graph.edges())
+        else:
+            index_of = {node: i for i, node in enumerate(nodes)}
+            endpoint_pairs = (
+                (index_of[edge.u], index_of[edge.v])
+                for edge in self._graph.edges()
+            )
+        for u, v in endpoint_pairs:
+            position_u = len(adj[u])
+            live_template.append((u, v, position_u))
+            adj_back[u].append(len(adj[v]))
+            adj_back[v].append(position_u)
+            adj[u].append(v)
+            adj[v].append(u)
+        workspace = (nodes, rank, unrank, adj, adj_back, live_template)
         restarts = 0
         while True:
-            forest, iterations = self._run_once()
+            forest, iterations = self._run_once(workspace)
             if not self._las_vegas:
                 return RandomizedPartitionResult(
                     forest=forest,
@@ -171,7 +224,19 @@ class RandomizedPartitioner:
                 )
 
     # ------------------------------------------------------------------
-    def _run_once(self) -> Tuple[SpanningForest, List[IterationRecord]]:
+    def _run_once(
+        self,
+        workspace: Tuple[
+            List[NodeId], List[int], List[int],
+            List[List[int]], List[List[int]], List[Tuple[int, int, int]],
+        ],
+    ) -> Tuple[SpanningForest, List[IterationRecord]]:
+        # the workspace holds the run-invariant structure built by
+        # :meth:`run`: the node enumeration (graph iteration order — all hot
+        # state below is indexed by it, not keyed by node objects), the
+        # repr-order tie-break ranks, the adjacency rows with their reverse
+        # positions, and the pristine live-link worklist
+        nodes, rank, unrank, adj, adj_back, live_template = workspace
         n = self._n
         sqrt_n = math.sqrt(n)
         depth_limit = max(1, math.ceil(4 * sqrt_n))
@@ -182,21 +247,17 @@ class RandomizedPartitioner:
         ]
         probabilities[-1] = 1.0  # the last iteration promotes every free node
 
-        label: Dict[NodeId, Optional[int]] = {v: None for v in self._graph.nodes()}
-        parent: Dict[NodeId, Optional[NodeId]] = {v: None for v in self._graph.nodes()}
-        free: Set[NodeId] = set(self._graph.nodes())
-        # removed links are stored under BOTH orientations so the BFS hot
-        # loop tests membership without canonicalising the pair first
-        removed_links: Set[Tuple[NodeId, NodeId]] = set()
+        # per-link alive flags; removing a link flips the flag on BOTH
+        # endpoints' rows (via the precomputed reverse positions), so the
+        # BFS hot loop tests one byte instead of hashing an oriented pair
+        alive: List[bytearray] = [bytearray(b"\x01" * len(row)) for row in adj]
+        label: List[int] = [-1] * n  # -1 encodes "unlabelled"
+        parent: List[int] = [-1] * n  # -1 encodes "no parent"
+        free: Set[int] = set(range(n))
         # worklist of links the algorithm still considers: a removed link is
         # never looked at again, so each iteration only rescans the survivors
-        live_links: List[Tuple[NodeId, NodeId]] = [
-            (edge.u, edge.v) for edge in self._graph.edges()
-        ]
+        live_links: List[Tuple[int, int, int]] = list(live_template)
         records: List[IterationRecord] = []
-        # deterministic tie-break order, precomputed once: every iteration
-        # sorts nodes by repr, which is pure overhead when recomputed inline
-        reprs: Dict[NodeId, str] = {v: repr(v) for v in self._graph.nodes()}
 
         self._metrics.set_phase("partition")
         for iteration, probability in enumerate(probabilities):
@@ -206,44 +267,52 @@ class RandomizedPartitioner:
             messages_start = self._metrics.point_to_point_messages
 
             # Step 1: coin flips (one synchronized round)
+            rng_random = self._rng.random
             new_centers = [
-                node for node in sorted(free, key=reprs.__getitem__)
-                if self._rng.random() < probability
+                node for node in sorted(free, key=rank.__getitem__)
+                if rng_random() < probability
             ]
             for center in new_centers:
                 label[center] = 0
-                parent[center] = None
+                parent[center] = -1
             rounds = 1
 
             # Step 2: synchronous BFS growth to depth 4√n from the new centres
             bfs_messages = self._grow_bfs(
-                new_centers, label, parent, removed_links, depth_limit, reprs
+                new_centers, label, parent, adj, alive, depth_limit, rank, unrank
             )
             rounds += depth_limit
             self._metrics.record_messages(bfs_messages)
 
             # remove links internal to a tree but not tree edges
             live_links = self._remove_internal_links(
-                label, parent, removed_links, live_links
+                label, parent, adj_back, alive, live_links
             )
 
             # Step 3: free/unfree determination (convergecast + broadcast per tree)
-            members = _members_by_actual_root(parent, label)
-            for root, nodes in members.items():
+            members: Dict[int, List[int]] = {}
+            root_cache: List[int] = [-1] * n
+            for node in range(n):
+                if label[node] == -1:
+                    continue
+                members.setdefault(
+                    _find_root_indexed(parent, root_cache, node), []
+                ).append(node)
+            for group in members.values():
                 has_outgoing_to_unlabeled = False
-                for node in nodes:
-                    for neighbor in self._graph.iter_neighbors(node):
-                        if label[neighbor] is None:
+                for node in group:
+                    for neighbor in adj[node]:
+                        if label[neighbor] == -1:
                             has_outgoing_to_unlabeled = True
                             break
                     if has_outgoing_to_unlabeled:
                         break
-                for node in nodes:
+                for node in group:
                     if not has_outgoing_to_unlabeled:
                         free.discard(node)
-                    elif label[node] is not None and label[node] <= unfree_label:
+                    elif label[node] <= unfree_label:
                         free.discard(node)
-                self._metrics.record_messages(2 * max(0, len(nodes) - 1))
+                self._metrics.record_messages(2 * max(0, len(group) - 1))
             rounds += 2 * depth_limit
 
             self._metrics.record_round(rounds)
@@ -260,23 +329,32 @@ class RandomizedPartitioner:
             )
         self._metrics.set_phase(None)
 
-        if any(value is None for value in label.values()):
+        if any(value == -1 for value in label):
             raise AssertionError(
                 "the final iteration promotes every free node, so every node "
                 "must be labelled when the loop ends"
             )
-        forest = SpanningForest.from_parent_map(parent)
+        # translate the index-space parent array back to a node-keyed map in
+        # graph iteration order (the order the historical dict-based state
+        # kept), so the forest's fragment enumeration is unchanged
+        parent_map: Dict[NodeId, Optional[NodeId]] = {}
+        for i, node in enumerate(nodes):
+            up = parent[i]
+            parent_map[node] = nodes[up] if up >= 0 else None
+        forest = SpanningForest.from_parent_map(parent_map)
         return forest, records
 
     # ------------------------------------------------------------------
     def _grow_bfs(
         self,
-        new_centers: List[NodeId],
-        label: Dict[NodeId, Optional[int]],
-        parent: Dict[NodeId, Optional[NodeId]],
-        removed_links: Set[Tuple[NodeId, NodeId]],
+        new_centers: List[int],
+        label: List[int],
+        parent: List[int],
+        adj: List[List[int]],
+        alive: List[bytearray],
         depth_limit: int,
-        reprs: Dict[NodeId, str],
+        rank: List[int],
+        unrank: List[int],
     ) -> int:
         """Relax labels outward from the new centres; returns messages sent.
 
@@ -286,83 +364,79 @@ class RandomizedPartitioner:
         deterministic order).  Every node whose label improves announces the
         improvement over all its non-removed incident links — each such
         announcement is one message.
+
+        Each announcement is encoded as the single integer
+        ``announced · n + rank(sender)``: with ranks below ``n`` that integer
+        orders exactly like the historical ``(announced, repr(sender))``
+        pair, so the per-neighbour winner is a C-level ``min`` over ints
+        instead of a keyed sort of tuples, and the chosen parent decodes via
+        ``unrank``.
         """
+        n = len(rank)
         messages = 0
         frontier = list(new_centers)
         for _ in range(depth_limit):
             if not frontier:
                 break
-            announcements: Dict[NodeId, List[Tuple[int, NodeId, NodeId]]] = {}
-            for node in sorted(frontier, key=reprs.__getitem__):
-                node_label = label[node]
-                assert node_label is not None
-                announced = node_label + 1
-                for neighbor in self._graph.iter_neighbors(node):
-                    if (node, neighbor) in removed_links:
+            announcements: Dict[int, List[int]] = {}
+            for node in sorted(frontier, key=rank.__getitem__):
+                encoded = (label[node] + 1) * n + rank[node]
+                flags = alive[node]
+                for position, neighbor in enumerate(adj[node]):
+                    if not flags[position]:
                         continue
                     messages += 1
                     try:
-                        announcements[neighbor].append((announced, node, neighbor))
+                        announcements[neighbor].append(encoded)
                     except KeyError:
-                        announcements[neighbor] = [(announced, node, neighbor)]
-            next_frontier: List[NodeId] = []
+                        announcements[neighbor] = [encoded]
+            next_frontier: List[int] = []
             for neighbor, offers in announcements.items():
-                if len(offers) > 1:
-                    offers.sort(key=lambda item: (item[0], reprs[item[1]]))
-                best_label, best_parent, _ = offers[0]
-                current = label[neighbor]
+                best = offers[0] if len(offers) == 1 else min(offers)
+                best_label = best // n
                 if best_label > depth_limit:
                     continue
-                if current is None or best_label < current:
+                current = label[neighbor]
+                if current == -1 or best_label < current:
                     label[neighbor] = best_label
-                    parent[neighbor] = best_parent
+                    parent[neighbor] = unrank[best % n]
                     next_frontier.append(neighbor)
             frontier = next_frontier
         return messages
 
     def _remove_internal_links(
         self,
-        label: Dict[NodeId, Optional[int]],
-        parent: Dict[NodeId, Optional[NodeId]],
-        removed_links: Set[Tuple[NodeId, NodeId]],
-        live_links: List[Tuple[NodeId, NodeId]],
-    ) -> List[Tuple[NodeId, NodeId]]:
+        label: List[int],
+        parent: List[int],
+        adj_back: List[List[int]],
+        alive: List[bytearray],
+        live_links: List[Tuple[int, int, int]],
+    ) -> List[Tuple[int, int, int]]:
         """Drop links whose endpoints share a tree but that are not tree edges.
 
         Returns the surviving worklist so the next iteration skips removed
-        links without consulting the set.
+        links without consulting the flags; removal flips the alive flag on
+        both endpoints' adjacency rows.
         """
-        root_cache: Dict[NodeId, NodeId] = {}
-
-        def actual_root(node: NodeId) -> Optional[NodeId]:
-            if label[node] is None:
-                return None
-            chain = []
-            current = node
-            while current not in root_cache:
-                up = parent[current]
-                if up is None:
-                    root_cache[current] = current
-                    break
-                chain.append(current)
-                current = up
-            root = root_cache[current]
-            for member in chain:
-                root_cache[member] = root
-            return root
-
-        survivors: List[Tuple[NodeId, NodeId]] = []
-        for u, v in live_links:
-            if parent.get(u) == v or parent.get(v) == u:
-                survivors.append((u, v))
+        root_cache: List[int] = [-1] * len(label)
+        survivors: List[Tuple[int, int, int]] = []
+        for u, v, position_u in live_links:
+            if parent[u] == v or parent[v] == u:
+                survivors.append((u, v, position_u))
                 continue
-            root_u = actual_root(u)
-            root_v = actual_root(v)
-            if root_u is not None and root_u == root_v:
-                removed_links.add((u, v))
-                removed_links.add((v, u))
+            root_u = (
+                -1 if label[u] == -1
+                else _find_root_indexed(parent, root_cache, u)
+            )
+            root_v = (
+                -1 if label[v] == -1
+                else _find_root_indexed(parent, root_cache, v)
+            )
+            if root_u != -1 and root_u == root_v:
+                alive[u][position_u] = 0
+                alive[v][adj_back[u][position_u]] = 0
             else:
-                survivors.append((u, v))
+                survivors.append((u, v, position_u))
         return survivors
 
     # ------------------------------------------------------------------
@@ -404,31 +478,23 @@ class RandomizedPartitioner:
 
 
 # ----------------------------------------------------------------------
-def _members_by_actual_root(
-    parent: Dict[NodeId, Optional[NodeId]],
-    label: Dict[NodeId, Optional[int]],
-) -> Dict[NodeId, List[NodeId]]:
-    """Group the labelled nodes by the root their parent pointers lead to."""
-    members: Dict[NodeId, List[NodeId]] = {}
-    root_cache: Dict[NodeId, NodeId] = {}
+def _find_root_indexed(parent: List[int], cache: List[int], start: int) -> int:
+    """Return the root ``start``'s parent chain leads to, with path caching.
 
-    def find_root(node: NodeId) -> NodeId:
-        chain = []
-        current = node
-        while current not in root_cache:
-            up = parent[current]
-            if up is None:
-                root_cache[current] = current
-                break
-            chain.append(current)
-            current = up
-        root = root_cache[current]
-        for member in chain:
-            root_cache[member] = root
-        return root
-
-    for node, value in label.items():
-        if value is None:
-            continue
-        members.setdefault(find_root(node), []).append(node)
-    return members
+    ``cache`` memoises roots across calls within one sweep (``-1`` encodes
+    "unknown"); every node on the walked chain is back-filled, so repeated
+    lookups over one tree stay linear overall.
+    """
+    chain: List[int] = []
+    current = start
+    while cache[current] < 0:
+        up = parent[current]
+        if up < 0:
+            cache[current] = current
+            break
+        chain.append(current)
+        current = up
+    root = cache[current]
+    for member in chain:
+        cache[member] = root
+    return root

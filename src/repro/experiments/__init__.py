@@ -7,14 +7,22 @@ DESIGN.md §4.  Each ``eNN_*`` module reproduces one of them by declaring an
 (``quick``/``default``/``hot``), the supported topology kinds, the row
 schema, and a per-point sweep function returning structured row
 dictionaries.  The unified runner (:mod:`repro.experiments.runner`) executes
-any spec at any preset — serially or across a process pool — and its results
-render to the historical plain-text tables recorded in EXPERIMENTS.md and
-serialize to JSON.  ``python -m repro`` (see :mod:`repro.cli`) is the
-command-line entry point; the benchmark trajectory
-(:mod:`repro.experiments.trajectory`) and the pytest benches under
-``benchmarks/`` drive the same registry.
+any spec at any preset through a pluggable execution backend
+(:mod:`repro.experiments.executors` — serial, process-pool, or
+sharded/checkpointed with resume) and its results render to the historical
+plain-text tables recorded in EXPERIMENTS.md and serialize to JSON.
+``python -m repro`` (see :mod:`repro.cli`) is the command-line entry point;
+the benchmark trajectory (:mod:`repro.experiments.trajectory`) and the
+pytest benches under ``benchmarks/`` drive the same registry.
 """
 
+from repro.experiments.executors import (
+    Executor,
+    ProcessExecutor,
+    SerialExecutor,
+    ShardedExecutor,
+    make_executor,
+)
 from repro.experiments.harness import ExperimentConfig, make_topology, sweep_sizes
 from repro.experiments.registry import (
     ExperimentSpec,
@@ -25,11 +33,16 @@ from repro.experiments.registry import (
 from repro.experiments.runner import ExperimentResult, run_experiment
 
 __all__ = [
+    "Executor",
     "ExperimentConfig",
     "ExperimentResult",
     "ExperimentSpec",
+    "ProcessExecutor",
+    "SerialExecutor",
+    "ShardedExecutor",
     "all_experiments",
     "get_experiment",
+    "make_executor",
     "make_topology",
     "register_experiment",
     "run_experiment",

@@ -38,8 +38,11 @@ DEFAULT_SIZES = (64, 144, 256, 400, 625)
         "quick": {"sizes": (16, 36), "topology": "grid"},
         "default": {"sizes": (64, 144, 256), "topology": "grid"},
         "hot": {"sizes": (1024, 4096, 16384), "topology": "grid"},
+        # single-instance scale probe past n = 10^5 (PR 5's partition-loop
+        # round 2); one point, so a sharded/checkpointed run resumes cleanly
+        "xhot": {"sizes": (102400,), "topology": "grid"},
     },
-    bench_extras=(("e2_hot", "hot", {}),),
+    bench_extras=(("e2_hot", "hot", {}), ("e2_xhot", "xhot", {})),
 )
 def sweep_point(n: int, topology: str = "grid") -> Dict[str, object]:
     """Partition one topology and compare its cost to the Section 3 bounds."""

@@ -39,8 +39,11 @@ DEFAULT_SEEDS = (1, 2, 3, 4, 5)
         "quick": {"sizes": (16, 36), "seeds": (1,), "topology": "grid"},
         "default": {"sizes": (64, 144, 256), "seeds": (1, 2, 3), "topology": "grid"},
         "hot": {"sizes": (1024, 4096, 16384), "seeds": (1, 2), "topology": "grid"},
+        # single-instance scale probe past n = 10^5 (PR 5's partition-loop
+        # round 2); one seed keeps the Las-Vegas run within the 10 s budget
+        "xhot": {"sizes": (102400,), "seeds": (1,), "topology": "grid"},
     },
-    bench_extras=(("e4_hot", "hot", {}),),
+    bench_extras=(("e4_hot", "hot", {}), ("e4_xhot", "xhot", {})),
 )
 def sweep_point(
     n: int, seeds: Sequence[int] = DEFAULT_SEEDS, topology: str = "grid"

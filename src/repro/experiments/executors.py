@@ -1,0 +1,654 @@
+"""Pluggable sweep executors: serial, process-pool, and sharded/checkpointed.
+
+:func:`~repro.experiments.runner.run_experiment` delegates the *mechanics* of
+executing a sweep's points to an :class:`Executor`, so new execution backends
+(batch schedulers, remote farms) extend this module instead of adding new
+drivers.  Three backends ship today:
+
+* :class:`SerialExecutor` — one point after another in the calling process;
+  the reference semantics every other backend must reproduce bit-identically.
+* :class:`ProcessExecutor` — the historical ``processes=N`` pool, refactored
+  behind the protocol: sweep points run across worker processes and the rows
+  come back in sweep order (every point is independently seeded, so the rows
+  are bit-identical to a serial run).
+* :class:`ShardedExecutor` — partitions the sweep into deterministic,
+  independently resumable **shards**, executes them one at a time, and writes
+  each completed shard as a JSON checkpoint under a run directory.  A killed
+  sweep restarts from its last completed shard (``--resume``), shards can be
+  farmed out across invocations (``--shard 2/8``), and the merged rows are
+  bit-identical to a serial run of the same sweep.
+
+Shard / checkpoint layout
+-------------------------
+A run directory holds one ``manifest.json`` plus one ``shard-NNNN.json`` per
+completed shard::
+
+    .repro_runs/e2-default-1f0c2a9b3d/
+        manifest.json        # sweep identity: spec id, preset, params, digest
+        shard-0000.json      # {"digest", "shard", "indices", "rows", ...}
+        shard-0001.json
+        ...
+
+Shard ``k`` of ``N`` owns sweep-point indices ``k, k+N, k+2N, …`` (round-robin
+striping, so the expensive tail of an ascending size sweep spreads across
+shards instead of landing in the last one).  The striping is a function of
+``(num_points, shard_count)`` only, so any two invocations agree on the
+layout; the manifest digest covers the spec id, preset, resolved parameters
+and shard count, and a run directory is refused when it belongs to a
+different sweep.
+
+Determinism contract
+--------------------
+Rows are stored in the checkpoint exactly as the JSON encoder emits them
+(with non-finite floats wrapped reversibly so the files stay strict JSON)
+and always read back through the JSON decoder — including for shards
+computed in the current invocation — so a resumed/merged result cannot
+differ from a fresh one.  Since every sweep point carries its own seeds (see
+:mod:`repro.experiments.registry`), the merged rows equal a serial run's rows
+bit-for-bit; ``tests/test_executors.py`` holds the matrix proof.
+
+Accounting
+----------
+Executors report *compute* seconds: the summed execution time of every shard
+that contributes rows, accumulated across invocations through the checkpoint
+files.  The runner records this as ``ExperimentResult.wall_seconds`` and the
+final invocation's own wall clock separately as ``invocation_seconds`` (see
+``RESULT_SCHEMA`` 2 in :mod:`repro.experiments.runner`).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import tempfile
+import time
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import (
+    Any,
+    Dict,
+    List,
+    Mapping,
+    Optional,
+    Protocol,
+    Tuple,
+    runtime_checkable,
+)
+
+from repro.experiments.registry import ExperimentSpec, PointParams, RowDict
+from repro.experiments.serialization import (
+    decode_nonfinite,
+    encode_nonfinite,
+    jsonable,
+)
+
+MANIFEST_SCHEMA = 1
+MANIFEST_NAME = "manifest.json"
+
+#: executor names accepted by ``run_experiment(executor=...)`` and the CLI
+EXECUTOR_NAMES: Tuple[str, ...] = ("serial", "process", "sharded")
+
+
+class ExecutorConfigError(ValueError):
+    """An executor refused its configuration (operator error, not a bug).
+
+    Raised at execution time for mistakes an operator can fix — a run
+    directory belonging to a different sweep, a shard index outside the
+    layout — so the CLI can render them as clean usage errors while genuine
+    failures inside a sweep keep their tracebacks.
+    """
+
+
+@dataclass
+class ExecutionOutcome:
+    """What an executor hands back to the runner.
+
+    Attributes:
+        rows: the completed rows, in sweep-point order.  A partial sharded
+            run (``--shard k/N`` or ``--max-shards``) returns only the rows
+            of the shards completed so far.
+        compute_seconds: summed execution time of every shard/point that
+            contributed rows — accumulated across invocations for a resumed
+            sharded run, equal to this invocation's sweep time otherwise.
+        pending_points: sweep points not yet computed (0 for a complete run).
+    """
+
+    rows: List[RowDict]
+    compute_seconds: float
+    pending_points: int = 0
+
+
+@runtime_checkable
+class Executor(Protocol):
+    """The executor protocol: run a spec's sweep points, return the rows.
+
+    Implementations must preserve the serial semantics: rows in sweep-point
+    order, bit-identical to :class:`SerialExecutor` on the same spec and
+    points (every point carries its own seeds, so this is a matter of not
+    reordering or re-encoding rows, not of luck).
+    """
+
+    name: str
+
+    def execute(
+        self,
+        spec: ExperimentSpec,
+        preset: str,
+        params: Mapping[str, Any],
+        points: List[PointParams],
+    ) -> ExecutionOutcome:
+        """Execute ``points`` of ``spec`` and return the outcome."""
+        ...
+
+
+def execute_point(spec: ExperimentSpec, point: Mapping[str, Any]) -> RowDict:
+    """Execute one sweep point of ``spec`` and validate its row schema.
+
+    Raises:
+        ValueError: when the returned row's keys do not match the spec's
+            declared columns.
+    """
+    row = spec.point_fn(**point)
+    missing = [column for column in spec.columns if column not in row]
+    if missing or len(row) != len(spec.columns):
+        raise ValueError(
+            f"experiment {spec.id!r} returned a row whose keys do not "
+            f"match its declared columns (missing: {missing}, got: {list(row)})"
+        )
+    return row
+
+
+class SerialExecutor:
+    """Reference executor: every point in order, in the calling process."""
+
+    name = "serial"
+
+    def execute(
+        self,
+        spec: ExperimentSpec,
+        preset: str,
+        params: Mapping[str, Any],
+        points: List[PointParams],
+    ) -> ExecutionOutcome:
+        """Execute every point serially."""
+        start = time.perf_counter()
+        rows = [execute_point(spec, point) for point in points]
+        return ExecutionOutcome(
+            rows=rows, compute_seconds=time.perf_counter() - start
+        )
+
+
+def _run_point_packed(packed: Tuple[str, Mapping[str, Any]]) -> RowDict:
+    """Pool-worker entry: resolve the spec by id (ids pickle, functions vary)."""
+    from repro.experiments.registry import get_experiment
+
+    experiment_id, point = packed
+    return execute_point(get_experiment(experiment_id), point)
+
+
+@dataclass
+class ProcessExecutor:
+    """Process-pool executor: sweep points across ``processes`` workers.
+
+    The pool workers re-resolve the spec by id, so parallel execution needs a
+    *registered* spec; rows come back in sweep order and are bit-identical to
+    a serial run.  With fewer than two points (or ``processes <= 1``) it
+    degrades to the serial path, pool-free.
+    """
+
+    processes: int
+    name: str = field(default="process", init=False)
+
+    def execute(
+        self,
+        spec: ExperimentSpec,
+        preset: str,
+        params: Mapping[str, Any],
+        points: List[PointParams],
+    ) -> ExecutionOutcome:
+        """Execute the points across the process pool."""
+        if self.processes <= 1 or len(points) < 2:
+            return SerialExecutor().execute(spec, preset, params, points)
+        start = time.perf_counter()
+        with ProcessPoolExecutor(
+            max_workers=min(self.processes, len(points))
+        ) as pool:
+            rows = list(pool.map(_run_point_packed, [(spec.id, p) for p in points]))
+        return ExecutionOutcome(
+            rows=rows, compute_seconds=time.perf_counter() - start
+        )
+
+
+# ----------------------------------------------------------------------
+# sharded execution
+# ----------------------------------------------------------------------
+def shard_indices(num_points: int, shard_count: int) -> List[List[int]]:
+    """Return each shard's sweep-point indices (round-robin striping).
+
+    Shard ``k`` (0-based) owns indices ``k, k + N, k + 2N, …`` — a disjoint
+    cover of ``range(num_points)`` that is a pure function of the two
+    arguments, so independent invocations always agree on the layout.  A
+    shard count larger than the point count is allowed (farm tooling often
+    fixes ``N`` before knowing the sweep size): the excess shards are
+    simply empty.
+
+    Raises:
+        ValueError: when ``shard_count`` is not positive.
+    """
+    if shard_count < 1:
+        raise ValueError(f"shard count must be positive, got {shard_count}")
+    return [list(range(k, num_points, shard_count)) for k in range(shard_count)]
+
+
+def sweep_digest(
+    experiment_id: str,
+    preset: str,
+    params: Mapping[str, Any],
+    num_points: int,
+    shard_count: int,
+) -> str:
+    """Return the identity digest of one sharded sweep.
+
+    Two invocations may share a run directory only when this digest matches:
+    it covers everything that determines the shard layout and the rows —
+    the spec id, the preset, the resolved parameters, the point count and
+    the shard count.
+    """
+    payload = json.dumps(
+        {
+            "experiment": experiment_id,
+            "preset": preset,
+            "params": jsonable(dict(params)),
+            "num_points": num_points,
+            "shard_count": shard_count,
+        },
+        sort_keys=True,
+    )
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()
+
+
+def default_run_root() -> Path:
+    """Return the default parent directory for sharded run directories.
+
+    ``.repro_runs/`` at the repository root of a ``src/`` checkout, the
+    working directory otherwise (mirroring
+    :func:`repro.experiments.trajectory.default_output`).
+    """
+    root = Path(__file__).resolve().parents[3]
+    if (root / "src").is_dir():
+        return root / ".repro_runs"
+    return Path.cwd() / ".repro_runs"
+
+
+def _shard_path(run_dir: Path, shard: int) -> Path:
+    """Return the checkpoint path of shard ``shard`` under ``run_dir``."""
+    return run_dir / f"shard-{shard:04d}.json"
+
+
+def _write_json_atomic(path: Path, payload: Mapping[str, Any]) -> None:
+    """Write ``payload`` as strict JSON via a unique temp file + rename.
+
+    ``allow_nan=False`` keeps every emitted file RFC 8259-valid; callers
+    with non-finite floats to persist encode them reversibly first (see
+    :func:`repro.experiments.serialization.encode_nonfinite`).  The temp
+    file name is unique per writer (``mkstemp``) so concurrent farm
+    invocations sharing a run directory — the documented ``--shard K/N``
+    pattern — can never interleave on one temp file and promote a torn
+    manifest/checkpoint.
+    """
+    handle, tmp_name = tempfile.mkstemp(
+        prefix=path.name + ".", suffix=".tmp", dir=path.parent
+    )
+    try:
+        with os.fdopen(handle, "w") as tmp:
+            tmp.write(json.dumps(payload, indent=2, allow_nan=False) + "\n")
+        os.replace(tmp_name, path)
+    except BaseException:
+        try:
+            os.unlink(tmp_name)
+        except OSError:
+            pass
+        raise
+
+
+@dataclass
+class ShardedExecutor:
+    """Checkpointed executor: deterministic shards under a run directory.
+
+    Attributes:
+        run_dir: run directory holding the manifest and shard checkpoints;
+            defaults to ``.repro_runs/<id>-<preset>-<digest10>`` at the repo
+            root when unset (the name digest covers the sweep identity but
+            not the shard layout, so farm and collect invocations with
+            different ``--shard`` settings resolve to the same directory).
+        shard_count: number of shards the sweep is partitioned into.  When
+            unset, an existing run directory's manifest supplies the count
+            (so a collect/`--resume` invocation agrees with the farm
+            invocations that wrote it); otherwise it defaults to one shard
+            per sweep point (finest resume grain).
+        shard_index: when set (0-based), execute only this shard — the
+            ``--shard k/N`` farm-out mode.  The returned rows still merge
+            every completed checkpoint in the run directory, so the last
+            farm invocation to finish observes the complete sweep.
+        resume: reuse valid checkpoints already present in the run
+            directory; without it every selected shard is recomputed (a
+            corrupt or foreign-sweep checkpoint is never reused either way).
+        max_shards: when > 0, compute at most this many shards in this
+            invocation and leave the rest pending — the hook the resume
+            tests and the CI smoke use to simulate a killed sweep.
+    """
+
+    run_dir: Optional[Path] = None
+    shard_count: Optional[int] = None
+    shard_index: Optional[int] = None
+    resume: bool = False
+    max_shards: int = 0
+    name: str = field(default="sharded", init=False)
+
+    def execute(
+        self,
+        spec: ExperimentSpec,
+        preset: str,
+        params: Mapping[str, Any],
+        points: List[PointParams],
+    ) -> ExecutionOutcome:
+        """Execute (a subset of) the shards and merge every completed one.
+
+        Raises:
+            ExecutorConfigError: on an out-of-range ``shard_index``, a
+                non-positive ``shard_count``, or a run directory that
+                belongs to a different sweep.
+        """
+        run_dir = self.run_dir
+        if run_dir is None:
+            # the default directory name must NOT depend on the shard
+            # layout (only the sweep identity), so a farm run with
+            # --shard K/N and a bare --resume collect resolve to the same
+            # directory; shard_count 0 is the layout-independent sentinel
+            name_digest = sweep_digest(spec.id, preset, params, len(points), 0)
+            run_dir = default_run_root() / f"{spec.id}-{preset}-{name_digest[:10]}"
+        run_dir = Path(run_dir)
+        count = self.shard_count
+        if count is None:
+            # a collect/resume invocation without an explicit layout adopts
+            # the one the run directory's farm invocations wrote (the
+            # manifest is still digest-verified below)
+            count = _manifest_shard_count(run_dir)
+        if count is None:
+            count = max(1, len(points))
+        if count < 1:
+            raise ExecutorConfigError(
+                f"shard count must be positive, got {count}"
+            )
+        plan = shard_indices(len(points), count)
+        if self.shard_index is not None and not 0 <= self.shard_index < count:
+            raise ExecutorConfigError(
+                f"shard index {self.shard_index} out of range for "
+                f"{count} shard(s)"
+            )
+        digest = sweep_digest(spec.id, preset, params, len(points), count)
+        run_dir.mkdir(parents=True, exist_ok=True)
+        self._check_manifest(run_dir, spec, preset, params, len(points), count, digest)
+
+        selected = (
+            range(count) if self.shard_index is None else [self.shard_index]
+        )
+        # checkpoints already parsed during the resume skip-check are kept
+        # so the merge below never re-reads a file this invocation loaded
+        preloaded: Dict[int, Dict[str, Any]] = {}
+        computed = 0
+        for shard in selected:
+            if self.resume:
+                loaded = self._load_shard(run_dir, shard, plan, spec, digest)
+                if loaded is not None:
+                    preloaded[shard] = loaded
+                    continue
+            if self.max_shards > 0 and computed >= self.max_shards:
+                break
+            self._run_shard(run_dir, shard, plan, spec, points, digest)
+            computed += 1
+
+        # merge every valid checkpoint present, whoever wrote it
+        rows_by_index: Dict[int, RowDict] = {}
+        compute_seconds = 0.0
+        for shard in range(count):
+            loaded = preloaded.get(shard)
+            if loaded is None:
+                loaded = self._load_shard(run_dir, shard, plan, spec, digest)
+            if loaded is None:
+                continue
+            for index, row in zip(plan[shard], loaded["rows"]):
+                rows_by_index[index] = row
+            compute_seconds += loaded["compute_seconds"]
+        rows = [rows_by_index[i] for i in sorted(rows_by_index)]
+        return ExecutionOutcome(
+            rows=rows,
+            compute_seconds=compute_seconds,
+            pending_points=len(points) - len(rows_by_index),
+        )
+
+    # ------------------------------------------------------------------
+    def _check_manifest(
+        self,
+        run_dir: Path,
+        spec: ExperimentSpec,
+        preset: str,
+        params: Mapping[str, Any],
+        num_points: int,
+        shard_count: int,
+        digest: str,
+    ) -> None:
+        """Create the manifest, or verify an existing one matches this sweep.
+
+        Raises:
+            ExecutorConfigError: when the directory's manifest carries a
+                different digest (another experiment, preset,
+                parameterisation, or shard layout).
+        """
+        manifest_path = run_dir / MANIFEST_NAME
+        if manifest_path.exists():
+            try:
+                manifest = json.loads(manifest_path.read_text())
+                existing = manifest["digest"]
+            except (OSError, ValueError, KeyError):
+                existing = None  # unreadable manifest: rewrite it below
+            if existing is not None and existing != digest:
+                raise ExecutorConfigError(
+                    f"run directory {run_dir} belongs to a different sweep "
+                    f"(manifest digest {existing[:10]}… != {digest[:10]}…); "
+                    "pass a fresh --run-dir or matching parameters"
+                )
+            if existing == digest:
+                return
+        _write_json_atomic(
+            manifest_path,
+            {
+                "schema": MANIFEST_SCHEMA,
+                "experiment": spec.id,
+                "preset": preset,
+                "params": jsonable(dict(params)),
+                "num_points": num_points,
+                "shard_count": shard_count,
+                "digest": digest,
+            },
+        )
+
+    def _run_shard(
+        self,
+        run_dir: Path,
+        shard: int,
+        plan: List[List[int]],
+        spec: ExperimentSpec,
+        points: List[PointParams],
+        digest: str,
+    ) -> None:
+        """Execute one shard's points and write its checkpoint."""
+        start = time.perf_counter()
+        rows = [execute_point(spec, points[index]) for index in plan[shard]]
+        elapsed = time.perf_counter() - start
+        _write_json_atomic(
+            _shard_path(run_dir, shard),
+            {
+                "schema": MANIFEST_SCHEMA,
+                "digest": digest,
+                "shard": shard,
+                "shard_count": len(plan),
+                "indices": plan[shard],
+                # reversible non-finite encoding: the file stays strict
+                # JSON, the decoded rows stay bit-identical to serial
+                "rows": encode_nonfinite(rows),
+                "compute_seconds": round(elapsed, 6),
+            },
+        )
+
+    def _load_shard(
+        self,
+        run_dir: Path,
+        shard: int,
+        plan: List[List[int]],
+        spec: ExperimentSpec,
+        digest: str,
+    ) -> Optional[Dict[str, Any]]:
+        """Load and validate one shard checkpoint; ``None`` when unusable.
+
+        A missing, truncated, corrupt, foreign (digest mismatch), or
+        schema-mismatched file is reported as absent rather than fatal, so
+        recovery is always "re-run the shard" — the checkpoint directory can
+        never wedge a sweep, and a stale checkpoint from a
+        differently-parameterised sweep is never merged even when the
+        manifest was lost.
+        """
+        path = _shard_path(run_dir, shard)
+        try:
+            data = json.loads(path.read_text())
+        except (OSError, ValueError):
+            return None
+        try:
+            if data["digest"] != digest:
+                return None
+            rows = decode_nonfinite(data["rows"])
+            if data["indices"] != plan[shard] or len(rows) != len(plan[shard]):
+                return None
+            if any(
+                not isinstance(row, dict) or set(spec.columns) - set(row)
+                for row in rows
+            ):
+                return None
+            return {
+                "rows": rows,
+                "compute_seconds": float(data["compute_seconds"]),
+            }
+        except (KeyError, TypeError, ValueError):
+            return None
+
+
+def _manifest_shard_count(run_dir: Path) -> Optional[int]:
+    """Return the shard count recorded in ``run_dir``'s manifest, if any.
+
+    ``None`` when the manifest is missing, unreadable, or carries a
+    nonsensical count — the caller then falls back to its own default, and
+    the subsequent digest verification still decides whether the directory
+    may be used at all.
+    """
+    try:
+        data = json.loads((run_dir / MANIFEST_NAME).read_text())
+        count = data["shard_count"]
+    except (OSError, ValueError, KeyError):
+        return None
+    if isinstance(count, int) and count >= 1:
+        return count
+    return None
+
+
+def parse_shard(text: str) -> Tuple[int, int]:
+    """Parse a CLI ``K/N`` shard selector into 0-based ``(index, count)``.
+
+    ``K`` is 1-based on the command line (``--shard 2/8`` is the second of
+    eight shards), matching how operators number farm-out slots.
+
+    Raises:
+        ValueError: on malformed text or ``K`` outside ``[1, N]``.
+    """
+    head, sep, tail = text.partition("/")
+    if not sep:
+        raise ValueError(f"expected K/N (e.g. 2/8), got {text!r}")
+    try:
+        index, count = int(head), int(tail)
+    except ValueError:
+        raise ValueError(f"expected integer K/N (e.g. 2/8), got {text!r}") from None
+    if count < 1 or not 1 <= index <= count:
+        raise ValueError(f"shard index must satisfy 1 <= K <= N, got {text!r}")
+    return index - 1, count
+
+
+def make_executor(
+    name: str,
+    processes: int = 0,
+    shard: Optional[Tuple[int, int]] = None,
+    resume: bool = False,
+    run_dir: Optional[Path] = None,
+    max_shards: int = 0,
+) -> Executor:
+    """Build an executor from CLI-shaped options.
+
+    Args:
+        name: one of :data:`EXECUTOR_NAMES`.
+        processes: worker count for the ``process`` backend.
+        shard: 0-based ``(index, count)`` pair for the ``sharded`` backend
+            (see :func:`parse_shard`); sets both the shard layout and the
+            single shard this invocation executes.
+        resume: reuse completed checkpoints (``sharded`` only).
+        run_dir: checkpoint directory override (``sharded`` only).
+        max_shards: compute at most this many shards this invocation
+            (``sharded`` only; 0 means no limit).
+
+    Raises:
+        ValueError: on an unknown executor name, or sharded-only options
+            combined with a non-sharded backend.
+    """
+    if name == "serial":
+        sharded_options = shard or resume or run_dir or max_shards
+        if sharded_options:
+            raise ValueError(
+                "--shard/--resume/--run-dir/--max-shards require "
+                "--executor sharded"
+            )
+        if processes > 0:
+            # an explicit serial request and a worker count contradict
+            # each other; refuse rather than silently picking one
+            raise ValueError("-j/--processes requires --executor process")
+        return SerialExecutor()
+    if name == "process":
+        if shard or resume or run_dir or max_shards:
+            raise ValueError(
+                "--shard/--resume/--run-dir/--max-shards require "
+                "--executor sharded"
+            )
+        # no explicit worker count: use the machine; an explicit count is
+        # honoured as-is (1 degrades to the serial path, deliberately)
+        workers = processes if processes > 0 else (os.cpu_count() or 2)
+        return ProcessExecutor(processes=workers)
+    if name == "sharded":
+        if max_shards < 0:
+            raise ValueError(
+                f"--max-shards must be non-negative, got {max_shards}"
+            )
+        if processes > 0:
+            raise ValueError(
+                "-j/--processes is not supported by the sharded executor "
+                "(shards run serially within an invocation; farm them out "
+                "across invocations with --shard K/N instead)"
+            )
+        index, count = (None, None) if shard is None else shard
+        return ShardedExecutor(
+            run_dir=run_dir,
+            shard_count=count,
+            shard_index=index,
+            resume=resume,
+            max_shards=max_shards,
+        )
+    raise ValueError(
+        f"unknown executor {name!r} (available: {', '.join(EXECUTOR_NAMES)})"
+    )

@@ -1,37 +1,55 @@
 """Unified experiment runner: one code path from spec to structured result.
 
 :func:`run_experiment` resolves an :class:`~repro.experiments.registry.ExperimentSpec`
-(by id or directly), expands the chosen preset into sweep points, executes
-each point — serially or across a process pool — and returns an
+(by id or directly), expands the chosen preset into sweep points, hands them
+to an execution backend (see :mod:`repro.experiments.executors` — serial,
+process-pool, or sharded/checkpointed), and returns an
 :class:`ExperimentResult` holding the structured row dictionaries.  The
 result renders to the exact plain-text :class:`~repro.analysis.reporting.Table`
 the experiment modules historically printed **and** serializes to JSON, so
 the CLI, the benchmark trajectory, the pytest benches and CI all consume the
 same records instead of scraping rendered tables.
 
-Parallel determinism: every sweep point carries its own seeds (see
-:mod:`repro.experiments.registry`), so a process-pool run computes exactly
-the rows a serial run computes, in the same order — guarded by
-``tests/test_experiment_registry.py``.
+Backend determinism: every sweep point carries its own seeds (see
+:mod:`repro.experiments.registry`), so a process-pool or sharded run computes
+exactly the rows a serial run computes, in the same order — guarded by
+``tests/test_experiment_registry.py`` and ``tests/test_executors.py``.
+
+Result schema history
+---------------------
+* schema 1 — ``wall_seconds`` was the invocation's wall clock.
+* schema 2 — ``wall_seconds`` is the **accumulated compute time** of every
+  shard that contributed rows (for a resumed sharded run this spans earlier
+  invocations); ``invocation_seconds`` records the final invocation's own
+  wall clock, and ``pending_points``/``executor`` record completeness and
+  provenance.  Schema-1 files still load (``invocation_seconds`` defaults to
+  the stored ``wall_seconds``).
 """
 
 from __future__ import annotations
 
 import json
-import math
 import time
-from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field
+from pathlib import Path
 from typing import Any, Dict, List, Mapping, Optional, Tuple, Union
 
 from repro.analysis.reporting import Table, table_from_records
+from repro.experiments.executors import (
+    Executor,
+    ProcessExecutor,
+    SerialExecutor,
+    make_executor,
+)
+from repro.experiments.serialization import jsonable
 from repro.experiments.registry import (
     DEFAULT_PRESET,
     ExperimentSpec,
     get_experiment,
 )
 
-RESULT_SCHEMA = 1
+RESULT_SCHEMA = 2
+_LOADABLE_SCHEMAS = (1, 2)
 
 
 @dataclass
@@ -42,10 +60,18 @@ class ExperimentResult:
         experiment_id: the spec id (``e1`` … ``e10``).
         title: rendered table title for the resolved parameters.
         columns: row schema, in rendering order.
-        rows: one dict per sweep point, keyed by ``columns``.
+        rows: one dict per completed sweep point, keyed by ``columns`` (a
+            partial sharded run holds only the completed shards' rows).
         params: the resolved parameters the sweep ran with.
         preset: the preset the parameters were based on.
-        wall_seconds: wall-clock duration of the sweep.
+        wall_seconds: accumulated compute seconds across every shard that
+            contributed rows — for a resumed/merged sharded run this spans
+            all contributing invocations; for serial/process runs it is this
+            invocation's sweep time.
+        invocation_seconds: wall clock of the invocation that produced this
+            result object (≤ ``wall_seconds`` after a resume).
+        pending_points: sweep points not yet computed (0 when complete).
+        executor: name of the execution backend that produced the rows.
     """
 
     experiment_id: str
@@ -55,6 +81,14 @@ class ExperimentResult:
     params: Dict[str, Any] = field(default_factory=dict)
     preset: str = DEFAULT_PRESET
     wall_seconds: float = 0.0
+    invocation_seconds: float = 0.0
+    pending_points: int = 0
+    executor: str = "serial"
+
+    @property
+    def complete(self) -> bool:
+        """True when every sweep point has a row."""
+        return self.pending_points == 0
 
     def to_table(self) -> Table:
         """Render the rows as the experiment's historical plain-text table."""
@@ -67,10 +101,13 @@ class ExperimentResult:
             "experiment": self.experiment_id,
             "title": self.title,
             "preset": self.preset,
-            "params": _jsonable(self.params),
+            "params": jsonable(self.params),
             "columns": list(self.columns),
-            "rows": _jsonable(self.rows),
+            "rows": jsonable(self.rows),
             "wall_seconds": round(self.wall_seconds, 4),
+            "invocation_seconds": round(self.invocation_seconds, 4),
+            "pending_points": self.pending_points,
+            "executor": self.executor,
         }
 
     def to_json(self, indent: int = 2) -> str:
@@ -81,11 +118,15 @@ class ExperimentResult:
     def from_json_dict(cls, data: Mapping[str, Any]) -> "ExperimentResult":
         """Rebuild a result from :meth:`to_json_dict` output.
 
+        Accepts the current schema (2) and the legacy schema 1, whose
+        ``wall_seconds`` doubles as ``invocation_seconds``.
+
         Raises:
             ValueError: on an unknown schema version.
         """
-        if data.get("schema") != RESULT_SCHEMA:
+        if data.get("schema") not in _LOADABLE_SCHEMAS:
             raise ValueError(f"unsupported result schema: {data.get('schema')!r}")
+        wall = data.get("wall_seconds", 0.0)
         return cls(
             experiment_id=data["experiment"],
             title=data["title"],
@@ -93,7 +134,10 @@ class ExperimentResult:
             rows=[dict(row) for row in data["rows"]],
             params=dict(data.get("params", {})),
             preset=data.get("preset", DEFAULT_PRESET),
-            wall_seconds=data.get("wall_seconds", 0.0),
+            wall_seconds=wall,
+            invocation_seconds=data.get("invocation_seconds", wall),
+            pending_points=data.get("pending_points", 0),
+            executor=data.get("executor", "serial"),
         )
 
     @classmethod
@@ -102,48 +146,10 @@ class ExperimentResult:
         return cls.from_json_dict(json.loads(text))
 
 
-def _jsonable(value: Any) -> Any:
-    """Round-trip ``value`` through strictly-JSON-compatible containers.
-
-    Non-finite floats (e10's ``GL_error_factor`` is ``inf`` when an estimate
-    degenerates to zero) are mapped to their string forms so the emitted
-    files stay valid for strict JSON consumers.
-    """
-    return json.loads(json.dumps(_finite(value), allow_nan=False))
-
-
-def _finite(value: Any) -> Any:
-    if isinstance(value, dict):
-        return {key: _finite(item) for key, item in value.items()}
-    if isinstance(value, (list, tuple)):
-        return [_finite(item) for item in value]
-    if isinstance(value, float) and not math.isfinite(value):
-        return str(value)
-    return value
-
-
 def _resolve(experiment: Union[str, ExperimentSpec]) -> ExperimentSpec:
     if isinstance(experiment, ExperimentSpec):
         return experiment
     return get_experiment(experiment)
-
-
-def _execute_point(spec: ExperimentSpec, point: Mapping[str, Any]) -> Dict[str, Any]:
-    """Execute one sweep point of ``spec`` and validate its row schema."""
-    row = spec.point_fn(**point)
-    missing = [column for column in spec.columns if column not in row]
-    if missing or len(row) != len(spec.columns):
-        raise ValueError(
-            f"experiment {spec.id!r} returned a row whose keys do not "
-            f"match its declared columns (missing: {missing}, got: {list(row)})"
-        )
-    return row
-
-
-def _run_point_packed(packed: Tuple[str, Mapping[str, Any]]) -> Dict[str, Any]:
-    """Pool-worker entry: resolve the spec by id (ids pickle, functions vary)."""
-    experiment_id, point = packed
-    return _execute_point(get_experiment(experiment_id), point)
 
 
 def run_experiment(
@@ -151,40 +157,89 @@ def run_experiment(
     preset: str = DEFAULT_PRESET,
     overrides: Optional[Mapping[str, Any]] = None,
     processes: int = 0,
+    executor: Optional[Union[str, Executor]] = None,
+    shard: Optional[Tuple[int, int]] = None,
+    resume: bool = False,
+    run_dir: Optional[Path] = None,
+    max_shards: int = 0,
 ) -> ExperimentResult:
     """Run one experiment sweep and return its structured result.
 
     Args:
         experiment: a spec id (``"e7"``) or the spec itself.
-        preset: parameter preset (``quick``/``default``/``hot``).
+        preset: parameter preset (``quick``/``default``/``hot``/…).
         overrides: parameter overrides on top of the preset (e.g.
             ``{"topology": "ad_hoc", "sizes": (64, 128)}``).
-        processes: when > 1, execute sweep points in a process pool of this
-            many workers; rows come back in sweep order and are bit-identical
-            to a serial run (every point is independently seeded).  The pool
-            workers re-resolve the spec by id, so parallel execution needs a
-            *registered* spec; serial execution runs any spec object as-is.
+        processes: when > 1 (and no explicit ``executor`` is given), execute
+            sweep points in a process pool of this many workers; rows come
+            back in sweep order and are bit-identical to a serial run (every
+            point is independently seeded).  Pool workers re-resolve the spec
+            by id, so parallel execution needs a *registered* spec; serial
+            execution runs any spec object as-is.
+        executor: execution backend — an :class:`~repro.experiments.executors.Executor`
+            instance, or one of the registered names (``serial``/``process``/
+            ``sharded``).  Defaults to ``process`` when ``processes > 1``
+            and ``serial`` otherwise, preserving the historical signature.
+        shard: 0-based ``(index, count)`` pair selecting one shard of a
+            ``sharded`` run (the CLI's ``--shard K/N``).
+        resume: reuse completed shard checkpoints (``sharded`` only).
+        run_dir: shard checkpoint directory override (``sharded`` only).
+        max_shards: compute at most this many shards in this invocation
+            (``sharded`` only; 0 means no limit).
 
     Raises:
         KeyError: on an unknown experiment id or preset.
-        ValueError: on unsupported parameter overrides.
+        ValueError: on unsupported parameter overrides, an unknown executor
+            name, or sharded options combined with a non-sharded backend.
     """
     spec = _resolve(experiment)
     params = spec.params_for(preset, overrides)
     points = spec.points(params)
-    start = time.perf_counter()
-    if processes > 1 and len(points) > 1:
-        with ProcessPoolExecutor(max_workers=min(processes, len(points))) as pool:
-            rows = list(pool.map(_run_point_packed, [(spec.id, p) for p in points]))
+    sharded_requested = (
+        shard is not None or resume or run_dir is not None or max_shards != 0
+    )
+    if isinstance(executor, str):
+        backend: Executor = make_executor(
+            executor,
+            processes=processes,
+            shard=shard,
+            resume=resume,
+            run_dir=run_dir,
+            max_shards=max_shards,
+        )
+    elif executor is not None:
+        if sharded_requested or processes > 0:
+            raise ValueError(
+                "processes/shard/resume/run_dir/max_shards cannot be "
+                "combined with an executor instance — configure the "
+                "instance itself, or pass the executor by name"
+            )
+        backend = executor
+    elif sharded_requested:
+        # sharded options imply the sharded backend, so `--resume` alone
+        # does the expected thing without repeating `--executor sharded`
+        # (processes is forwarded so the unsupported combination is
+        # rejected rather than silently dropped)
+        backend = make_executor(
+            "sharded", processes=processes, shard=shard, resume=resume,
+            run_dir=run_dir, max_shards=max_shards,
+        )
+    elif processes > 1:
+        backend = ProcessExecutor(processes=processes)
     else:
-        rows = [_execute_point(spec, point) for point in points]
+        backend = SerialExecutor()
+    start = time.perf_counter()
+    outcome = backend.execute(spec, preset, params, points)
     elapsed = time.perf_counter() - start
     return ExperimentResult(
         experiment_id=spec.id,
         title=spec.render_title(params),
         columns=spec.columns,
-        rows=rows,
+        rows=outcome.rows,
         params=dict(params),
         preset=preset,
-        wall_seconds=elapsed,
+        wall_seconds=outcome.compute_seconds,
+        invocation_seconds=elapsed,
+        pending_points=outcome.pending_points,
+        executor=backend.name,
     )

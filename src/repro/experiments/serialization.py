@@ -1,0 +1,68 @@
+"""Strict-JSON normalisation shared by the runner and the executors.
+
+Lives in its own module so the two consumers —
+:mod:`repro.experiments.runner` (result files) and
+:mod:`repro.experiments.executors` (sweep digests, manifests) — can both
+import it at module level without importing each other.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from typing import Any
+
+
+def jsonable(value: Any) -> Any:
+    """Round-trip ``value`` through strictly-JSON-compatible containers.
+
+    Non-finite floats (e10's ``GL_error_factor`` is ``inf`` when an estimate
+    degenerates to zero) are mapped to their string forms so the emitted
+    files stay valid for strict JSON consumers.
+    """
+    return json.loads(json.dumps(_finite(value), allow_nan=False))
+
+
+def _finite(value: Any) -> Any:
+    """Replace non-finite floats with their string forms, recursively."""
+    if isinstance(value, dict):
+        return {key: _finite(item) for key, item in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_finite(item) for item in value]
+    if isinstance(value, float) and not math.isfinite(value):
+        return str(value)
+    return value
+
+
+#: marker key for the round-trip-stable non-finite encoding below
+NONFINITE_KEY = "__nonfinite__"
+_NONFINITE_NAMES = {"inf": math.inf, "-inf": -math.inf, "nan": math.nan}
+
+
+def encode_nonfinite(value: Any) -> Any:
+    """Wrap non-finite floats as ``{"__nonfinite__": name}`` markers.
+
+    Unlike :func:`jsonable` — which flattens ``inf`` to the *string*
+    ``"inf"`` for human-facing result files — this encoding is reversible:
+    :func:`decode_nonfinite` restores the original float objects exactly.
+    The shard checkpoints use the pair so their files stay strict RFC 8259
+    JSON while the decoded rows remain bit-identical to a serial run's.
+    """
+    if isinstance(value, dict):
+        return {key: encode_nonfinite(item) for key, item in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [encode_nonfinite(item) for item in value]
+    if isinstance(value, float) and not math.isfinite(value):
+        return {NONFINITE_KEY: str(value)}
+    return value
+
+
+def decode_nonfinite(value: Any) -> Any:
+    """Reverse :func:`encode_nonfinite`, restoring non-finite floats."""
+    if isinstance(value, dict):
+        if set(value) == {NONFINITE_KEY} and value[NONFINITE_KEY] in _NONFINITE_NAMES:
+            return _NONFINITE_NAMES[value[NONFINITE_KEY]]
+        return {key: decode_nonfinite(item) for key, item in value.items()}
+    if isinstance(value, list):
+        return [decode_nonfinite(item) for item in value]
+    return value

@@ -27,6 +27,7 @@ from typing import (
     List,
     NamedTuple,
     Optional,
+    Sequence,
     Tuple,
 )
 
@@ -58,6 +59,17 @@ def edge_key(u: NodeId, v: NodeId) -> Tuple[NodeId, NodeId]:
     if (type(u).__name__, repr(u)) <= (type(v).__name__, repr(v)):
         return (u, v)
     return (v, u)
+
+
+def is_identity_enumeration(nodes: Sequence[NodeId]) -> bool:
+    """True when ``nodes`` is exactly the int sequence ``0, 1, …, n-1``.
+
+    Every standard generator numbers its nodes this way, which lets
+    array-indexed hot loops (the partitioners) skip the node→index
+    translation outright.  The type check matters: ``2.0 == 2`` compares
+    equal to its position yet is no use as a list index.
+    """
+    return all(type(node) is int and node == i for i, node in enumerate(nodes))
 
 
 def sorted_incident_links(

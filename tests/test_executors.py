@@ -1,0 +1,366 @@
+"""Executor subsystem tests: backend matrix, checkpoints, shards, schema.
+
+The contract under test (see ``docs/architecture.md``, "Execution
+backends"): every backend produces rows bit-identical to a serial run of
+the same sweep, sharded runs checkpoint/resume/merge deterministically, a
+corrupt or foreign checkpoint is recomputed rather than trusted, and the
+``RESULT_SCHEMA`` 2 serialization round-trips (while schema-1 files still
+load).
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.experiments.executors import (
+    ExecutorConfigError,
+    ProcessExecutor,
+    ShardedExecutor,
+    make_executor,
+    parse_shard,
+    shard_indices,
+    sweep_digest,
+)
+from repro.experiments.runner import (
+    RESULT_SCHEMA,
+    ExperimentResult,
+    run_experiment,
+)
+
+
+@pytest.fixture(scope="module")
+def serial_e2():
+    """The reference serial result every backend must reproduce."""
+    return run_experiment("e2", preset="quick")
+
+
+@pytest.fixture(scope="module")
+def serial_e4():
+    """A randomized-stream reference (seeded, so still deterministic)."""
+    return run_experiment("e4", preset="quick")
+
+
+# ----------------------------------------------------------------------
+# backend matrix: serial vs process vs sharded bit-identity
+# ----------------------------------------------------------------------
+class TestExecutorMatrix:
+    def test_process_rows_match_serial(self, serial_e2):
+        result = run_experiment("e2", preset="quick", executor="process",
+                                processes=2)
+        assert result.rows == serial_e2.rows
+        assert result.executor == "process"
+        assert result.pending_points == 0
+
+    def test_sharded_rows_match_serial(self, serial_e2, tmp_path):
+        result = run_experiment("e2", preset="quick", executor="sharded",
+                                run_dir=tmp_path / "run")
+        assert result.rows == serial_e2.rows
+        assert result.executor == "sharded"
+        assert result.pending_points == 0
+
+    def test_sharded_matches_serial_on_random_stream(self, serial_e4, tmp_path):
+        result = run_experiment("e4", preset="quick", executor="sharded",
+                                run_dir=tmp_path / "run")
+        assert result.rows == serial_e4.rows
+
+    def test_explicit_serial_name(self, serial_e2):
+        result = run_experiment("e2", preset="quick", executor="serial")
+        assert result.rows == serial_e2.rows
+        assert result.executor == "serial"
+
+    def test_unknown_executor_name_rejected(self):
+        with pytest.raises(ValueError, match="unknown executor"):
+            run_experiment("e2", preset="quick", executor="quantum")
+
+    def test_sharded_options_require_sharded_backend(self):
+        with pytest.raises(ValueError, match="--executor sharded"):
+            make_executor("serial", resume=True)
+        with pytest.raises(ValueError, match="--executor sharded"):
+            make_executor("process", shard=(0, 2))
+
+    def test_process_worker_count_defaults_to_machine(self):
+        backend = make_executor("process")
+        assert isinstance(backend, ProcessExecutor)
+        assert backend.processes >= 1  # cpu count, never pinned to 2
+        explicit = make_executor("process", processes=7)
+        assert explicit.processes == 7
+
+
+# ----------------------------------------------------------------------
+# shard layout: deterministic disjoint cover
+# ----------------------------------------------------------------------
+class TestShardLayout:
+    def test_disjoint_cover(self):
+        for num_points in (1, 2, 5, 8, 17):
+            for shard_count in range(1, num_points + 1):
+                plan = shard_indices(num_points, shard_count)
+                assert len(plan) == shard_count
+                flattened = [index for shard in plan for index in shard]
+                # disjoint and covering: every index exactly once
+                assert sorted(flattened) == list(range(num_points))
+
+    def test_round_robin_striping(self):
+        assert shard_indices(7, 3) == [[0, 3, 6], [1, 4], [2, 5]]
+
+    def test_non_positive_count_rejected(self):
+        with pytest.raises(ValueError):
+            shard_indices(4, 0)
+
+    def test_oversized_count_yields_empty_shards(self):
+        # farm tooling fixes N before knowing the sweep size: the excess
+        # shards are empty, the layout is still the requested N
+        plan = shard_indices(2, 5)
+        assert plan == [[0], [1], [], [], []]
+
+    def test_parse_shard(self):
+        assert parse_shard("1/4") == (0, 4)
+        assert parse_shard("4/4") == (3, 4)
+        for bad in ("0/4", "5/4", "2", "a/b", "2/0"):
+            with pytest.raises(ValueError):
+                parse_shard(bad)
+
+    def test_digest_covers_layout_and_parameters(self):
+        base = sweep_digest("e2", "quick", {"sizes": (16, 36)}, 2, 2)
+        assert sweep_digest("e2", "quick", {"sizes": (16, 36)}, 2, 2) == base
+        assert sweep_digest("e2", "quick", {"sizes": (16, 36)}, 2, 1) != base
+        assert sweep_digest("e2", "hot", {"sizes": (16, 36)}, 2, 2) != base
+        assert sweep_digest("e4", "quick", {"sizes": (16, 36)}, 2, 2) != base
+        assert sweep_digest("e2", "quick", {"sizes": (16, 64)}, 2, 2) != base
+
+
+# ----------------------------------------------------------------------
+# checkpoint / resume semantics
+# ----------------------------------------------------------------------
+class TestShardedCheckpoints:
+    def test_interrupted_run_resumes_to_serial_rows(self, serial_e2, tmp_path):
+        run_dir = tmp_path / "run"
+        partial = run_experiment("e2", preset="quick", executor="sharded",
+                                 run_dir=run_dir, max_shards=1)
+        assert partial.pending_points == 1
+        assert len(partial.rows) == 1
+        assert partial.rows[0] == serial_e2.rows[0]
+        resumed = run_experiment("e2", preset="quick", executor="sharded",
+                                 run_dir=run_dir, resume=True)
+        assert resumed.pending_points == 0
+        assert resumed.rows == serial_e2.rows
+
+    def test_farmed_shards_merge_into_full_result(self, serial_e2, tmp_path):
+        run_dir = tmp_path / "farm"
+        first = run_experiment("e2", preset="quick", shard=(0, 2),
+                               run_dir=run_dir)
+        assert first.pending_points == 1
+        last = run_experiment("e2", preset="quick", shard=(1, 2),
+                              run_dir=run_dir)
+        # the last farm invocation observes every completed checkpoint
+        assert last.pending_points == 0
+        assert last.rows == serial_e2.rows
+
+    def test_collect_without_shard_adopts_manifest_layout(self, serial_e2,
+                                                          tmp_path):
+        # the README flow: farm out with --shard K/N, then collect with a
+        # bare --resume — the collect invocation must adopt the farm's N
+        # from the manifest instead of defaulting to one shard per point
+        run_dir = tmp_path / "farm"
+        run_experiment("e2", preset="quick", shard=(0, 2), run_dir=run_dir)
+        collected = run_experiment("e2", preset="quick", resume=True,
+                                   run_dir=run_dir)
+        assert collected.pending_points == 0
+        assert collected.rows == serial_e2.rows
+        # the second shard was computed by the collect run, under the same
+        # 2-shard layout (no shard-0002 file from a per-point default)
+        assert sorted(p.name for p in run_dir.glob("shard-*.json")) == [
+            "shard-0000.json", "shard-0001.json",
+        ]
+
+    def test_shard_count_beyond_points_farms_with_empty_shards(
+            self, serial_e2, tmp_path):
+        run_dir = tmp_path / "farm"
+        for index in range(5):  # N=5 over a 2-point sweep
+            result = run_experiment("e2", preset="quick", shard=(index, 5),
+                                    run_dir=run_dir)
+        assert result.pending_points == 0
+        assert result.rows == serial_e2.rows
+
+    def test_corrupt_checkpoint_is_recomputed(self, serial_e2, tmp_path):
+        run_dir = tmp_path / "run"
+        run_experiment("e2", preset="quick", executor="sharded",
+                       run_dir=run_dir)
+        (run_dir / "shard-0000.json").write_text("{truncated garbage")
+        resumed = run_experiment("e2", preset="quick", executor="sharded",
+                                 run_dir=run_dir, resume=True)
+        assert resumed.rows == serial_e2.rows
+
+    def test_wrong_shape_checkpoint_is_recomputed(self, serial_e2, tmp_path):
+        run_dir = tmp_path / "run"
+        run_experiment("e2", preset="quick", executor="sharded",
+                       run_dir=run_dir)
+        path = run_dir / "shard-0001.json"
+        data = json.loads(path.read_text())
+        del data["rows"][0]["n"]  # row no longer matches the spec's columns
+        path.write_text(json.dumps(data))
+        resumed = run_experiment("e2", preset="quick", executor="sharded",
+                                 run_dir=run_dir, resume=True)
+        assert resumed.rows == serial_e2.rows
+
+    def test_foreign_run_directory_refused(self, tmp_path):
+        run_dir = tmp_path / "run"
+        run_experiment("e2", preset="quick", executor="sharded",
+                       run_dir=run_dir)
+        with pytest.raises(ExecutorConfigError, match="different sweep"):
+            run_experiment("e4", preset="quick", executor="sharded",
+                           run_dir=run_dir, resume=True)
+
+    def test_stale_checkpoints_ignored_after_manifest_loss(self, serial_e2,
+                                                           tmp_path):
+        # checkpoints carry the sweep digest themselves: losing the manifest
+        # must not let a differently-parameterised sweep's shards merge in
+        run_dir = tmp_path / "run"
+        run_experiment("e2", preset="quick", executor="sharded",
+                       run_dir=run_dir,
+                       overrides={"sizes": (25, 49)})
+        (run_dir / "manifest.json").unlink()
+        result = run_experiment("e2", preset="quick", executor="sharded",
+                                run_dir=run_dir, resume=True)
+        assert result.rows == serial_e2.rows
+
+    def test_shard_index_out_of_range(self, tmp_path):
+        executor = ShardedExecutor(run_dir=tmp_path / "run", shard_count=2,
+                                   shard_index=2)
+        with pytest.raises(ValueError, match="out of range"):
+            run_experiment("e2", preset="quick", executor=executor)
+
+    def test_resumed_wall_seconds_accumulates_shard_compute(self, tmp_path):
+        run_dir = tmp_path / "run"
+        run_experiment("e2", preset="quick", executor="sharded",
+                       run_dir=run_dir, max_shards=1)
+        resumed = run_experiment("e2", preset="quick", executor="sharded",
+                                 run_dir=run_dir, resume=True)
+        checkpoints = sorted(run_dir.glob("shard-*.json"))
+        assert len(checkpoints) == 2
+        total = sum(
+            json.loads(path.read_text())["compute_seconds"]
+            for path in checkpoints
+        )
+        assert resumed.wall_seconds == pytest.approx(total)
+        # the resuming invocation itself computed only the second shard
+        assert resumed.invocation_seconds < resumed.wall_seconds * 2
+
+
+# ----------------------------------------------------------------------
+# result schema
+# ----------------------------------------------------------------------
+class TestResultSchema:
+    def test_round_trip(self, serial_e2):
+        loaded = ExperimentResult.from_json(serial_e2.to_json())
+        assert loaded.rows == serial_e2.rows
+        assert loaded.pending_points == 0
+        assert loaded.executor == serial_e2.executor
+        assert loaded.wall_seconds == pytest.approx(
+            serial_e2.wall_seconds, abs=1e-4
+        )
+        assert json.loads(serial_e2.to_json())["schema"] == RESULT_SCHEMA
+
+    def test_schema_one_still_loads(self):
+        legacy = {
+            "schema": 1,
+            "experiment": "e2",
+            "title": "legacy",
+            "columns": ["n"],
+            "rows": [{"n": 16}],
+            "wall_seconds": 2.5,
+        }
+        result = ExperimentResult.from_json_dict(legacy)
+        assert result.wall_seconds == 2.5
+        assert result.invocation_seconds == 2.5
+        assert result.pending_points == 0
+        assert result.executor == "serial"
+
+    def test_unknown_schema_rejected(self):
+        with pytest.raises(ValueError, match="unsupported result schema"):
+            ExperimentResult.from_json_dict({"schema": 99})
+
+    def test_partial_result_serializes_pending(self, tmp_path):
+        partial = run_experiment("e2", preset="quick", executor="sharded",
+                                 run_dir=tmp_path / "run", max_shards=1)
+        data = json.loads(partial.to_json())
+        assert data["pending_points"] == 1
+        assert data["executor"] == "sharded"
+        assert not ExperimentResult.from_json_dict(data).complete
+
+
+class TestRunnerExecutorWiring:
+    def test_instance_with_sharded_kwargs_rejected(self, tmp_path):
+        with pytest.raises(ValueError, match="executor instance"):
+            run_experiment("e2", preset="quick",
+                           executor=ShardedExecutor(run_dir=tmp_path / "r"),
+                           resume=True)
+
+    def test_negative_max_shards_rejected(self):
+        with pytest.raises(ValueError, match="non-negative"):
+            run_experiment("e2", preset="quick", executor="sharded",
+                           max_shards=-1)
+
+
+class TestDefaultRunDirectory:
+    def test_default_dir_farm_then_bare_resume_collects(self, serial_e2,
+                                                        monkeypatch, tmp_path):
+        # the default directory name must not depend on the shard layout:
+        # a --shard K/N farm run and a bare --resume collect (different
+        # implied layouts) must resolve to the same directory
+        import repro.experiments.executors as executors
+
+        monkeypatch.setattr(executors, "default_run_root", lambda: tmp_path)
+        run_experiment("e2", preset="quick", shard=(0, 2))
+        collected = run_experiment("e2", preset="quick", resume=True)
+        assert collected.pending_points == 0
+        assert collected.rows == serial_e2.rows
+        # exactly one run directory was created, holding the 2-shard layout
+        dirs = [p for p in tmp_path.iterdir() if p.is_dir()]
+        assert len(dirs) == 1
+        assert sorted(p.name for p in dirs[0].glob("shard-*.json")) == [
+            "shard-0000.json", "shard-0001.json",
+        ]
+
+    def test_processes_with_sharded_rejected(self, tmp_path):
+        with pytest.raises(ValueError, match="not supported by the sharded"):
+            run_experiment("e2", preset="quick", resume=True,
+                           run_dir=tmp_path / "r", processes=4)
+
+    def test_explicit_serial_with_processes_rejected(self):
+        with pytest.raises(ValueError, match="--executor process"):
+            make_executor("serial", processes=4)
+
+
+class TestNonFiniteRows:
+    def test_checkpoints_stay_strict_json_and_rows_round_trip(self, tmp_path):
+        # rows with inf (e10's degenerate estimates) must produce strict
+        # RFC 8259 checkpoint files AND decode back to the exact floats
+        import math
+
+        from repro.experiments.registry import ExperimentSpec
+
+        spec = ExperimentSpec(
+            id="synthetic",
+            title="synthetic",
+            columns=("n", "value"),
+            point_fn=lambda n: {"n": n, "value": math.inf if n == 1 else 1.5},
+            presets={name: {"sizes": (1, 2)}
+                     for name in ("quick", "default", "hot")},
+        )
+        serial = run_experiment(spec, preset="quick")
+        sharded = run_experiment(spec, preset="quick",
+                                 executor=ShardedExecutor(run_dir=tmp_path))
+        assert sharded.rows == serial.rows
+        assert sharded.rows[0]["value"] == math.inf
+        for path in tmp_path.glob("shard-*.json"):
+            # strict parsing: the bare Infinity token would raise here
+            json.loads(path.read_text(), parse_constant=lambda s: 1 / 0)
+
+    def test_processes_with_executor_instance_rejected(self):
+        from repro.experiments.executors import SerialExecutor
+
+        with pytest.raises(ValueError, match="executor instance"):
+            run_experiment("e2", preset="quick", executor=SerialExecutor(),
+                           processes=8)

@@ -147,3 +147,45 @@ class TestTargetSize:
         second = partition(medium_grid)
         assert first.forest.parent_map() == second.forest.parent_map()
         assert first.metrics.rounds == second.metrics.rounds
+
+
+class TestNonIntegerNodes:
+    """The hot loops index nodes 0..n-1; when the graph's own labels are NOT
+    that enumeration (the `identity` fast path is off), the general
+    translation path must produce an equally valid, deterministic result."""
+
+    def _relabeled_grid(self):
+        graph = assign_distinct_weights(grid_graph(8, 8), seed=11)
+        return graph.relabeled({node: f"node-{node}" for node in graph.nodes()})
+
+    def test_string_labelled_partition_is_valid(self):
+        graph = self._relabeled_grid()
+        result = partition(graph)
+        n = graph.num_nodes()
+        report = validate_partition(
+            result.forest,
+            graph,
+            check_mst_subtrees=True,
+            min_size_bound=math.sqrt(n),
+            max_radius_bound=8 * math.sqrt(n),
+        )
+        assert report.ok, report.violations
+
+    def test_string_labelled_partition_is_deterministic(self):
+        first = partition(self._relabeled_grid())
+        second = partition(self._relabeled_grid())
+        assert first.forest.parent_map() == second.forest.parent_map()
+        assert first.metrics.rounds == second.metrics.rounds
+        assert (
+            first.metrics.point_to_point_messages
+            == second.metrics.point_to_point_messages
+        )
+
+    def test_float_labels_do_not_take_identity_fast_path(self):
+        # 2.0 == 2 compares equal to its index but is not usable as one;
+        # the identity fast path must reject it and the general path run
+        graph = assign_distinct_weights(grid_graph(4, 4), seed=11)
+        floats = graph.relabeled({node: float(node) for node in graph.nodes()})
+        result = partition(floats)
+        report = validate_partition(result.forest, floats, check_mst_subtrees=True)
+        assert report.ok, report.violations

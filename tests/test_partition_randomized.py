@@ -114,3 +114,38 @@ class TestLasVegas:
         result = RandomizedPartitioner(medium_grid, seed=4, las_vegas=False).run()
         assert result.verified is False
         assert result.restarts == 0
+
+
+class TestNonIntegerNodes:
+    """The hot loops index nodes 0..n-1; when the graph's own labels are NOT
+    that enumeration (the `identity` fast path is off), the general
+    translation path must produce an equally valid, deterministic result."""
+
+    def _relabeled_grid(self):
+        graph = grid_graph(8, 8)
+        return graph.relabeled({node: f"node-{node}" for node in graph.nodes()})
+
+    def test_string_labelled_partition_is_valid(self):
+        graph = self._relabeled_grid()
+        result = RandomizedPartitioner(graph, seed=3, las_vegas=True).run()
+        report = validate_partition(result.forest, graph)
+        assert report.ok, report.violations
+        assert result.forest.max_radius() <= 4 * math.sqrt(graph.num_nodes())
+
+    def test_string_labelled_partition_is_deterministic(self):
+        first = RandomizedPartitioner(self._relabeled_grid(), seed=3).run()
+        second = RandomizedPartitioner(self._relabeled_grid(), seed=3).run()
+        assert first.forest.parent_map() == second.forest.parent_map()
+        assert (
+            first.metrics.point_to_point_messages
+            == second.metrics.point_to_point_messages
+        )
+
+    def test_float_labels_do_not_take_identity_fast_path(self):
+        # 2.0 == 2 compares equal to its index but is not usable as one;
+        # the identity fast path must reject it and the general path run
+        graph = grid_graph(4, 4)
+        floats = graph.relabeled({node: float(node) for node in graph.nodes()})
+        result = RandomizedPartitioner(floats, seed=3, las_vegas=True).run()
+        report = validate_partition(result.forest, floats)
+        assert report.ok, report.violations
