@@ -1,0 +1,13 @@
+"""Benchmark E11 — multimedia-vs-p2p degradation under adversity schedules."""
+
+from conftest import run_experiment
+
+
+def test_e11_adversity_degradation(benchmark):
+    result = run_experiment(benchmark, "e11")
+    for row in result.rows:
+        # every row is bounded: a medium either completes or reports "abort"
+        assert row["status"] in ("ok", "abort:multimedia", "abort:p2p", "abort:both")
+        assert isinstance(row["faults_injected"], int)
+        if row["adversity"] != "crash":
+            assert row["rounds_lost"] == 0  # only crash windows cost recovery rounds

@@ -55,7 +55,7 @@ def _build_parser() -> argparse.ArgumentParser:
     run_parser = sub.add_parser(
         "run", help="run one experiment sweep and print its table"
     )
-    run_parser.add_argument("experiment", help="experiment id (e1 … e10)")
+    run_parser.add_argument("experiment", help="experiment id (e1 … e11)")
     run_parser.add_argument(
         "--preset", default=DEFAULT_PRESET,
         help="parameter preset: quick, default, or hot (default: default)",
@@ -70,10 +70,17 @@ def _build_parser() -> argparse.ArgumentParser:
         "--seeds", type=int, nargs="+", default=None, help="algorithm seeds override"
     )
     run_parser.add_argument(
+        "--adversity", default=None, metavar="NAME",
+        help="adversity schedule preset (crash, loss, jam, churn); refine "
+        "individual fields with --set adversity.FIELD=VALUE "
+        "(e.g. --adversity loss --set adversity.loss_rate=0.2)",
+    )
+    run_parser.add_argument(
         "--set", dest="assignments", action="append", default=[],
         metavar="KEY=VALUE",
         help="extra parameter override; VALUE is parsed as a Python literal "
-        "(e.g. --set channel_baseline=False)",
+        "(e.g. --set channel_baseline=False); dotted adversity.FIELD keys "
+        "build the adversity schedule",
     )
     run_parser.add_argument(
         "--processes", "-j", type=int, default=0,
@@ -157,7 +164,18 @@ def _parse_assignment(text: str) -> tuple:
 
 
 def _overrides_from(args: argparse.Namespace) -> Dict[str, Any]:
-    """Collect the ``run`` subcommand's parameter overrides from its flags."""
+    """Collect the ``run`` subcommand's parameter overrides from its flags.
+
+    ``--adversity NAME`` and dotted ``--set adversity.FIELD=VALUE``
+    assignments merge into one ``adversity`` override mapping (the flag
+    supplies the base preset name, the dotted keys refine fields on top of
+    it); validation of the merged schedule happens in
+    :meth:`~repro.experiments.registry.ExperimentSpec.params_for`.
+
+    Raises:
+        ValueError: on a malformed assignment (no ``=``, empty key, or an
+            empty adversity field name).
+    """
     overrides: Dict[str, Any] = {}
     if args.topology is not None:
         overrides["topology"] = args.topology
@@ -165,9 +183,26 @@ def _overrides_from(args: argparse.Namespace) -> Dict[str, Any]:
         overrides["sizes"] = tuple(args.sizes)
     if args.seeds is not None:
         overrides["seeds"] = tuple(args.seeds)
+    adversity_fields: Dict[str, Any] = {}
     for assignment in args.assignments:
         key, value = _parse_assignment(assignment)
-        overrides[key] = value
+        if key.startswith("adversity."):
+            field = key[len("adversity."):]
+            if not field:
+                raise ValueError(
+                    f"expected adversity.FIELD=VALUE, got {assignment!r}"
+                )
+            adversity_fields[field] = value
+        else:
+            overrides[key] = value
+    if args.adversity is not None:
+        adversity_fields.setdefault("name", args.adversity)
+    if adversity_fields:
+        base = overrides.get("adversity")
+        if isinstance(base, str):
+            # --set adversity=loss supplies the base preset for dotted keys
+            adversity_fields.setdefault("name", base)
+        overrides["adversity"] = adversity_fields
     return overrides
 
 
@@ -181,6 +216,7 @@ def _command_list(args: argparse.Namespace) -> int:
                 "description": spec.description,
                 "columns": list(spec.columns),
                 "topologies": list(spec.topologies),
+                "adversities": list(spec.adversities),
                 "presets": {name: dict(params) for name, params in spec.presets.items()},
             }
             for spec in specs
@@ -197,6 +233,8 @@ def _command_list(args: argparse.Namespace) -> int:
             print(f"      {name:<8} {summary}")
         if spec.topologies:
             print(f"      topologies: {', '.join(spec.topologies)}")
+        if spec.adversities:
+            print(f"      adversities: {', '.join(spec.adversities)}")
     return 0
 
 

@@ -29,6 +29,8 @@ from repro.protocols.collision.metcalfe_boggs import MetcalfeBoggsContender
 from repro.protocols.spanning.broadcast_convergecast import TreeAggregationProtocol
 from repro.protocols.spanning.bfs import build_bfs_forest
 from repro.protocols.spanning.tree_utils import children_map
+from repro.sim.adversity import AdversityState
+from repro.sim.channel import SlottedChannel
 from repro.sim.metrics import MetricsRecorder, MetricsSnapshot
 from repro.sim.multimedia import MultimediaNetwork
 from repro.topology.graph import WeightedGraph
@@ -60,6 +62,7 @@ def compute_on_point_to_point_only(
     leader: Optional[NodeId] = None,
     seed: Optional[int] = None,
     metrics: Optional[MetricsRecorder] = None,
+    adversity: Optional[AdversityState] = None,
 ) -> BaselineResult:
     """Compute the function using only the point-to-point network.
 
@@ -69,7 +72,9 @@ def compute_on_point_to_point_only(
     broadcast back down so every node learns it.  The BFS construction is
     charged its textbook synchronous cost (eccentricity-of-leader rounds, at
     most two messages per link); the aggregation runs as a genuine
-    message-passing protocol on the simulator.
+    message-passing protocol on the simulator — which is where an
+    ``adversity`` schedule bites (the analytically charged BFS stage is out
+    of its reach).
     """
     recorder = metrics if metrics is not None else MetricsRecorder()
     nodes = graph.nodes()
@@ -95,7 +100,12 @@ def compute_on_point_to_point_only(
         for node in nodes
     }
     network = MultimediaNetwork(graph, seed=seed)
-    simulation = network.run(TreeAggregationProtocol, inputs=node_inputs, metrics=recorder)
+    simulation = network.run(
+        TreeAggregationProtocol,
+        inputs=node_inputs,
+        metrics=recorder,
+        adversity=adversity,
+    )
     recorder.set_phase(None)
     value = simulation.results[leader]
     return BaselineResult(
@@ -113,6 +123,7 @@ def compute_on_channel_only(
     method: str = "randomized",
     seed: Optional[int] = None,
     metrics: Optional[MetricsRecorder] = None,
+    adversity: Optional[AdversityState] = None,
 ) -> BaselineResult:
     """Compute the function using only the multiaccess channel.
 
@@ -120,7 +131,9 @@ def compute_on_channel_only(
     none may stay silent); the broadcasts are scheduled deterministically
     (Capetanakis tree splitting) or randomly (Metcalfe–Boggs with the exact
     count as the estimate).  Every node hears every broadcast and combines
-    them locally.
+    them locally.  An ``adversity`` schedule reaches this baseline only
+    through jamming (it is channel-only by construction), which slows the
+    contention and bounds it by the schedule's slot budget.
 
     Raises:
         ValueError: on an unknown ``method``.
@@ -150,7 +163,18 @@ def compute_on_channel_only(
             )
             for node in nodes
         ]
-    outcome = run_contention(contenders, metrics=recorder)
+    if adversity is not None:
+        channel = SlottedChannel(
+            metrics=recorder, adversity=adversity.channel_adversity()
+        )
+        outcome = run_contention(
+            contenders,
+            metrics=recorder,
+            channel=channel,
+            max_slots=adversity.round_budget(n),
+        )
+    else:
+        outcome = run_contention(contenders, metrics=recorder)
     recorder.set_phase(None)
     value = function.evaluate(outcome.broadcasts)
     return BaselineResult(

@@ -36,6 +36,8 @@ from repro.protocols.collision.capetanakis import CapetanakisContender
 from repro.protocols.collision.metcalfe_boggs import MetcalfeBoggsContender
 from repro.protocols.spanning.broadcast_convergecast import TreeAggregationProtocol
 from repro.protocols.symmetry.cole_vishkin import log_star
+from repro.sim.adversity import AdversityState
+from repro.sim.channel import SlottedChannel
 from repro.sim.metrics import MetricsRecorder, MetricsSnapshot
 from repro.sim.multimedia import MultimediaNetwork
 from repro.topology.graph import WeightedGraph
@@ -79,6 +81,7 @@ def compute_global_function(
     forest: Optional[SpanningForest] = None,
     tightened_balance: bool = False,
     metrics: Optional[MetricsRecorder] = None,
+    adversity: Optional[AdversityState] = None,
 ) -> GlobalComputationResult:
     """Compute ``function`` over the distributed ``inputs`` on a multimedia network.
 
@@ -96,6 +99,11 @@ def compute_global_function(
         tightened_balance: deterministic method only — stop the partition at
             fragments of size √(n / (log n log* n)) as in Section 5.1.
         metrics: externally owned recorder to charge.
+        adversity: optional adversity state; faults hit the two sim-layer
+            stages (local aggregation and channel scheduling).  Stage 0, the
+            partition, is computed abstractly (its cost is charged
+            analytically, not simulated message by message), so the schedule
+            cannot touch it — a limitation, not a modelling choice.
 
     Returns:
         A :class:`GlobalComputationResult`; ``result.value`` equals
@@ -151,6 +159,7 @@ def compute_global_function(
         TreeAggregationProtocol,
         inputs=node_inputs,
         metrics=recorder,
+        adversity=adversity,
     )
     recorder.set_phase(None)
     local_rounds = recorder.rounds - rounds_before
@@ -183,7 +192,18 @@ def compute_global_function(
             )
             for core in forest.cores
         ]
-    outcome = run_contention(contenders, metrics=recorder)
+    if adversity is not None:
+        channel = SlottedChannel(
+            metrics=recorder, adversity=adversity.channel_adversity()
+        )
+        outcome = run_contention(
+            contenders,
+            metrics=recorder,
+            channel=channel,
+            max_slots=adversity.round_budget(n),
+        )
+    else:
+        outcome = run_contention(contenders, metrics=recorder)
     recorder.set_phase(None)
     global_slots = recorder.rounds - rounds_before
 

@@ -30,6 +30,8 @@ from repro.core.partition.deterministic import DeterministicPartitioner
 from repro.core.partition.forest import SpanningForest
 from repro.protocols.collision.base import run_contention
 from repro.protocols.collision.capetanakis import CapetanakisContender
+from repro.sim.adversity import AdversityState
+from repro.sim.channel import SlottedChannel
 from repro.sim.metrics import MetricsRecorder, MetricsSnapshot
 from repro.topology.graph import Edge, WeightedGraph, edge_key
 from repro.topology.properties import is_connected
@@ -81,11 +83,17 @@ class MultimediaMST:
         self,
         graph: WeightedGraph,
         metrics: Optional[MetricsRecorder] = None,
+        adversity: Optional[AdversityState] = None,
     ) -> None:
         """Create the solver.
 
         Args:
             graph: connected topology with distinct link weights.
+            metrics: externally owned recorder to charge.
+            adversity: optional adversity state.  Only stage 2 (channel
+                scheduling) runs on the simulated channel, so only jamming
+                reaches this algorithm; stages 1 and 3 are charged
+                analytically and sit outside the schedule's reach.
 
         Raises:
             ValueError: if the graph is empty, disconnected, or has repeated
@@ -103,6 +111,7 @@ class MultimediaMST:
         self._graph = graph
         self._n = graph.num_nodes()
         self._metrics = metrics if metrics is not None else MetricsRecorder()
+        self._adversity = adversity
 
     # ------------------------------------------------------------------
     def run(self) -> MultimediaMSTResult:
@@ -123,7 +132,19 @@ class MultimediaMST:
             CapetanakisContender(identity=int(core), universe_size=universe, payload=core)
             for core in forest.cores
         ]
-        schedule_outcome = run_contention(contenders, metrics=self._metrics)
+        if self._adversity is not None:
+            channel = SlottedChannel(
+                metrics=self._metrics,
+                adversity=self._adversity.channel_adversity(),
+            )
+            schedule_outcome = run_contention(
+                contenders,
+                metrics=self._metrics,
+                channel=channel,
+                max_slots=self._adversity.round_budget(self._n),
+            )
+        else:
+            schedule_outcome = run_contention(contenders, metrics=self._metrics)
         schedule = schedule_outcome.order
         scheduling_slots = schedule_outcome.slots_used
         self._metrics.set_phase(None)

@@ -17,6 +17,8 @@ from repro.core.global_function.semigroup import INTEGER_ADDITION
 from repro.experiments.harness import make_topology
 from repro.experiments.registry import register_experiment
 from repro.experiments.runner import run_experiment
+from repro.sim.adversity import ABORTED, ADVERSITY_KINDS, adversity_state
+from repro.sim.errors import AdversityAbort
 
 DEFAULT_SIZES = (64, 144, 256, 400)
 
@@ -31,6 +33,7 @@ DEFAULT_SIZES = (64, 144, 256, 400)
         "time_bound", "tightened/bound", "global_slots", "value_correct",
     ),
     topologies=("grid", "ring", "geometric", "scale_free", "ad_hoc"),
+    adversities=ADVERSITY_KINDS,
     presets={
         "quick": {"sizes": (16, 36), "topology": "grid"},
         "default": {"sizes": (64, 144, 256), "topology": "grid"},
@@ -38,28 +41,40 @@ DEFAULT_SIZES = (64, 144, 256, 400)
     },
     bench_extras=(("e5_hot", "hot", {}),),
 )
-def sweep_point(n: int, topology: str = "grid") -> Dict[str, object]:
+def sweep_point(
+    n: int, topology: str = "grid", adversity: object = None
+) -> Dict[str, object]:
     """Compute the network-wide sum deterministically under both balances."""
     graph = make_topology(topology, n, seed=11)
     inputs = {node: int(node) for node in graph.nodes()}
     expected = sum(inputs.values())
-    standard = compute_global_function(
-        graph, INTEGER_ADDITION, inputs, method="deterministic", seed=7
-    )
-    tightened = compute_global_function(
-        graph, INTEGER_ADDITION, inputs, method="deterministic", seed=7,
-        tightened_balance=True,
-    )
+
+    def variant(tag: str, tightened: bool):
+        state = adversity_state(adversity, "e5", n, topology, tag)
+        try:
+            return compute_global_function(
+                graph, INTEGER_ADDITION, inputs, method="deterministic", seed=7,
+                tightened_balance=tightened, adversity=state,
+            )
+        except AdversityAbort:
+            return None
+
+    standard = variant("standard", False)
+    tightened = variant("tightened", True)
     bound = global_det_time_bound(graph.num_nodes())
     return {
         "n": graph.num_nodes(),
-        "fragments": standard.num_fragments,
-        "rounds_standard": standard.total_rounds,
-        "rounds_tightened": tightened.total_rounds,
+        "fragments": standard.num_fragments if standard else ABORTED,
+        "rounds_standard": standard.total_rounds if standard else ABORTED,
+        "rounds_tightened": tightened.total_rounds if tightened else ABORTED,
         "time_bound": round(bound, 1),
-        "tightened/bound": tightened.total_rounds / bound,
-        "global_slots": standard.global_slots,
-        "value_correct": standard.value == expected and tightened.value == expected,
+        "tightened/bound": tightened.total_rounds / bound if tightened else "-",
+        "global_slots": standard.global_slots if standard else ABORTED,
+        "value_correct": (
+            standard.value == expected and tightened.value == expected
+            if standard and tightened
+            else "-"
+        ),
     }
 
 

@@ -41,6 +41,8 @@ from repro.core.lower_bounds import (
 from repro.experiments.harness import make_topology, topology_diameter
 from repro.experiments.registry import register_experiment
 from repro.experiments.runner import run_experiment
+from repro.sim.adversity import ABORTED, ADVERSITY_KINDS, adversity_state
+from repro.sim.errors import AdversityAbort
 
 DEFAULT_SIZES = (64, 128, 256, 512, 1024)
 
@@ -71,6 +73,7 @@ def _title(params: Mapping[str, object]) -> str:
         "speedup_vs_p2p", "speedup_vs_channel",
     ),
     topologies=("ring", "grid", "geometric", "scale_free", "ad_hoc"),
+    adversities=ADVERSITY_KINDS,
     presets={
         "quick": {"sizes": (16, 32), "topology": "ring", "channel_baseline": True},
         "default": {"sizes": (128, 256, 512), "topology": "ring",
@@ -85,6 +88,8 @@ def _title(params: Mapping[str, object]) -> str:
         ("e7_scale_free_hot", "hot", {}),
         ("e7_ad_hoc_hot", "hot", {"topology": "ad_hoc"}),
         ("e7_baseline_hot", "hot", {"channel_baseline": True}),
+        ("e7_loss_hot", "hot",
+         {"sizes": (1024, 4096), "adversity": "loss"}),
     ),
     quick_extras=(
         ("e7_scale_free", "quick",
@@ -93,45 +98,75 @@ def _title(params: Mapping[str, object]) -> str:
          {"sizes": (64, 128), "topology": "ad_hoc", "channel_baseline": False}),
         ("e7_baseline", "quick",
          {"sizes": (256, 512), "topology": "scale_free", "channel_baseline": True}),
+        ("e7_loss", "quick", {"adversity": "loss"}),
     ),
 )
 def sweep_point(
-    n: int, topology: str = "ring", channel_baseline: bool = True
+    n: int,
+    topology: str = "ring",
+    channel_baseline: bool = True,
+    adversity: object = None,
 ) -> Dict[str, object]:
     """Measure all three media on one topology and report the separation.
 
+    Each medium faces an independently-seeded instance of the adversity
+    schedule (when one is requested); a medium whose run aborts reports
+    ``"abort"`` and drops out of the speedup columns.
+
     Raises:
-        AssertionError: if any medium computes the wrong aggregate — the
-            separation claim is only meaningful when all three agree on the
-            network-wide sum.
+        AssertionError: in fault-free runs only — if any medium computes the
+            wrong aggregate, the separation claim is meaningless.  A
+            completed run under adversity reports what it measured (the
+            aggregation protocols stall rather than mis-aggregate when
+            messages are lost, so completion implies correctness there too).
     """
     graph = make_topology(topology, n, seed=11)
     d = topology_diameter(topology, graph)
     inputs = {node: int(node) for node in graph.nodes()}
     expected = sum(inputs.values())
-    multimedia = compute_global_function(
-        graph, INTEGER_ADDITION, inputs, method="randomized", seed=5
-    )
-    p2p = compute_on_point_to_point_only(graph, INTEGER_ADDITION, inputs, seed=5)
-    assert multimedia.value == expected and p2p.value == expected
+    try:
+        multimedia = compute_global_function(
+            graph, INTEGER_ADDITION, inputs, method="randomized", seed=5,
+            adversity=adversity_state(adversity, "e7", n, topology, "multimedia"),
+        )
+    except AdversityAbort:
+        multimedia = None
+    try:
+        p2p = compute_on_point_to_point_only(
+            graph, INTEGER_ADDITION, inputs, seed=5,
+            adversity=adversity_state(adversity, "e7", n, topology, "p2p"),
+        )
+    except AdversityAbort:
+        p2p = None
+    if adversity is None:
+        assert multimedia.value == expected and p2p.value == expected
+    channel_rounds: object = "-"
+    channel_speedup: object = "-"
     if channel_baseline:
-        channel = compute_on_channel_only(graph, INTEGER_ADDITION, inputs, seed=5)
-        assert channel.value == expected
-        channel_rounds: object = channel.rounds
-        channel_speedup: object = channel.rounds / multimedia.total_rounds
-    else:
-        channel_rounds = "-"
-        channel_speedup = "-"
+        try:
+            channel = compute_on_channel_only(
+                graph, INTEGER_ADDITION, inputs, seed=5,
+                adversity=adversity_state(adversity, "e7", n, topology, "channel"),
+            )
+            if adversity is None:
+                assert channel.value == expected
+            channel_rounds = channel.rounds
+            if multimedia is not None:
+                channel_speedup = channel.rounds / multimedia.total_rounds
+        except AdversityAbort:
+            channel_rounds = ABORTED
     return {
         "n": graph.num_nodes(),
         "diameter": d,
-        "t_multimedia": multimedia.total_rounds,
-        "t_p2p_only": p2p.rounds,
+        "t_multimedia": multimedia.total_rounds if multimedia else ABORTED,
+        "t_p2p_only": p2p.rounds if p2p else ABORTED,
         "t_channel_only": channel_rounds,
         "lb_p2p": point_to_point_lower_bound(d),
         "lb_channel": broadcast_lower_bound(graph.num_nodes()),
         "lb_multimedia": multimedia_lower_bound(graph.num_nodes(), d),
-        "speedup_vs_p2p": p2p.rounds / multimedia.total_rounds,
+        "speedup_vs_p2p": (
+            p2p.rounds / multimedia.total_rounds if multimedia and p2p else "-"
+        ),
         "speedup_vs_channel": channel_speedup,
     }
 

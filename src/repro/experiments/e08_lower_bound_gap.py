@@ -21,6 +21,8 @@ from repro.core.global_function.semigroup import INTEGER_ADDITION
 from repro.core.lower_bounds import claim4_sensitivity_trace, multimedia_lower_bound
 from repro.experiments.registry import register_experiment
 from repro.experiments.runner import run_experiment
+from repro.sim.adversity import ABORTED, ADVERSITY_KINDS, adversity_state
+from repro.sim.errors import AdversityAbort
 from repro.topology.generators import ray_graph
 from repro.topology.properties import diameter
 from repro.topology.weights import assign_distinct_weights
@@ -31,8 +33,11 @@ DEFAULT_PARAMS = ((8, 8), (16, 8), (16, 16), (32, 16))
 
 def _ray_points(params: Mapping[str, object]) -> List[Dict[str, object]]:
     """One sweep point per (num_rays, ray_length) pair."""
+    shared = {
+        key: value for key, value in params.items() if key not in ("params",)
+    }
     return [
-        {"num_rays": num_rays, "ray_length": ray_length}
+        dict(shared, num_rays=num_rays, ray_length=ray_length)
         for num_rays, ray_length in params["params"]
     ]
 
@@ -48,6 +53,7 @@ def _ray_points(params: Mapping[str, object]) -> List[Dict[str, object]]:
     ),
     # the sweep is over ray-graph shapes, not make_topology kinds
     topologies=(),
+    adversities=ADVERSITY_KINDS,
     points=_ray_points,
     presets={
         "quick": {"params": ((4, 4), (8, 4))},
@@ -56,18 +62,34 @@ def _ray_points(params: Mapping[str, object]) -> List[Dict[str, object]]:
     },
     bench_extras=(("e8_hot", "hot", {}),),
 )
-def sweep_point(num_rays: int, ray_length: int) -> Dict[str, object]:
+def sweep_point(
+    num_rays: int, ray_length: int, adversity: object = None
+) -> Dict[str, object]:
     """Run the multimedia algorithm on one ray graph against Claim 4's bound."""
     graph = assign_distinct_weights(ray_graph(num_rays, ray_length), seed=11)
     n = graph.num_nodes()
     d = diameter(graph)
     trace = claim4_sensitivity_trace(n, d)
     inputs = {node: int(node) for node in graph.nodes()}
-    result = compute_global_function(
-        graph, INTEGER_ADDITION, inputs, method="randomized", seed=5
-    )
+    state = adversity_state(adversity, "e8", num_rays, ray_length)
     lower = multimedia_lower_bound(n, d)
     upper = global_rand_time_bound(n)
+    try:
+        result = compute_global_function(
+            graph, INTEGER_ADDITION, inputs, method="randomized", seed=5,
+            adversity=state,
+        )
+    except AdversityAbort:
+        return {
+            "n": n,
+            "diameter": d,
+            "adversary_horizon": trace.horizon,
+            "lower_bound": lower,
+            "t_multimedia": ABORTED,
+            "upper_bound": round(upper, 1),
+            "lb ≤ measured": "-",
+            "measured/upper": "-",
+        }
     return {
         "n": n,
         "diameter": d,

@@ -19,6 +19,8 @@ from repro.core.mst.multimedia_mst import MultimediaMST
 from repro.experiments.harness import make_topology
 from repro.experiments.registry import register_experiment
 from repro.experiments.runner import run_experiment
+from repro.sim.adversity import ABORTED, ADVERSITY_KINDS, adversity_state
+from repro.sim.errors import AdversityAbort
 
 DEFAULT_SIZES = (64, 256, 1024, 2048, 4096)
 """Ring sizes spanning the crossover: below ≈1.5k the point-to-point baseline's
@@ -36,6 +38,7 @@ dominates the baseline's Θ(n log n)."""
         "messages", "messages/bound", "t_p2p_only", "speedup", "matches_kruskal",
     ),
     topologies=("ring", "grid", "geometric", "scale_free", "ad_hoc"),
+    adversities=ADVERSITY_KINDS,
     presets={
         "quick": {"sizes": (16, 64), "topology": "ring"},
         "default": {"sizes": (64, 256, 1024, 2048), "topology": "ring"},
@@ -43,18 +46,44 @@ dominates the baseline's Θ(n log n)."""
     },
     bench_extras=(("e9_hot", "hot", {}),),
 )
-def sweep_point(n: int, topology: str = "ring") -> Dict[str, object]:
-    """Build one MST with all three algorithms and compare cost and output."""
+def sweep_point(
+    n: int, topology: str = "ring", adversity: object = None
+) -> Dict[str, object]:
+    """Build one MST with all three algorithms and compare cost and output.
+
+    Only the multimedia algorithm's simulated stage faces the adversity (the
+    point-to-point baseline and Kruskal are abstract reference runs); a
+    multimedia run that aborts reports ``"abort"`` cells.
+    """
     graph = make_topology(topology, n, seed=11)
     reference = kruskal_mst(graph)
-    multimedia = MultimediaMST(graph).run()
+    state = adversity_state(adversity, "e9", n, topology)
+    try:
+        multimedia = MultimediaMST(graph, adversity=state).run()
+    except AdversityAbort:
+        multimedia = None
     baseline = PointToPointMST(graph).run()
-    matches = (
-        multimedia.mst.edge_keys() == reference.edge_keys()
-        and baseline.mst.edge_keys() == reference.edge_keys()
+    baseline_matches = baseline.mst.edge_keys() == reference.edge_keys()
+    matches: object = (
+        multimedia.mst.edge_keys() == reference.edge_keys() and baseline_matches
+        if multimedia
+        else "-"
     )
     time_bound = mst_time_bound(graph.num_nodes())
     message_bound = mst_message_bound(graph.num_nodes(), graph.num_edges())
+    if multimedia is None:
+        return {
+            "n": graph.num_nodes(),
+            "m": graph.num_edges(),
+            "t_multimedia": ABORTED,
+            "time_bound": round(time_bound, 1),
+            "t/bound": "-",
+            "messages": ABORTED,
+            "messages/bound": "-",
+            "t_p2p_only": baseline.total_rounds,
+            "speedup": "-",
+            "matches_kruskal": matches,
+        }
     return {
         "n": graph.num_nodes(),
         "m": graph.num_edges(),

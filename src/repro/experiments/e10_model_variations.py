@@ -26,6 +26,8 @@ from repro.experiments.runner import run_experiment
 from repro.protocols.spanning.broadcast_convergecast import TreeAggregationProtocol
 from repro.protocols.spanning.bfs import build_bfs_forest
 from repro.protocols.spanning.tree_utils import children_map
+from repro.sim.adversity import ABORTED, ADVERSITY_KINDS, adversity_state
+from repro.sim.errors import AdversityAbort
 from repro.sim.multimedia import MultimediaNetwork
 from repro.sim.synchronizer import ChannelSynchronizer
 
@@ -58,6 +60,7 @@ def _aggregation_inputs(graph, root):
         "det_size_exact", "mean_GL_estimate", "GL_error_factor",
     ),
     topologies=("grid", "ring", "geometric", "scale_free", "ad_hoc"),
+    adversities=ADVERSITY_KINDS,
     presets={
         "quick": {"sizes": (16, 36), "seeds": (1,), "topology": "grid"},
         "default": {"sizes": (36, 64, 100), "seeds": (1, 2, 3), "topology": "grid"},
@@ -73,13 +76,22 @@ def _aggregation_inputs(graph, root):
     ),
 )
 def sweep_point(
-    n: int, seeds: Sequence[int] = DEFAULT_SEEDS, topology: str = "grid"
+    n: int,
+    seeds: Sequence[int] = DEFAULT_SEEDS,
+    topology: str = "grid",
+    adversity: object = None,
 ) -> Dict[str, object]:
     """Exercise the Section 7 variations on one topology.
 
+    The synchronous and synchronized aggregation runs each face an
+    independently-seeded adversity instance (the size protocols stay
+    fault-free — they calibrate the estimate columns); an aborted run shows
+    ``"abort"`` in its columns.
+
     Raises:
-        AssertionError: if the synchronous and synchronized runs disagree on
-            the aggregate (both must equal the true node count).
+        AssertionError: in fault-free runs only — if the synchronous and
+            synchronized runs disagree on the aggregate (both must equal the
+            true node count).
     """
     graph = make_topology(topology, n, seed=11)
     true_n = graph.num_nodes()
@@ -88,13 +100,22 @@ def sweep_point(
 
     # Corollary 4: run the same aggregation synchronously and under the
     # channel synchronizer on an asynchronous network
-    sync_run = MultimediaNetwork(graph, seed=3).run(
-        TreeAggregationProtocol, inputs=inputs
-    )
-    async_run = ChannelSynchronizer(graph, max_link_delay=3, seed=3).run(
-        TreeAggregationProtocol, inputs=inputs
-    )
-    assert async_run.results[root] == sync_run.results[root] == true_n
+    try:
+        sync_run = MultimediaNetwork(graph, seed=3).run(
+            TreeAggregationProtocol, inputs=inputs,
+            adversity=adversity_state(adversity, "e10", n, topology, "sync"),
+        )
+    except AdversityAbort:
+        sync_run = None
+    try:
+        async_run = ChannelSynchronizer(graph, max_link_delay=3, seed=3).run(
+            TreeAggregationProtocol, inputs=inputs,
+            adversity=adversity_state(adversity, "e10", n, topology, "async"),
+        )
+    except AdversityAbort:
+        async_run = None
+    if adversity is None:
+        assert async_run.results[root] == sync_run.results[root] == true_n
 
     det = compute_size_deterministically(graph, seed=1)
     estimates = [
@@ -105,9 +126,13 @@ def sweep_point(
     )
     return {
         "n": true_n,
-        "sync_msg_overhead(≤2)": async_run.message_overhead_factor,
-        "sync_pulses": async_run.pulses,
-        "sync_time": round(async_run.asynchronous_time, 1),
+        "sync_msg_overhead(≤2)": (
+            async_run.message_overhead_factor if async_run else ABORTED
+        ),
+        "sync_pulses": async_run.pulses if async_run else ABORTED,
+        "sync_time": (
+            round(async_run.asynchronous_time, 1) if async_run else "-"
+        ),
         "det_size_exact": det.n == true_n,
         "mean_GL_estimate": mean(estimates),
         "GL_error_factor": error,

@@ -254,13 +254,18 @@ def sweep_digest(
     Two invocations may share a run directory only when this digest matches:
     it covers everything that determines the shard layout and the rows —
     the spec id, the preset, the resolved parameters, the point count and
-    the shard count.
+    the shard count.  The adversity schedule is hashed as its own explicit
+    key (``None`` for a fault-free sweep) on top of riding along inside
+    ``params``, so a ``--resume`` against checkpoints written under a
+    different — or no — adversity configuration is always refused rather
+    than silently merged.
     """
     payload = json.dumps(
         {
             "experiment": experiment_id,
             "preset": preset,
             "params": jsonable(dict(params)),
+            "adversity": jsonable(params.get("adversity")),
             "num_points": num_points,
             "shard_count": shard_count,
         },
@@ -469,6 +474,7 @@ class ShardedExecutor:
                 "experiment": spec.id,
                 "preset": preset,
                 "params": jsonable(dict(params)),
+                "adversity": jsonable(params.get("adversity")),
                 "num_points": num_points,
                 "shard_count": shard_count,
                 "digest": digest,

@@ -31,7 +31,7 @@ from typing import Any, Hashable, List, Optional, Sequence, Tuple
 
 from repro.protocols.collision.geometric import run_geometric_contention
 from repro.sim.channel import SlottedChannel
-from repro.sim.errors import ProtocolError
+from repro.sim.errors import AdversityAbort, ProtocolError
 from repro.sim.events import ChannelEvent, Message, SlotState
 from repro.sim.metrics import MetricsRecorder
 from repro.sim.node import NodeContext, NodeProtocol
@@ -186,11 +186,21 @@ def run_contention(
     skipped in one draw.  Pass ``skip_ahead=False`` to force the per-slot
     loop (the statistical-equivalence tests compare the two paths).
 
+    A channel carrying a jamming adversity state forces the per-slot loop
+    (the skip-ahead scheduler models a fault-free Bernoulli field, which
+    jamming is not) and converts budget exhaustion into
+    :class:`~repro.sim.errors.AdversityAbort` — under jamming, running out
+    of slots is the adversary's doing, not a protocol bug.
+
     Raises:
         ProtocolError: if the contenders fail to resolve within ``max_slots``
             slots, which indicates a protocol bug or an unreachable schedule.
+        AdversityAbort: if the budget is exhausted on a jammed channel.
     """
     channel = channel if channel is not None else SlottedChannel(metrics=metrics)
+    adversity = channel.adversity
+    if adversity is not None:
+        skip_ahead = False
     order: List[NodeId] = []
     broadcasts: List[Any] = []
     collisions = 0
@@ -247,6 +257,8 @@ def run_contention(
         if used >= max_slots:
             if metrics is not None:
                 metrics.record_round(used)
+            if adversity is not None:
+                raise AdversityAbort(used, len(pending))
             raise ProtocolError(
                 f"contention did not resolve within {max_slots} slots"
             )

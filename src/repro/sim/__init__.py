@@ -18,7 +18,18 @@ channel synchronizer of Section 7.1, plus the slotted-from-unslotted
 conversion of Section 7.2.
 """
 
+from repro.sim.adversity import (
+    ADVERSITY_KINDS,
+    ADVERSITY_PRESETS,
+    AdversitySpec,
+    AdversityState,
+    adversity_state,
+    adversity_stream_seed,
+    canonical_adversity,
+    resolve_adversity,
+)
 from repro.sim.errors import (
+    AdversityAbort,
     ProtocolError,
     SimulationError,
     SimulationTimeout,
@@ -33,6 +44,15 @@ from repro.sim.synchronizer import ChannelSynchronizer, SynchronizerReport
 from repro.sim.slotting import UnslottedChannel, slotted_from_unslotted
 
 __all__ = [
+    "ADVERSITY_KINDS",
+    "ADVERSITY_PRESETS",
+    "AdversityAbort",
+    "AdversitySpec",
+    "AdversityState",
+    "adversity_state",
+    "adversity_stream_seed",
+    "canonical_adversity",
+    "resolve_adversity",
     "ProtocolError",
     "SimulationError",
     "SimulationTimeout",

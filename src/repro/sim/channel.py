@@ -8,21 +8,42 @@ nodes write (detected by all nodes, contents lost).
 
 from __future__ import annotations
 
-from typing import Hashable, List, Optional, Sequence, Tuple
+from typing import TYPE_CHECKING, Hashable, List, Optional, Sequence, Tuple
 
 from repro.sim.events import ChannelEvent, SlotState
 from repro.sim.metrics import MetricsRecorder
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
+    from repro.sim.adversity import AdversityState
 
 NodeId = Hashable
 
 
 class SlottedChannel:
-    """Resolves one slot at a time and keeps a history of slot outcomes."""
+    """Resolves one slot at a time and keeps a history of slot outcomes.
 
-    def __init__(self, metrics: Optional[MetricsRecorder] = None) -> None:
+    When an :class:`~repro.sim.adversity.AdversityState` with a positive jam
+    rate is attached, each resolved slot is independently forced to read
+    COLLISION with that rate — the jamming adversary of the adversity layer.
+    Jam draws come from a channel-private substream so several channels in
+    one run jam independently but deterministically.
+    """
+
+    def __init__(
+        self,
+        metrics: Optional[MetricsRecorder] = None,
+        adversity: Optional["AdversityState"] = None,
+    ) -> None:
         self._metrics = metrics
         self._history: List[ChannelEvent] = []
         self._idle_skipped = 0
+        self._adversity = adversity
+        self._jam_rng = adversity.spawn_rng() if adversity is not None else None
+
+    @property
+    def adversity(self) -> Optional["AdversityState"]:
+        """Return the attached adversity state, if any (jamming only)."""
+        return self._adversity
 
     @property
     def slots_elapsed(self) -> int:
@@ -76,6 +97,18 @@ class SlottedChannel:
         writer-tuple construction the collision branch pays.
         """
         attempts = len(writes)
+        if self._adversity is not None and self._adversity.jam_slot(self._jam_rng):
+            # a jammed slot reads COLLISION to every node regardless of the
+            # actual writes; any written payloads are lost
+            event = ChannelEvent(
+                slot=slot,
+                state=SlotState.COLLISION,
+                writers=tuple(writer for writer, _ in writes),
+            )
+            self._history.append(event)
+            if self._metrics is not None:
+                self._metrics.record_slot(event.state, attempts, jammed=True)
+            return event
         if attempts == 0:
             event = ChannelEvent(slot=slot, state=SlotState.IDLE)
         elif attempts == 1:

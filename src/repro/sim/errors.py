@@ -24,6 +24,31 @@ class SimulationTimeout(SimulationError):
         )
 
 
+class AdversityAbort(SimulationTimeout):
+    """Raised when a run under an adversity schedule is cut off.
+
+    A protocol that loses a message it will never retransmit, or whose
+    neighbours crash mid-broadcast, can *correctly* fail to terminate; the
+    adversity layer bounds such runs with a round budget and a stall
+    detector and raises this error instead of hanging.  Experiments catch it
+    and report a bounded ``"abort"`` row.
+
+    Subclasses :class:`SimulationTimeout` so existing safety-net handlers
+    keep working; ``reason`` distinguishes a budget cutoff from a detected
+    stall or deadlock.
+    """
+
+    def __init__(self, rounds: int, pending: int, reason: str = "round budget exhausted") -> None:
+        self.reason = reason
+        super().__init__(rounds, pending)
+        # SimulationTimeout's message blames a protocol bug; under an
+        # adversity schedule the non-termination is the adversary's doing
+        self.args = (
+            f"run aborted under adversity after {rounds} round(s) "
+            f"({reason}); {pending} node(s) still active",
+        )
+
+
 class ProtocolError(SimulationError):
     """Raised when a node protocol violates the model.
 

@@ -35,6 +35,7 @@ class MetricsSnapshot:
     channel_write_attempts: int
     phase_messages: Dict[str, int]
     phase_rounds: Dict[str, int]
+    channel_jammed: int = 0
 
     @property
     def communication_complexity(self) -> int:
@@ -51,6 +52,7 @@ class MetricsSnapshot:
             "channel_success": self.channel_success,
             "channel_collision": self.channel_collision,
             "channel_write_attempts": self.channel_write_attempts,
+            "channel_jammed": self.channel_jammed,
             "communication_complexity": self.communication_complexity,
         }
 
@@ -72,6 +74,7 @@ class MetricsRecorder:
     channel_success: int = 0
     channel_collision: int = 0
     channel_write_attempts: int = 0
+    channel_jammed: int = 0
     phase_messages: Dict[str, int] = field(default_factory=dict)
     phase_rounds: Dict[str, int] = field(default_factory=dict)
     _phase: Optional[str] = None
@@ -111,10 +114,17 @@ class MetricsRecorder:
                 self.phase_messages.get(self._phase, 0) + count
             )
 
-    def record_slot(self, state: SlotState, attempts: int) -> None:
-        """Charge one channel slot that resolved to ``state`` with ``attempts`` writers."""
+    def record_slot(self, state: SlotState, attempts: int, jammed: bool = False) -> None:
+        """Charge one channel slot that resolved to ``state`` with ``attempts`` writers.
+
+        ``jammed`` marks a slot the adversity layer forced to COLLISION; it
+        is counted both as a collision and in the ``channel_jammed`` tally so
+        experiments can separate genuine contention from jamming.
+        """
         self.channel_slots += 1
         self.channel_write_attempts += attempts
+        if jammed:
+            self.channel_jammed += 1
         if state is SlotState.IDLE:
             self.channel_idle += 1
         elif state is SlotState.SUCCESS:
@@ -157,6 +167,7 @@ class MetricsRecorder:
             channel_write_attempts=self.channel_write_attempts,
             phase_messages=dict(self.phase_messages),
             phase_rounds=dict(self.phase_rounds),
+            channel_jammed=self.channel_jammed,
         )
 
     def merge(self, other: "MetricsRecorder") -> None:
@@ -173,6 +184,7 @@ class MetricsRecorder:
         self.channel_success += other.channel_success
         self.channel_collision += other.channel_collision
         self.channel_write_attempts += other.channel_write_attempts
+        self.channel_jammed += other.channel_jammed
         for phase, count in other.phase_messages.items():
             self.phase_messages[phase] = self.phase_messages.get(phase, 0) + count
         for phase, count in other.phase_rounds.items():
@@ -187,6 +199,7 @@ class MetricsRecorder:
         self.channel_success = 0
         self.channel_collision = 0
         self.channel_write_attempts = 0
+        self.channel_jammed = 0
         self.phase_messages.clear()
         self.phase_rounds.clear()
         self._phase = None

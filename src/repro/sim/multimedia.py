@@ -36,8 +36,9 @@ import random
 from dataclasses import dataclass
 from typing import Any, Callable, Dict, Hashable, List, Optional, Tuple
 
+from repro.sim.adversity import AdversityState
 from repro.sim.channel import SlottedChannel
-from repro.sim.errors import SimulationTimeout
+from repro.sim.errors import AdversityAbort, SimulationTimeout
 from repro.sim.events import ChannelEvent, idle_event
 from repro.sim.metrics import MetricsRecorder, MetricsSnapshot
 from repro.sim.network import PointToPointNetwork
@@ -181,6 +182,7 @@ class MultimediaNetwork:
         max_rounds: int = DEFAULT_MAX_ROUNDS,
         metrics: Optional[MetricsRecorder] = None,
         stop_when: Optional[Callable[[Dict[NodeId, NodeProtocol]], bool]] = None,
+        adversity: Optional[AdversityState] = None,
     ) -> SimulationResult:
         """Run one protocol instance on every node until all of them halt.
 
@@ -195,16 +197,27 @@ class MultimediaNetwork:
             stop_when: optional predicate over the protocol map that ends the
                 run early (used by open-ended protocols such as estimation
                 loops driven from outside).
+            adversity: optional adversity state; faults are applied at the
+                network/channel layer and crashed nodes skip their rounds,
+                with the run bounded by the schedule's round budget and
+                stall detector instead of ``max_rounds``.
 
         Returns:
             A :class:`SimulationResult`.
 
         Raises:
             SimulationTimeout: if the protocols do not all halt in time.
+            AdversityAbort: if an adversity schedule keeps the run from
+                terminating within its budget (or it stalls).
         """
         recorder = metrics if metrics is not None else MetricsRecorder()
-        network = PointToPointNetwork(self._graph, metrics=recorder)
-        channel = SlottedChannel(metrics=recorder)
+        network = PointToPointNetwork(
+            self._graph, metrics=recorder, adversity=adversity
+        )
+        channel = SlottedChannel(
+            metrics=recorder,
+            adversity=adversity.channel_adversity() if adversity is not None else None,
+        )
         contexts = self.build_contexts(inputs)
         protocols: Dict[NodeId, NodeProtocol] = {
             node: protocol_factory(ctx) for node, ctx in contexts.items()
@@ -219,6 +232,18 @@ class MultimediaNetwork:
             for node, protocol in protocols.items()
             if not protocol._halted
         ]
+
+        if adversity is not None:
+            return self._run_under_adversity(
+                adversity=adversity,
+                recorder=recorder,
+                network=network,
+                channel=channel,
+                protocols=protocols,
+                active=active,
+                max_rounds=max_rounds,
+                stop_when=stop_when,
+            )
 
         deliver = network.deliver
         accept_sends = network.accept_sends
@@ -264,6 +289,116 @@ class MultimediaNetwork:
         else:
             pending = sum(1 for p in protocols.values() if not p.halted)
             raise SimulationTimeout(max_rounds, pending)
+
+        results = {node: protocol.result for node, protocol in protocols.items()}
+        return SimulationResult(
+            rounds=rounds_used,
+            metrics=recorder.snapshot(),
+            results=results,
+            protocols=protocols,
+            channel_history=channel.history,
+        )
+
+    def _run_under_adversity(
+        self,
+        adversity: AdversityState,
+        recorder: MetricsRecorder,
+        network: PointToPointNetwork,
+        channel: SlottedChannel,
+        protocols: Dict[NodeId, NodeProtocol],
+        active: List[Tuple[NodeId, NodeProtocol, Callable, Callable]],
+        max_rounds: int,
+        stop_when: Optional[Callable[[Dict[NodeId, NodeProtocol]], bool]],
+    ) -> SimulationResult:
+        """The round loop with the adversity schedule applied.
+
+        Differences from the fault-free loop:
+
+        * a node inside a crash window is skipped entirely — it neither
+          observes nor acts, and its pending start (``on_start``) is deferred
+          to its first up round, so a node crashed from round 0 joins late
+          with full recovery semantics;
+        * the budget is the schedule's round budget (capped by
+          ``max_rounds``) rather than the protocol-bug safety bound;
+        * a stall detector ends runs the faults have wedged: after
+          ``stall_patience()`` consecutive rounds with no deliveries, no
+          node actions and an un-jammed idle slot, nothing can change
+          anymore except through further fault draws, so the run aborts
+          without walking the rest of the budget.
+
+        Kept as a separate loop so the fault-free path stays byte-identical
+        (and on its fast paths).
+        """
+        deliver = network.deliver
+        accept_sends = network.accept_sends
+        resolve_slot = channel.resolve_slot
+        record_round = recorder.record_round
+        node_crashed = adversity.node_crashed
+        count_crash_round = adversity.count_crash_round
+
+        budget = min(max_rounds, adversity.round_budget(len(protocols)))
+        patience = adversity.stall_patience()
+        started: Dict[NodeId, bool] = {node: False for node in protocols}
+        quiet_streak = 0
+
+        last_event: ChannelEvent = idle_event(-1)
+        rounds_used = 0
+        for round_index in range(budget):
+            if not active and not network.has_in_flight():
+                break
+            if stop_when is not None and stop_when(protocols):
+                break
+
+            inboxes = deliver(round_index)
+            get_inbox = inboxes.get
+            writes: List[Tuple[NodeId, Any]] = []
+            public_event = last_event.public_view()
+            halted_any = False
+            acted_any = False
+            for node, protocol, on_round, collect_actions in active:
+                if node_crashed(node, round_index):
+                    count_crash_round()
+                    continue
+                if not started[node]:
+                    started[node] = True
+                    protocol.on_start()
+                    inbox = get_inbox(node)
+                    if inbox:
+                        on_round(inbox, public_event)
+                else:
+                    on_round(get_inbox(node) or NO_MESSAGES, public_event)
+                if protocol._acted:
+                    acted_any = True
+                    outbox, payload, wrote = collect_actions()
+                    if outbox:
+                        accept_sends(node, outbox, round_index)
+                    if wrote:
+                        writes.append((node, payload))
+                if protocol._halted:
+                    halted_any = True
+            if halted_any:
+                active = [entry for entry in active if not entry[1]._halted]
+            last_event = resolve_slot(round_index, writes)
+            record_round(1)
+            rounds_used = round_index + 1
+
+            if inboxes or acted_any or not last_event.is_idle():
+                quiet_streak = 0
+            else:
+                quiet_streak += 1
+                if quiet_streak > patience:
+                    pending = sum(1 for p in protocols.values() if not p.halted)
+                    if pending == 0:
+                        # everything halted; only undeliverable stragglers
+                        # keep the network "in flight" — that is completion
+                        break
+                    raise AdversityAbort(
+                        rounds_used, pending, reason="stalled (no progress)"
+                    )
+        else:
+            pending = sum(1 for p in protocols.values() if not p.halted)
+            if pending:
+                raise AdversityAbort(budget, pending)
 
         results = {node: protocol.result for node, protocol in protocols.items()}
         return SimulationResult(

@@ -16,9 +16,12 @@ as a slow path for callers that pre-load future rounds.
 
 from __future__ import annotations
 
-from typing import Dict, Hashable, List, Optional, Sequence, Tuple
+from typing import TYPE_CHECKING, Dict, Hashable, List, Optional, Sequence, Tuple
 
 from repro.sim.errors import ProtocolError, TopologyError
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
+    from repro.sim.adversity import AdversityState
 from repro.sim.events import Message
 from repro.sim.metrics import MetricsRecorder
 from repro.topology.graph import WeightedGraph
@@ -35,6 +38,7 @@ class PointToPointNetwork:
         graph: WeightedGraph,
         metrics: Optional[MetricsRecorder] = None,
         require_connected: bool = True,
+        adversity: Optional["AdversityState"] = None,
     ) -> None:
         """Create a network over ``graph``.
 
@@ -44,6 +48,9 @@ class PointToPointNetwork:
                 is created (accessible via :attr:`metrics`).
             require_connected: the paper's model assumes a connected network;
                 set to ``False`` only for targeted unit tests.
+            adversity: optional adversity state; when attached, delivery
+                applies the schedule's crash, churn, loss and delay faults
+                (see :meth:`deliver`).
 
         Raises:
             TopologyError: if the graph is empty or (when required) not
@@ -65,6 +72,12 @@ class PointToPointNetwork:
         self._pending: List[NodeId] = []
         self._latest_round_sent = -1
         self._delivered_total = 0
+        self._adversity = adversity
+        if adversity is not None:
+            adversity.bind_topology(graph)
+            self._fault_rng = adversity.spawn_rng()
+        else:
+            self._fault_rng = None
 
     @property
     def graph(self) -> WeightedGraph:
@@ -134,10 +147,20 @@ class PointToPointNetwork:
         synchronous model that is every in-flight message, so the common case
         hands the standing inboxes over wholesale instead of filtering each
         message by its send round.
+
+        With an adversity state attached, every due message runs the fault
+        gauntlet instead: dropped when the receiver is crashed this round,
+        when the link is inside a churn window, or on an independent loss
+        draw; surviving messages may be deferred one round on an independent
+        delay draw (re-drawn each round, so delays are geometric).  The
+        fault-free path is untouched — zero adversity means the exact
+        pre-adversity delivery semantics and randomness.
         """
         pending = self._pending
         if not pending:
             return {}
+        if self._adversity is not None:
+            return self._deliver_under_adversity(round_index)
         inboxes = self._inboxes
         delivered: Dict[NodeId, List[Message]] = {}
         count = 0
@@ -169,6 +192,55 @@ class PointToPointNetwork:
                 else:
                     still_pending.append(receiver)
             self._pending = still_pending
+        self._delivered_total += count
+        return delivered
+
+    def _deliver_under_adversity(self, round_index: int) -> Dict[NodeId, List[Message]]:
+        """Delivery slow path applying the attached adversity schedule.
+
+        Draw order is fixed — receivers in pending order, messages in inbox
+        order, loss before delay — so a given substream seed always produces
+        the same fault trace.
+        """
+        state = self._adversity
+        spec = state.spec
+        rng = self._fault_rng
+        loss_rate = spec.loss_rate
+        delay_rate = spec.delay_rate
+        inboxes = self._inboxes
+        delivered: Dict[NodeId, List[Message]] = {}
+        still_pending: List[NodeId] = []
+        count = 0
+        for receiver in self._pending:
+            inbox = inboxes[receiver]
+            ready: List[Message] = []
+            kept: List[Message] = []
+            receiver_crashed = state.node_crashed(receiver, round_index)
+            for msg in inbox:
+                if msg.round_sent >= round_index:
+                    kept.append(msg)
+                    continue
+                if receiver_crashed:
+                    state.count_drop()
+                    continue
+                if state.link_down(msg.sender, receiver, round_index):
+                    state.count_drop()
+                    continue
+                if loss_rate and rng.random() < loss_rate:
+                    state.count_drop()
+                    continue
+                if delay_rate and rng.random() < delay_rate:
+                    state.count_delay()
+                    kept.append(msg)
+                    continue
+                ready.append(msg)
+            inboxes[receiver] = kept
+            if kept:
+                still_pending.append(receiver)
+            if ready:
+                delivered[receiver] = ready
+                count += len(ready)
+        self._pending = still_pending
         self._delivered_total += count
         return delivered
 

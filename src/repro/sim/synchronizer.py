@@ -29,9 +29,10 @@ import random
 from dataclasses import dataclass
 from typing import Any, Callable, Dict, Hashable, List, Optional
 
+from repro.sim.adversity import AdversityState
 from repro.sim.channel import SlottedChannel
 from repro.sim.engine import EventQueue
-from repro.sim.errors import SimulationTimeout
+from repro.sim.errors import AdversityAbort, SimulationTimeout
 from repro.sim.events import Message
 from repro.sim.node import NO_MESSAGES, NodeContext, NodeProtocol
 from repro.topology.graph import WeightedGraph
@@ -105,12 +106,31 @@ class ChannelSynchronizer:
         protocol_factory: ProtocolFactory,
         inputs: Optional[Dict[NodeId, Dict[str, Any]]] = None,
         max_pulses: int = 1_000_000,
+        adversity: Optional[AdversityState] = None,
     ) -> SynchronizerReport:
         """Execute the protocol until every node halts.
 
+        With an ``adversity`` state attached, the schedule's faults apply at
+        this layer's natural seams: a crashed node skips its pulses (its
+        inbox buffers until recovery; link-level acknowledgements still
+        flow), a lost or churn-dropped message is never delivered — and,
+        because its acknowledgement is then never sent, the busy tone stays
+        up forever, which the run detects as a deadlock and converts into an
+        :class:`~repro.sim.errors.AdversityAbort` instead of spinning — and
+        the pulse budget shrinks to the schedule's round budget.
+
         Raises:
             SimulationTimeout: if the pulse budget is exhausted.
+            AdversityAbort: if an adversity schedule deadlocks the busy tone
+                or exhausts the budget.
         """
+        adv = adversity
+        loss_rng: Optional[random.Random] = None
+        started: Dict[NodeId, bool] = {}
+        if adv is not None:
+            adv.bind_topology(self._graph)
+            loss_rng = adv.spawn_rng()
+            max_pulses = min(max_pulses, adv.round_budget(self._graph.num_nodes()))
         master = random.Random(self._seed)
         delay_rng = random.Random(master.randrange(2**63))
         contexts: Dict[NodeId, NodeContext] = {}
@@ -129,7 +149,9 @@ class ChannelSynchronizer:
         protocols = {node: protocol_factory(ctx) for node, ctx in contexts.items()}
 
         queue = EventQueue()
-        channel = SlottedChannel()
+        channel = SlottedChannel(
+            adversity=adv.channel_adversity() if adv is not None else None
+        )
         pending_inbox: Dict[NodeId, List[Message]] = {node: [] for node in protocols}
         # one aggregate unacknowledged-message count: the busy tone is raised
         # while *any* message is unacknowledged, so a single total replaces
@@ -137,6 +159,11 @@ class ChannelSynchronizer:
         counters = {"algorithm": 0, "ack": 0, "busy_slots": 0, "unacked": 0}
 
         def deliver(message: Message) -> None:
+            if adv is not None and adv.drop_message(
+                loss_rng, message.sender, message.receiver, pulses
+            ):
+                # lost in transit: never delivered, never acknowledged
+                return
             pending_inbox[message.receiver].append(message)
             # acknowledgement travels back over the same link
             counters["ack"] += 1
@@ -163,9 +190,17 @@ class ChannelSynchronizer:
 
         channel_writes: List = []
 
-        # pulse 0: on_start
+        # pulse 0: on_start (deferred past the crash window for a node that
+        # starts the run crashed — it joins at its first up pulse)
+        pulses = 0
         active: List = []
         for node, protocol in protocols.items():
+            if adv is not None and adv.node_crashed(node, 0):
+                adv.count_crash_round()
+                started[node] = False
+                active.append((node, protocol))
+                continue
+            started[node] = True
             protocol.on_start()
             dispatch(node, protocol, 0)
             if not protocol._halted:
@@ -181,6 +216,13 @@ class ChannelSynchronizer:
             # so a stretch of slots with no events is uniformly busy and can
             # be accounted for in one arithmetic jump.
             while True:
+                if adv is not None and counters["unacked"] > 0 and queue.is_empty():
+                    # a dropped message's acknowledgement will never arrive,
+                    # so the busy tone would stay up forever
+                    pending = sum(1 for p in protocols.values() if not p.halted)
+                    raise AdversityAbort(
+                        pulses, pending, reason="busy-tone deadlock (lost message)"
+                    )
                 next_time = queue.peek_time()
                 if next_time is not None:
                     dead = int(next_time - queue.now) - 1
@@ -201,6 +243,22 @@ class ChannelSynchronizer:
             public = event.public_view()
             halted_any = False
             for node, protocol in active:
+                if adv is not None:
+                    if adv.node_crashed(node, pulses):
+                        adv.count_crash_round()
+                        continue
+                    if not started.get(node, True):
+                        # first up pulse after starting the run crashed
+                        started[node] = True
+                        protocol.on_start()
+                        inbox = pending_inbox[node]
+                        if inbox:
+                            pending_inbox[node] = []
+                            protocol.on_round(inbox, public)
+                        dispatch(node, protocol, pulses)
+                        if protocol._halted:
+                            halted_any = True
+                        continue
                 inbox = pending_inbox[node]
                 if inbox:
                     pending_inbox[node] = []
@@ -217,6 +275,8 @@ class ChannelSynchronizer:
             pulses += 1
         else:
             pending = sum(1 for p in protocols.values() if not p.halted)
+            if adv is not None:
+                raise AdversityAbort(max_pulses, pending)
             raise SimulationTimeout(max_pulses, pending)
 
         return SynchronizerReport(

@@ -364,3 +364,77 @@ class TestNonFiniteRows:
         with pytest.raises(ValueError, match="executor instance"):
             run_experiment("e2", preset="quick", executor=SerialExecutor(),
                            processes=8)
+
+
+# ----------------------------------------------------------------------
+# the adversity axis through the executor matrix
+# ----------------------------------------------------------------------
+class TestAdversitySharding:
+    """The adversity schedule must be part of the sweep identity.
+
+    Fault draws come from per-point substreams, so adversity rows must be
+    bit-identical across backends and resumes; and a run directory written
+    under one adversity configuration must refuse shards for another (or
+    for none at all).
+    """
+
+    OVERRIDES = {"adversity": "loss"}
+
+    @pytest.fixture(scope="class")
+    def serial_adversity(self):
+        return run_experiment("e7", preset="quick", overrides=self.OVERRIDES)
+
+    def test_process_rows_match_serial(self, serial_adversity):
+        result = run_experiment("e7", preset="quick", overrides=self.OVERRIDES,
+                                executor="process", processes=2)
+        assert result.rows == serial_adversity.rows
+
+    def test_sharded_rows_match_serial(self, serial_adversity, tmp_path):
+        result = run_experiment("e7", preset="quick", overrides=self.OVERRIDES,
+                                executor="sharded", run_dir=tmp_path / "run")
+        assert result.rows == serial_adversity.rows
+
+    def test_interrupted_adversity_run_resumes_to_serial_rows(
+            self, serial_adversity, tmp_path):
+        run_dir = tmp_path / "run"
+        partial = run_experiment("e7", preset="quick", overrides=self.OVERRIDES,
+                                 executor="sharded", run_dir=run_dir,
+                                 max_shards=1)
+        assert partial.pending_points == 1
+        resumed = run_experiment("e7", preset="quick", overrides=self.OVERRIDES,
+                                 executor="sharded", run_dir=run_dir,
+                                 resume=True)
+        assert resumed.pending_points == 0
+        assert resumed.rows == serial_adversity.rows
+
+    def test_digest_covers_the_adversity_schedule(self):
+        from repro.experiments.registry import get_experiment
+
+        spec = get_experiment("e7")
+        clean = spec.params_for("quick")
+        loss = spec.params_for("quick", {"adversity": "loss"})
+        tweaked = spec.params_for(
+            "quick", {"adversity": {"name": "loss", "loss_rate": 0.2}}
+        )
+        digests = {
+            sweep_digest("e7", "quick", params, 2, 2)
+            for params in (clean, loss, tweaked)
+        }
+        assert len(digests) == 3  # absent, preset, and refined all differ
+
+    def test_resume_refuses_checkpoints_from_other_adversity(self, tmp_path):
+        run_dir = tmp_path / "run"
+        run_experiment("e7", preset="quick", overrides={"adversity": "loss"},
+                       executor="sharded", run_dir=run_dir)
+        with pytest.raises(ExecutorConfigError, match="different sweep"):
+            run_experiment("e7", preset="quick", overrides={"adversity": "jam"},
+                           executor="sharded", run_dir=run_dir, resume=True)
+
+    def test_resume_refuses_checkpoints_from_adversity_free_sweep(
+            self, tmp_path):
+        run_dir = tmp_path / "run"
+        run_experiment("e7", preset="quick", executor="sharded",
+                       run_dir=run_dir)
+        with pytest.raises(ExecutorConfigError, match="different sweep"):
+            run_experiment("e7", preset="quick", overrides={"adversity": "loss"},
+                           executor="sharded", run_dir=run_dir, resume=True)

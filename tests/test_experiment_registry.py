@@ -1,7 +1,7 @@
 """Tests for the declarative experiment layer: registry, runner, CLI, trajectory.
 
 Covers the acceptance criteria of the spec-registry refactor: every
-experiment e1–e10 is registered with valid presets, the unified runner
+experiment e1–e11 is registered with valid presets, the unified runner
 produces structured rows that render to the historical tables and round-trip
 through JSON, process-pool execution is bit-identical to serial execution,
 and the ``python -m repro`` CLI exposes ``list``/``run``/``bench``.
@@ -23,11 +23,11 @@ from repro.experiments.registry import (
 from repro.experiments.runner import ExperimentResult, run_experiment
 from repro.experiments.trajectory import suite_entries
 
-EXPECTED_IDS = [f"e{i}" for i in range(1, 11)]
+EXPECTED_IDS = [f"e{i}" for i in range(1, 12)]
 
 
 class TestRegistryCompleteness:
-    def test_all_ten_experiments_registered(self):
+    def test_all_experiments_registered(self):
         assert [spec.id for spec in all_experiments()] == EXPECTED_IDS
 
     def test_every_spec_has_required_presets(self):

@@ -17,6 +17,11 @@ algorithms *compute*.  Two golden files pin that, under
   regenerated when it landed (the per-slot ↔ skip-ahead distributional match
   is guarded separately by ``tests/test_skip_ahead.py``).  They are exact for
   the current stream era and pin it against accidental drift.
+* ``v3/equivalence_golden.json`` — workloads running *under* a deterministic
+  adversity schedule (PR 6): per-preset fingerprints of the global-function
+  computation with fault counters, including the abort rows of runs the
+  adversary legitimately kills.  The v1/v2 files double as the zero-adversity
+  no-op proof — they are untouched by the adversity layer.
 
 Regenerate both files (only do this when an RNG-stream or algorithm change is
 intended — a pure performance PR must show an empty diff here):
@@ -34,6 +39,7 @@ import pytest
 GOLDEN_DIR = Path(__file__).parent / "data" / "goldens"
 GOLDEN_V1 = GOLDEN_DIR / "v1" / "equivalence_golden.json"
 GOLDEN_V2 = GOLDEN_DIR / "v2" / "equivalence_golden.json"
+GOLDEN_V3 = GOLDEN_DIR / "v3" / "equivalence_golden.json"
 
 
 def _compute_deterministic_state():
@@ -160,6 +166,51 @@ def _compute_stream_state():
     return state
 
 
+def _compute_adversity_state():
+    """Fixed-seed workloads running under each shipped adversity preset.
+
+    Every entry records either the completed run (value + rounds) or the
+    deterministic abort (rounds, pending, reason), always alongside the
+    schedule's fault counters — so both the fault draws and the abort
+    machinery are pinned bit-exactly.
+    """
+    from repro.core.global_function.multimedia import compute_global_function
+    from repro.core.global_function.semigroup import INTEGER_ADDITION
+    from repro.experiments.harness import make_topology
+    from repro.sim.adversity import ADVERSITY_PRESETS, adversity_state
+    from repro.sim.errors import AdversityAbort
+
+    state = {}
+    for preset in sorted(name for name in ADVERSITY_PRESETS if name != "none"):
+        graph = make_topology("grid", 64, seed=11)
+        inputs = {node: int(node) for node in graph.nodes()}
+        adv = adversity_state(preset, "golden", "grid", 64, preset)
+        entry = {}
+        try:
+            result = compute_global_function(
+                graph, INTEGER_ADDITION, inputs, method="randomized", seed=5,
+                adversity=adv,
+            )
+            entry["status"] = "ok"
+            entry["value"] = result.value
+            entry["rounds"] = result.total_rounds
+        except AdversityAbort as abort:
+            entry["status"] = "abort"
+            entry["rounds"] = abort.rounds
+            entry["pending"] = abort.pending
+            entry["reason"] = abort.reason
+        entry["counters"] = adv.counters()
+        state[f"adversity/global/grid/64/{preset}"] = entry
+
+    # the e11 quick sweep end to end: schedule derivation, both media, the
+    # status column — the registry-path fingerprint of the adversity axis
+    from repro.experiments.runner import run_experiment
+
+    result = run_experiment("e11", preset="quick")
+    state["adversity/e11/quick"] = {"rows": result.rows}
+    return state
+
+
 def _normalize(value):
     """Round-trip through JSON so tuples/lists and int/float compare equal."""
     return json.loads(json.dumps(value))
@@ -185,6 +236,11 @@ def golden_v2():
 
 
 @pytest.fixture(scope="module")
+def golden_v3():
+    return _load(GOLDEN_V3)
+
+
+@pytest.fixture(scope="module")
 def current_v1():
     return _normalize(_compute_deterministic_state())
 
@@ -194,12 +250,21 @@ def current_v2():
     return _normalize(_compute_stream_state())
 
 
+@pytest.fixture(scope="module")
+def current_v3():
+    return _normalize(_compute_adversity_state())
+
+
 def test_golden_v1_covers_same_workloads(golden_v1, current_v1):
     assert set(golden_v1) == set(current_v1)
 
 
 def test_golden_v2_covers_same_workloads(golden_v2, current_v2):
     assert set(golden_v2) == set(current_v2)
+
+
+def test_golden_v3_covers_same_workloads(golden_v3, current_v3):
+    assert set(golden_v3) == set(current_v3)
 
 
 @pytest.mark.parametrize(
@@ -240,10 +305,29 @@ def test_output_matches_stream_golden(golden_v2, current_v2, key):
     )
 
 
+@pytest.mark.parametrize(
+    "key",
+    [
+        "adversity/global/grid/64/crash",
+        "adversity/global/grid/64/churn",
+        "adversity/global/grid/64/jam",
+        "adversity/global/grid/64/loss",
+        "adversity/e11/quick",
+    ],
+)
+def test_output_matches_adversity_golden(golden_v3, current_v3, key):
+    assert current_v3[key] == golden_v3[key], (
+        f"{key} diverged from the v3 (adversity) fingerprint era; if the "
+        "schedule or stream change is intentional, regenerate "
+        "tests/data/goldens/"
+    )
+
+
 if __name__ == "__main__":
     for path, state in (
         (GOLDEN_V1, _compute_deterministic_state()),
         (GOLDEN_V2, _compute_stream_state()),
+        (GOLDEN_V3, _compute_adversity_state()),
     ):
         path.parent.mkdir(parents=True, exist_ok=True)
         path.write_text(
