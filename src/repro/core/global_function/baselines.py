@@ -26,7 +26,7 @@ from repro.core.global_function.semigroup import GlobalSensitiveFunction
 from repro.protocols.collision.base import run_contention
 from repro.protocols.collision.capetanakis import CapetanakisContender
 from repro.protocols.collision.metcalfe_boggs import MetcalfeBoggsContender
-from repro.protocols.spanning.broadcast_convergecast import TreeAggregationProtocol
+from repro.protocols.spanning.broadcast_convergecast import TreeAggregationFlyweight
 from repro.protocols.spanning.bfs import build_bfs_forest
 from repro.protocols.spanning.tree_utils import children_map
 from repro.sim.adversity import AdversityState
@@ -101,7 +101,7 @@ def compute_on_point_to_point_only(
     }
     network = MultimediaNetwork(graph, seed=seed)
     simulation = network.run(
-        TreeAggregationProtocol,
+        TreeAggregationFlyweight,
         inputs=node_inputs,
         metrics=recorder,
         adversity=adversity,
@@ -154,11 +154,13 @@ def compute_on_channel_only(
         ]
     else:
         rng = random.Random(seed)
+        # eager per-node seed draws (the v2 golden stream), lazy generators:
+        # the skip-ahead scheduler materialises only the first one
         contenders = [
             MetcalfeBoggsContender(
                 identity=node,
                 estimated_contenders=max(1, n),
-                rng=random.Random(rng.randrange(2**63)),
+                seed=rng.randrange(2**63),
                 payload=inputs[node],
             )
             for node in nodes

@@ -34,7 +34,7 @@ from repro.core.partition.randomized import RandomizedPartitioner
 from repro.protocols.collision.base import run_contention
 from repro.protocols.collision.capetanakis import CapetanakisContender
 from repro.protocols.collision.metcalfe_boggs import MetcalfeBoggsContender
-from repro.protocols.spanning.broadcast_convergecast import TreeAggregationProtocol
+from repro.protocols.spanning.broadcast_convergecast import TreeAggregationFlyweight
 from repro.protocols.symmetry.cole_vishkin import log_star
 from repro.sim.adversity import AdversityState
 from repro.sim.channel import SlottedChannel
@@ -156,7 +156,7 @@ def compute_global_function(
         extra["redistribute"] = False
     network = MultimediaNetwork(graph, seed=seed)
     simulation = network.run(
-        TreeAggregationProtocol,
+        TreeAggregationFlyweight,
         inputs=node_inputs,
         metrics=recorder,
         adversity=adversity,
@@ -183,11 +183,14 @@ def compute_global_function(
         ]
     else:
         estimate = max(1, math.ceil(2 * math.sqrt(n)))
+        # seeds are drawn eagerly (same master stream as the eager-rng form)
+        # but generators materialise lazily — the skip-ahead scheduler only
+        # ever draws from the first contender of a homogeneous batch
         contenders = [
             MetcalfeBoggsContender(
                 identity=core,
                 estimated_contenders=estimate,
-                rng=random.Random(rng.randrange(2**63)),
+                seed=rng.randrange(2**63),
                 payload=partials[core],
             )
             for core in forest.cores

@@ -172,7 +172,17 @@ class MultimediaMST:
         forest: SpanningForest,
         schedule: List[NodeId],
     ) -> Tuple[Set[Tuple[NodeId, NodeId]], List[MergePhaseRecord]]:
-        """Run the Kruskal-style merge phases and return the MST edge keys."""
+        """Run the Kruskal-style merge phases and return the MST edge keys.
+
+        Each initial fragment's candidate links live in one weight-sorted
+        boundary column built once up front; a per-fragment start pointer
+        advances past links that have become internal to the fragment's
+        current fragment.  Merging only ever grows current fragments, so an
+        internal link stays internal and the pointer never needs to back up —
+        every boundary link is examined O(1) times across all phases instead
+        of once per phase, and the selected candidates (hence the MST and all
+        recorded metrics) are identical to the per-phase rescan's.
+        """
         self._metrics.set_phase("merge")
         initial_of: Dict[NodeId, NodeId] = {
             node: forest.core_of(node) for node in self._graph.nodes()
@@ -197,6 +207,22 @@ class MultimediaMST:
         # it centrally as a mapping initial fragment -> current fragment id
         current_of: Dict[NodeId, NodeId] = {core: core for core in initial_members}
 
+        # boundary columns: per initial fragment, its links to other initial
+        # fragments sorted by (weight, node, neighbor) — the comparison order
+        # the per-phase minimum always used
+        boundary: Dict[NodeId, List[Tuple[float, NodeId, NodeId]]] = {
+            core: [] for core in initial_members
+        }
+        for node in self._graph.nodes():
+            home = initial_of[node]
+            links = boundary[home]
+            for neighbor, weight in self._graph.neighbor_items(node):
+                if initial_of[neighbor] != home:
+                    links.append((weight, node, neighbor))
+        for links in boundary.values():
+            links.sort()
+        boundary_start: Dict[NodeId, int] = {core: 0 for core in initial_members}
+
         records: List[MergePhaseRecord] = []
         phase = 0
         while len(set(current_of.values())) > 1:
@@ -206,20 +232,24 @@ class MultimediaMST:
             rounds = 0
 
             # Step 1: every initial fragment converge-casts the minimum-weight
-            # link leaving its *current* fragment (pure point-to-point work)
+            # link leaving its *current* fragment (pure point-to-point work).
+            # The minimum is the first boundary-column entry whose far side is
+            # in a different current fragment; entries skipped on the way are
+            # internal for good and the start pointer prunes them permanently.
             candidate_per_initial: Dict[NodeId, Tuple[float, NodeId, NodeId]] = {}
             for core, members in initial_members.items():
-                best: Optional[Tuple[float, NodeId, NodeId]] = None
                 current_core = current_of[core]
-                for node in members:
-                    for neighbor, weight in self._graph.neighbor_items(node):
-                        if current_of[initial_of[neighbor]] == current_core:
-                            continue
-                        candidate = (weight, node, neighbor)
-                        if best is None or candidate < best:
-                            best = candidate
-                if best is not None:
-                    candidate_per_initial[core] = best
+                links = boundary[core]
+                index = boundary_start[core]
+                limit = len(links)
+                while (
+                    index < limit
+                    and current_of[initial_of[links[index][2]]] == current_core
+                ):
+                    index += 1
+                boundary_start[core] = index
+                if index < limit:
+                    candidate_per_initial[core] = links[index]
                 self._metrics.record_messages(2 * max(0, len(members) - 1))
             rounds += 2 * max(initial_radius.values(), default=0)
 

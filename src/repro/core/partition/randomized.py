@@ -455,11 +455,13 @@ class RandomizedPartitioner:
         sqrt_n = math.sqrt(self._n)
         budget = max(4, math.ceil(8 * sqrt_n))
         estimate = max(1, math.ceil(2 * sqrt_n))
+        # eager seed draws keep the master stream identical to the old
+        # eager-rng form; the generators themselves materialise lazily
         contenders = [
             MetcalfeBoggsContender(
                 identity=root,
                 estimated_contenders=estimate,
-                rng=random.Random(self._rng.randrange(2**63)),
+                seed=self._rng.randrange(2**63),
                 payload=root,
             )
             for root in roots

@@ -83,6 +83,10 @@ def _title(params: Mapping[str, object]) -> str:
         # (affordable since the geometric skip-ahead landed)
         "hot": {"sizes": (4096, 10240), "topology": "scale_free",
                 "channel_baseline": False},
+        # an order of magnitude past hot: the flyweight sim layer keeps the
+        # partition + two simulated stages inside a 10 s/run budget
+        "xhot": {"sizes": (102400,), "topology": "scale_free",
+                 "channel_baseline": False},
     },
     bench_extras=(
         ("e7_scale_free_hot", "hot", {}),
@@ -90,6 +94,7 @@ def _title(params: Mapping[str, object]) -> str:
         ("e7_baseline_hot", "hot", {"channel_baseline": True}),
         ("e7_loss_hot", "hot",
          {"sizes": (1024, 4096), "adversity": "loss"}),
+        ("e7_xhot", "xhot", {}),
     ),
     quick_extras=(
         ("e7_scale_free", "quick",

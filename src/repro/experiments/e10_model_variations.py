@@ -23,7 +23,7 @@ from repro.core.size_estimation import (
 from repro.experiments.harness import make_topology
 from repro.experiments.registry import register_experiment
 from repro.experiments.runner import run_experiment
-from repro.protocols.spanning.broadcast_convergecast import TreeAggregationProtocol
+from repro.protocols.spanning.broadcast_convergecast import TreeAggregationFlyweight
 from repro.protocols.spanning.bfs import build_bfs_forest
 from repro.protocols.spanning.tree_utils import children_map
 from repro.sim.adversity import ABORTED, ADVERSITY_KINDS, adversity_state
@@ -65,11 +65,19 @@ def _aggregation_inputs(graph, root):
         "quick": {"sizes": (16, 36), "seeds": (1,), "topology": "grid"},
         "default": {"sizes": (36, 64, 100), "seeds": (1, 2, 3), "topology": "grid"},
         "hot": {"sizes": (1024, 4096), "seeds": (1, 2), "topology": "grid"},
+        # the synchronizer at scale: the size protocols are partition-bound
+        # (ROADMAP Open item 2) and are gated off so the preset times the
+        # sim layer it exists to watch
+        "xhot": {
+            "sizes": (102400,), "seeds": (1,), "topology": "grid",
+            "size_protocols": False,
+        },
     },
     bench_extras=(
         ("e10_hot", "hot", {}),
         ("e10_scale_free", "hot",
          {"sizes": (256, 1024), "topology": "scale_free"}),
+        ("e10_xhot", "xhot", {}),
     ),
     quick_extras=(
         ("e10_scale_free", "quick", {"sizes": (36,), "topology": "scale_free"}),
@@ -80,13 +88,16 @@ def sweep_point(
     seeds: Sequence[int] = DEFAULT_SEEDS,
     topology: str = "grid",
     adversity: object = None,
+    size_protocols: bool = True,
 ) -> Dict[str, object]:
     """Exercise the Section 7 variations on one topology.
 
     The synchronous and synchronized aggregation runs each face an
     independently-seeded adversity instance (the size protocols stay
     fault-free — they calibrate the estimate columns); an aborted run shows
-    ``"abort"`` in its columns.
+    ``"abort"`` in its columns.  ``size_protocols=False`` skips the Section
+    7.3/7.4 size columns (shown as ``"-"``): they are partition-bound, and
+    the ``xhot`` preset exists to time the synchronizer, not the partition.
 
     Raises:
         AssertionError: in fault-free runs only — if the synchronous and
@@ -102,14 +113,14 @@ def sweep_point(
     # channel synchronizer on an asynchronous network
     try:
         sync_run = MultimediaNetwork(graph, seed=3).run(
-            TreeAggregationProtocol, inputs=inputs,
+            TreeAggregationFlyweight, inputs=inputs,
             adversity=adversity_state(adversity, "e10", n, topology, "sync"),
         )
     except AdversityAbort:
         sync_run = None
     try:
         async_run = ChannelSynchronizer(graph, max_link_delay=3, seed=3).run(
-            TreeAggregationProtocol, inputs=inputs,
+            TreeAggregationFlyweight, inputs=inputs,
             adversity=adversity_state(adversity, "e10", n, topology, "async"),
         )
     except AdversityAbort:
@@ -117,13 +128,28 @@ def sweep_point(
     if adversity is None:
         assert async_run.results[root] == sync_run.results[root] == true_n
 
-    det = compute_size_deterministically(graph, seed=1)
-    estimates = [
-        estimate_size_randomized(graph, seed=seed).estimate for seed in seeds
-    ]
-    error = mean(
-        [max(est / true_n, true_n / est) if est else float("inf") for est in estimates]
-    )
+    if size_protocols:
+        det = compute_size_deterministically(graph, seed=1)
+        estimates = [
+            estimate_size_randomized(graph, seed=seed).estimate for seed in seeds
+        ]
+        error = mean(
+            [
+                max(est / true_n, true_n / est) if est else float("inf")
+                for est in estimates
+            ]
+        )
+        size_columns = {
+            "det_size_exact": det.n == true_n,
+            "mean_GL_estimate": mean(estimates),
+            "GL_error_factor": error,
+        }
+    else:
+        size_columns = {
+            "det_size_exact": "-",
+            "mean_GL_estimate": "-",
+            "GL_error_factor": "-",
+        }
     return {
         "n": true_n,
         "sync_msg_overhead(≤2)": (
@@ -133,9 +159,7 @@ def sweep_point(
         "sync_time": (
             round(async_run.asynchronous_time, 1) if async_run else "-"
         ),
-        "det_size_exact": det.n == true_n,
-        "mean_GL_estimate": mean(estimates),
-        "GL_error_factor": error,
+        **size_columns,
     }
 
 

@@ -42,9 +42,16 @@ class MetcalfeBoggsContender(ChannelContender):
             number of trees in the partition (≈√n).
         rng: private random source.
         payload: what to broadcast when scheduled.
+        seed: alternative to ``rng`` — the private source is then built
+            lazily from this seed on first draw.  Callers seeding whole
+            batches (``seed=master.randrange(2**63)``) keep the exact master
+            stream of the eager form while the geometric skip-ahead
+            scheduler, which only ever draws from the batch's first
+            contender, skips ``k − 1`` generator constructions.
 
     Raises:
-        ValueError: if ``estimated_contenders`` is not positive.
+        ValueError: if ``estimated_contenders`` is not positive, or both
+            ``rng`` and ``seed`` are supplied.
     """
 
     GEOMETRIC_CONTENTION = True
@@ -55,16 +62,36 @@ class MetcalfeBoggsContender(ChannelContender):
         estimated_contenders: int,
         rng: Optional[random.Random] = None,
         payload=None,
+        seed: Optional[int] = None,
     ) -> None:
         if estimated_contenders < 1:
             raise ValueError("the contender estimate must be at least 1")
+        if rng is not None and seed is not None:
+            raise ValueError("supply either rng or seed, not both")
         super().__init__(identity, payload)
         self._initial_estimate = estimated_contenders
         self._successes_seen = 0
-        self._rng = rng if rng is not None else random.Random()
-        # bound method cached once: wants_to_transmit runs once per contender
-        # per slot, where the attribute chain is measurable
-        self._draw = self._rng.random
+        self._seed = seed
+        if seed is None:
+            self._rng = rng if rng is not None else random.Random()
+            # bound method cached once: wants_to_transmit runs once per
+            # contender per slot, where the attribute chain is measurable
+            self._draw = self._rng.random
+        else:
+            self._rng = None
+            self._draw = None
+
+    def _materialise_rng(self) -> random.Random:
+        """Build the private generator from the stored seed on first use."""
+        rng = random.Random(self._seed)
+        self._rng = rng
+        self._draw = rng.random
+        return rng
+
+    @property
+    def rng(self) -> random.Random:
+        """Return the private source, materialising a seed-deferred one."""
+        return self._rng if self._rng is not None else self._materialise_rng()
 
     @property
     def remaining_estimate(self) -> int:
@@ -72,12 +99,15 @@ class MetcalfeBoggsContender(ChannelContender):
         return max(1, self._initial_estimate - self._successes_seen)
 
     def wants_to_transmit(self, slot: int) -> bool:
+        draw = self._draw
+        if draw is None:
+            draw = self._materialise_rng().random
         remaining = self._initial_estimate - self._successes_seen
         if remaining > 1:
-            return self._draw() < 1.0 / remaining
+            return draw() < 1.0 / remaining
         # sole remaining contender: transmit, but still consume one draw so
         # the random stream is unchanged from the uniform-threshold form
-        self._draw()
+        draw()
         return True
 
     def observe(self, event: ChannelEvent, transmitted: bool) -> None:
@@ -104,7 +134,7 @@ class MetcalfeBoggsContender(ChannelContender):
 
     def skip_ahead_rng(self):
         """The private source the skip-ahead scheduler draws from."""
-        return self._rng
+        return self.rng
 
     def commit_skip_ahead(self, slot, successes_seen: int) -> None:
         """Adopt the publicly known state a per-slot run would have built."""

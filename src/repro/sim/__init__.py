@@ -35,8 +35,10 @@ from repro.sim.errors import (
     SimulationTimeout,
 )
 from repro.sim.events import ChannelEvent, Message, SlotState
+from repro.sim.flyweight import FlyweightEnvironment, FlyweightProtocol
 from repro.sim.metrics import MetricsRecorder
 from repro.sim.node import NodeContext, NodeProtocol
+from repro.sim.substreams import NodeStreams, substream_seed
 from repro.sim.network import PointToPointNetwork
 from repro.sim.channel import SlottedChannel
 from repro.sim.multimedia import MultimediaNetwork, SimulationResult
@@ -59,9 +61,13 @@ __all__ = [
     "ChannelEvent",
     "Message",
     "SlotState",
+    "FlyweightEnvironment",
+    "FlyweightProtocol",
     "MetricsRecorder",
     "NodeContext",
     "NodeProtocol",
+    "NodeStreams",
+    "substream_seed",
     "PointToPointNetwork",
     "SlottedChannel",
     "MultimediaNetwork",

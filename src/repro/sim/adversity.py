@@ -118,6 +118,7 @@ class AdversitySpec:
     stall_rounds: int = 256
 
     def __post_init__(self) -> None:
+        """Validate the rate fields (all must be probabilities)."""
         for rate_field in ("crash_rate", "loss_rate", "delay_rate", "jam_rate", "churn_rate"):
             value = getattr(self, rate_field)
             if not isinstance(value, (int, float)) or isinstance(value, bool):
@@ -318,6 +319,7 @@ class AdversityState:
     """
 
     def __init__(self, spec: AdversitySpec, seed: int) -> None:
+        """Derive the layout and per-stream sources from one schedule seed."""
         self.spec = spec
         self._spawn = random.Random(seed)
         self._layout_rng = self.spawn_rng()

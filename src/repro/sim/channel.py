@@ -34,6 +34,7 @@ class SlottedChannel:
         metrics: Optional[MetricsRecorder] = None,
         adversity: Optional["AdversityState"] = None,
     ) -> None:
+        """Create a channel, optionally metered and under a jam schedule."""
         self._metrics = metrics
         self._history: List[ChannelEvent] = []
         self._idle_skipped = 0

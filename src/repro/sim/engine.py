@@ -30,6 +30,7 @@ class EventQueue:
     """
 
     def __init__(self) -> None:
+        """Create an empty queue at time zero."""
         self._heap: List[_ScheduledEvent] = []
         self._counter = itertools.count()
         self._now = 0.0

@@ -16,6 +16,7 @@ class SimulationTimeout(SimulationError):
     """
 
     def __init__(self, rounds: int, pending: int) -> None:
+        """Record the limit reached and how many nodes were still active."""
         self.rounds = rounds
         self.pending = pending
         super().__init__(
@@ -39,6 +40,7 @@ class AdversityAbort(SimulationTimeout):
     """
 
     def __init__(self, rounds: int, pending: int, reason: str = "round budget exhausted") -> None:
+        """Record the cutoff point and why the adversary ended the run."""
         self.reason = reason
         super().__init__(rounds, pending)
         # SimulationTimeout's message blames a protocol bug; under an

@@ -49,7 +49,8 @@ class Message:
     payload: Any
     round_sent: int
 
-    def __repr__(self) -> str:  # keep traces compact
+    def __repr__(self) -> str:
+        """Render compactly so simulation traces stay readable."""
         return (
             f"Message({self.sender!r}->{self.receiver!r} @r{self.round_sent}: "
             f"{self.payload!r})"

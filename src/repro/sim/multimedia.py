@@ -32,7 +32,6 @@ in-flight message has drained, exactly as the per-node-scan loop did.
 
 from __future__ import annotations
 
-import random
 from dataclasses import dataclass
 from typing import Any, Callable, Dict, Hashable, List, Optional, Tuple
 
@@ -40,15 +39,53 @@ from repro.sim.adversity import AdversityState
 from repro.sim.channel import SlottedChannel
 from repro.sim.errors import AdversityAbort, SimulationTimeout
 from repro.sim.events import ChannelEvent, idle_event
+from repro.sim.flyweight import (
+    FlyweightEnvironment,
+    FlyweightProtocol,
+    is_flyweight_factory,
+)
 from repro.sim.metrics import MetricsRecorder, MetricsSnapshot
 from repro.sim.network import PointToPointNetwork
 from repro.sim.node import NO_MESSAGES, NodeContext, NodeProtocol
+from repro.sim.substreams import NodeStreams
 from repro.topology.graph import WeightedGraph
 
 NodeId = Hashable
 ProtocolFactory = Callable[[NodeContext], NodeProtocol]
 
 DEFAULT_MAX_ROUNDS = 1_000_000
+
+#: Substream scope for per-node random sources in synchronous runs (the
+#: synchronizer uses its own scope so the two sims never correlate).
+STREAM_SCOPE = "sim.multimedia"
+
+TopologyRows = List[Tuple[NodeId, Tuple[NodeId, ...], Dict[NodeId, float]]]
+
+
+def shared_topology_rows(graph: WeightedGraph) -> TopologyRows:
+    """Return per-node ``(node, neighbours, weights)`` rows, cached on the graph.
+
+    The rows are the materialised form every simulation layer consumes
+    (multimedia rounds, the synchronizer, flyweight environments).  They are
+    cached on the graph object keyed by its mutation version, so the several
+    simulations one sweep point runs over the same topology (e.g. e7's
+    multimedia run and its point-to-point baseline) build them exactly once.
+    The neighbour tuples and weight dicts are shared — consumers must treat
+    them as read-only.
+    """
+    version = getattr(graph, "_version", None)
+    cache = getattr(graph, "_sim_topology_rows", None)
+    if cache is not None and cache[0] == version:
+        return cache[1]
+    rows: TopologyRows = [
+        (node, tuple(graph.iter_neighbors(node)), dict(graph.neighbor_items(node)))
+        for node in graph.nodes()
+    ]
+    try:
+        graph._sim_topology_rows = (version, rows)
+    except AttributeError:  # graphs with __slots__: fall back to uncached
+        pass
+    return rows
 
 
 @dataclass
@@ -103,13 +140,13 @@ class MultimediaNetwork:
         self._graph = graph
         self._seed = seed
         self._n_known = n_known
-        # per-node (node, neighbours, weights) rows, shared by every run on
-        # this object: the topology does not change between runs, so the
-        # neighbour tuples and weight dicts are materialised once
-        self._static_rows: Optional[
-            List[Tuple[NodeId, Tuple[NodeId, ...], Dict[NodeId, float]]]
-        ] = None
-        self._static_rows_version: Optional[int] = None
+        # the per-node substream family: cheap, stateless, shared by every
+        # run on this object (see repro.sim.substreams)
+        self._streams = NodeStreams(seed, STREAM_SCOPE)
+        # the flyweight environment is built on first flyweight run and
+        # mutated in place (inputs only) across runs
+        self._flyweight_env: Optional[FlyweightEnvironment] = None
+        self._flyweight_env_version: Optional[int] = None
 
     @property
     def graph(self) -> WeightedGraph:
@@ -129,19 +166,9 @@ class MultimediaNetwork:
     # ------------------------------------------------------------------
     # running protocols
     # ------------------------------------------------------------------
-    def _topology_rows(
-        self,
-    ) -> List[Tuple[NodeId, Tuple[NodeId, ...], Dict[NodeId, float]]]:
+    def _topology_rows(self) -> TopologyRows:
         """Return the cached per-node (node, neighbours, weights) rows."""
-        version = getattr(self._graph, "_version", None)
-        if self._static_rows is None or self._static_rows_version != version:
-            graph = self._graph
-            self._static_rows = [
-                (node, tuple(graph.iter_neighbors(node)), dict(graph.neighbor_items(node)))
-                for node in graph.nodes()
-            ]
-            self._static_rows_version = version
-        return self._static_rows
+        return shared_topology_rows(self._graph)
 
     def build_contexts(
         self,
@@ -150,28 +177,28 @@ class MultimediaNetwork:
         """Build one :class:`NodeContext` per node.
 
         The topology-derived rows (neighbour tuples, link-weight dicts) are
-        materialised once per object and reused across runs; the parts a
-        protocol can touch (the weight dict, random source, ``extra`` inputs)
-        are always fresh per run — the immutable neighbour tuples are shared,
-        the weight dicts are copied — so repeated runs on the same object
-        stay deterministic given the seed even if a protocol mutates its
-        context.
+        materialised once per graph and shared across runs and contexts —
+        protocols must treat them as read-only.  A node's private random
+        source is derived from the master seed via the hashed per-node
+        substream family (:mod:`repro.sim.substreams`) and materialised only
+        on first use, so protocols that never draw construct no generators
+        at all; the ``extra`` input dicts are fresh per run.
 
         Args:
             inputs: optional per-node ``extra`` dictionaries (e.g. the local
                 operand of a global sensitive function).
         """
-        master = random.Random(self._seed)
+        rng_factory = self._streams.rng_for
         contexts: Dict[NodeId, NodeContext] = {}
         n = self.num_nodes if self._n_known else None
         for node, neighbors, weights in self._topology_rows():
             contexts[node] = NodeContext(
                 node_id=node,
                 neighbors=neighbors,
-                link_weights=dict(weights),
+                link_weights=weights,
                 n=n,
-                rng=random.Random(master.randrange(2**63)),
                 extra=dict(inputs.get(node, {})) if inputs else {},
+                rng_factory=rng_factory,
             )
         return contexts
 
@@ -218,6 +245,23 @@ class MultimediaNetwork:
             metrics=recorder,
             adversity=adversity.channel_adversity() if adversity is not None else None,
         )
+
+        if is_flyweight_factory(protocol_factory):
+            if stop_when is not None:
+                raise ValueError(
+                    "stop_when predicates receive a per-node protocol map and "
+                    "are not supported by flyweight runs"
+                )
+            return self._run_flyweight(
+                protocol_factory,
+                inputs=inputs,
+                recorder=recorder,
+                network=network,
+                channel=channel,
+                max_rounds=max_rounds,
+                adversity=adversity,
+            )
+
         contexts = self.build_contexts(inputs)
         protocols: Dict[NodeId, NodeProtocol] = {
             node: protocol_factory(ctx) for node, ctx in contexts.items()
@@ -296,6 +340,248 @@ class MultimediaNetwork:
             metrics=recorder.snapshot(),
             results=results,
             protocols=protocols,
+            channel_history=channel.history,
+        )
+
+    # ------------------------------------------------------------------
+    # flyweight dispatch (see repro.sim.flyweight)
+    # ------------------------------------------------------------------
+    def _flyweight_environment(self) -> FlyweightEnvironment:
+        """Return the columnar environment, built once and reused across runs."""
+        version = getattr(self._graph, "_version", None)
+        env = self._flyweight_env
+        if env is None or self._flyweight_env_version != version:
+            rows = self._topology_rows()
+            env = FlyweightEnvironment(
+                nodes=tuple(row[0] for row in rows),
+                neighbors=tuple(row[1] for row in rows),
+                link_weights=tuple(row[2] for row in rows),
+                n=self.num_nodes if self._n_known else None,
+                streams=self._streams,
+            )
+            self._flyweight_env = env
+            self._flyweight_env_version = version
+        return env
+
+    def _run_flyweight(
+        self,
+        protocol_cls: type,
+        inputs: Optional[Dict[NodeId, Dict[str, Any]]],
+        recorder: MetricsRecorder,
+        network: PointToPointNetwork,
+        channel: SlottedChannel,
+        max_rounds: int,
+        adversity: Optional[AdversityState],
+    ) -> SimulationResult:
+        """Round loop for one shared flyweight instance over slot state.
+
+        Equivalent, message for message, to :meth:`run`'s classic loop over n
+        per-node instances: slots are dispatched in node order, each acting
+        slot's sends are accepted as one batch, and the slot resolves once
+        after all nodes acted.  When the protocol declares ``MESSAGE_DRIVEN``
+        the per-round dispatch walks only the slots that received mail (in
+        slot = node order) instead of every active node — a no-op skip by the
+        declaration, and the flat win at scale.
+        """
+        env = self._flyweight_environment()
+        env.inputs = inputs if inputs is not None else {}
+        protocol: FlyweightProtocol = protocol_cls(env)
+
+        if adversity is not None:
+            return self._run_flyweight_adversity(
+                protocol, env, recorder, network, channel, max_rounds, adversity
+            )
+
+        deliver = network.deliver
+        accept_sends = network.accept_sends
+        resolve_slot = channel.resolve_slot
+        record_round = recorder.record_round
+        nodes = env.nodes
+        slot_of = env.slot_of
+        num_slots = env.num_slots
+        halted = protocol.halted
+        on_round = protocol.on_round
+        sends = protocol._sends
+        writes = protocol._writes
+        message_driven = protocol.MESSAGE_DRIVEN
+
+        last_event: ChannelEvent = idle_event(-1)
+        rounds_used = 0
+        for round_index in range(max_rounds):
+            if protocol.active_count == 0 and not network.has_in_flight():
+                break
+
+            inboxes = deliver(round_index)
+            public_event = last_event.public_view()
+            mark = 0
+            if round_index == 0:
+                # on_start for every slot; nodes may also react immediately
+                # (mirrors the classic loop, which does not re-check halted
+                # between on_start and the round-0 mail dispatch)
+                on_start = protocol.on_start
+                get_inbox = inboxes.get
+                for slot in range(num_slots):
+                    node = nodes[slot]
+                    on_start(slot)
+                    inbox = get_inbox(node)
+                    if inbox:
+                        on_round(slot, inbox, public_event)
+                    if len(sends) > mark:
+                        accept_sends(node, sends[mark:], round_index)
+                        mark = len(sends)
+            elif inboxes:
+                if message_driven:
+                    # only slots with mail can change state; dispatch them in
+                    # slot (= node) order so message emission order matches
+                    # the classic full scan exactly
+                    order = sorted(slot_of[node] for node in inboxes)
+                    for slot in order:
+                        if halted[slot]:
+                            continue
+                        node = nodes[slot]
+                        on_round(slot, inboxes[node], public_event)
+                        if len(sends) > mark:
+                            accept_sends(node, sends[mark:], round_index)
+                            mark = len(sends)
+                else:
+                    get_inbox = inboxes.get
+                    for slot in range(num_slots):
+                        if halted[slot]:
+                            continue
+                        node = nodes[slot]
+                        on_round(slot, get_inbox(node) or NO_MESSAGES, public_event)
+                        if len(sends) > mark:
+                            accept_sends(node, sends[mark:], round_index)
+                            mark = len(sends)
+            elif not message_driven:
+                for slot in range(num_slots):
+                    if halted[slot]:
+                        continue
+                    node = nodes[slot]
+                    on_round(slot, NO_MESSAGES, public_event)
+                    if len(sends) > mark:
+                        accept_sends(node, sends[mark:], round_index)
+                        mark = len(sends)
+            if mark:
+                del sends[:]
+            last_event = resolve_slot(round_index, writes)
+            if writes:
+                del writes[:]
+            record_round(1)
+            rounds_used = round_index + 1
+        else:
+            raise SimulationTimeout(max_rounds, protocol.active_count)
+
+        return SimulationResult(
+            rounds=rounds_used,
+            metrics=recorder.snapshot(),
+            results=protocol.results_by_node(),
+            protocols={},
+            channel_history=channel.history,
+        )
+
+    def _run_flyweight_adversity(
+        self,
+        protocol: FlyweightProtocol,
+        env: FlyweightEnvironment,
+        recorder: MetricsRecorder,
+        network: PointToPointNetwork,
+        channel: SlottedChannel,
+        max_rounds: int,
+        adversity: AdversityState,
+    ) -> SimulationResult:
+        """The flyweight round loop with the adversity schedule applied.
+
+        Mirrors :meth:`_run_under_adversity` exactly — full per-round scan
+        over the slots (so crash skips, deferred starts and the stall
+        detector see the same sequence of events, and the network's fault
+        draws happen in the same order), with the flyweight's columnar state
+        in place of per-node protocol objects.  ``MESSAGE_DRIVEN`` protocols
+        merely skip the no-op empty-inbox calls; everything observable is
+        unchanged.
+        """
+        deliver = network.deliver
+        accept_sends = network.accept_sends
+        resolve_slot = channel.resolve_slot
+        record_round = recorder.record_round
+        node_crashed = adversity.node_crashed
+        count_crash_round = adversity.count_crash_round
+        nodes = env.nodes
+        num_slots = env.num_slots
+        halted = protocol.halted
+        on_start = protocol.on_start
+        on_round = protocol.on_round
+        sends = protocol._sends
+        writes = protocol._writes
+        message_driven = protocol.MESSAGE_DRIVEN
+
+        budget = min(max_rounds, adversity.round_budget(num_slots))
+        patience = adversity.stall_patience()
+        started = bytearray(num_slots)
+        quiet_streak = 0
+
+        last_event: ChannelEvent = idle_event(-1)
+        rounds_used = 0
+        for round_index in range(budget):
+            if protocol.active_count == 0 and not network.has_in_flight():
+                break
+
+            inboxes = deliver(round_index)
+            get_inbox = inboxes.get
+            public_event = last_event.public_view()
+            mark = 0
+            for slot in range(num_slots):
+                if halted[slot]:
+                    continue
+                node = nodes[slot]
+                if node_crashed(node, round_index):
+                    count_crash_round()
+                    continue
+                inbox = get_inbox(node)
+                if not started[slot]:
+                    started[slot] = 1
+                    on_start(slot)
+                    if inbox:
+                        on_round(slot, inbox, public_event)
+                elif inbox:
+                    on_round(slot, inbox, public_event)
+                elif not message_driven:
+                    on_round(slot, NO_MESSAGES, public_event)
+                if len(sends) > mark:
+                    accept_sends(node, sends[mark:], round_index)
+                    mark = len(sends)
+            acted_any = mark > 0 or bool(writes)
+            if mark:
+                del sends[:]
+            last_event = resolve_slot(round_index, writes)
+            if writes:
+                del writes[:]
+            record_round(1)
+            rounds_used = round_index + 1
+
+            if inboxes or acted_any or not last_event.is_idle():
+                quiet_streak = 0
+            else:
+                quiet_streak += 1
+                if quiet_streak > patience:
+                    pending = protocol.active_count
+                    if pending == 0:
+                        # everything halted; only undeliverable stragglers
+                        # keep the network "in flight" — that is completion
+                        break
+                    raise AdversityAbort(
+                        rounds_used, pending, reason="stalled (no progress)"
+                    )
+        else:
+            pending = protocol.active_count
+            if pending:
+                raise AdversityAbort(budget, pending)
+
+        return SimulationResult(
+            rounds=rounds_used,
+            metrics=recorder.snapshot(),
+            results=protocol.results_by_node(),
+            protocols={},
             channel_history=channel.history,
         )
 

@@ -22,8 +22,7 @@ and a private random source.
 from __future__ import annotations
 
 import random
-from dataclasses import dataclass, field
-from typing import Any, Dict, Hashable, List, Optional, Sequence, Tuple
+from typing import Any, Callable, Dict, Hashable, List, Optional, Sequence, Set, Tuple
 
 from repro.sim.errors import ProtocolError
 from repro.sim.events import ChannelEvent, Message
@@ -37,7 +36,6 @@ NodeId = Hashable
 NO_MESSAGES: Sequence[Message] = ()
 
 
-@dataclass
 class NodeContext:
     """Everything a node is allowed to know about its environment.
 
@@ -46,19 +44,59 @@ class NodeContext:
         neighbors: identifiers of the processors adjacent in the
             point-to-point topology, in a fixed (but arbitrary) local order.
         link_weights: weight of the link to each neighbour.  Algorithms that
-            do not use weights simply ignore this.
+            do not use weights simply ignore this.  Shared with the
+            simulator's cached topology rows — protocols must treat it as
+            read-only.
         n: the number of processors in the network, when known.
-        rng: a private seeded random source for randomized protocols.
+        rng: a private seeded random source for randomized protocols.  When
+            the context was built with an ``rng_factory`` (the per-node
+            substream derivation of :mod:`repro.sim.substreams`), the
+            generator is materialised on first access — protocols that never
+            draw (the common case) cost no ``random.Random`` construction.
         extra: free-form per-node inputs (e.g. the local operand of a global
             sensitive function).
     """
 
-    node_id: NodeId
-    neighbors: Tuple[NodeId, ...]
-    link_weights: Dict[NodeId, float]
-    n: Optional[int]
-    rng: random.Random
-    extra: Dict[str, Any] = field(default_factory=dict)
+    __slots__ = ("node_id", "neighbors", "link_weights", "n", "extra",
+                 "_rng", "_rng_factory")
+
+    def __init__(
+        self,
+        node_id: NodeId,
+        neighbors: Tuple[NodeId, ...],
+        link_weights: Dict[NodeId, float],
+        n: Optional[int],
+        rng: Optional[random.Random] = None,
+        extra: Optional[Dict[str, Any]] = None,
+        rng_factory: Optional[Callable[[NodeId], random.Random]] = None,
+    ) -> None:
+        """Create a context; supply either a concrete ``rng`` or a factory."""
+        self.node_id = node_id
+        self.neighbors = neighbors
+        self.link_weights = link_weights
+        self.n = n
+        self.extra = {} if extra is None else extra
+        self._rng = rng
+        self._rng_factory = rng_factory
+
+    @property
+    def rng(self) -> random.Random:
+        """Return the node's private generator, materialising it lazily."""
+        rng = self._rng
+        if rng is None:
+            factory = self._rng_factory
+            if factory is None:
+                raise ProtocolError(
+                    f"node {self.node_id!r} has no random source: the context "
+                    "was built without an rng or rng_factory"
+                )
+            rng = self._rng = factory(self.node_id)
+        return rng
+
+    @rng.setter
+    def rng(self, value: random.Random) -> None:
+        """Install an explicit random source (tests pin streams this way)."""
+        self._rng = value
 
     def degree(self) -> int:
         """Return the number of incident point-to-point links."""
@@ -92,8 +130,14 @@ class NodeProtocol:
     """
 
     def __init__(self, ctx: NodeContext) -> None:
+        """Bind the protocol instance to its node's context."""
         self.ctx = ctx
         self._outbox: List[Tuple[NodeId, Any]] = []
+        # destinations already used this round, kept in sync with _outbox so
+        # the one-message-per-link check is O(1) per send instead of a scan
+        # of the outbox (O(deg²) for a hub that messages every neighbour);
+        # None means "rebuild from _outbox on next send"
+        self._outbox_dests: Optional[Set[NodeId]] = set()
         self._channel_payload: Optional[Any] = None
         self._channel_write_pending = False
         # set by send()/channel_write(), cleared by _collect_actions(): lets
@@ -128,11 +172,15 @@ class NodeProtocol:
             raise ProtocolError(
                 f"node {self.node_id!r} tried to send to non-neighbour {neighbor!r}"
             )
-        if any(dest == neighbor for dest, _ in self._outbox):
+        dests = self._outbox_dests
+        if dests is None:
+            dests = self._outbox_dests = {dest for dest, _ in self._outbox}
+        if neighbor in dests:
             raise ProtocolError(
                 f"node {self.node_id!r} queued two messages to {neighbor!r} "
                 "in the same round"
             )
+        dests.add(neighbor)
         self._outbox.append((neighbor, payload))
         self._acted = True
 
@@ -145,8 +193,10 @@ class NodeProtocol:
                 self.send(neighbor, payload)
             return
         # empty outbox: neighbours are unique, so no duplicate check is needed
-        # (this keeps a high-degree hub's broadcast O(deg) instead of O(deg²))
+        # (this keeps a high-degree hub's broadcast O(deg) instead of O(deg²));
+        # the dest set is marked stale and only rebuilt if send() runs later
         self._outbox = [(neighbor, payload) for neighbor in self.ctx.neighbors]
+        self._outbox_dests = None
         if self._outbox:
             self._acted = True
 
@@ -211,6 +261,11 @@ class NodeProtocol:
         outbox = self._outbox
         if outbox:
             self._outbox = []
+            dests = self._outbox_dests
+            if dests:
+                dests.clear()
+            # a stale (None) marker stays stale: send() rebuilds from the
+            # now-empty outbox, which is the empty set anyway
         wrote = self._channel_write_pending
         if not wrote:
             return outbox, None, False

@@ -44,6 +44,7 @@ class UnslottedChannel:
     """Collects transmissions with arbitrary start times."""
 
     def __init__(self) -> None:
+        """Create an empty transmission log."""
         self._transmissions: List[UnslottedTransmission] = []
 
     def transmit(self, writer: NodeId, payload: object, start_time: float) -> None:
@@ -103,6 +104,7 @@ def slotted_from_unslotted(
     slot_index = 0
 
     def flush() -> None:
+        """Resolve the currently open slot into a channel event."""
         nonlocal slot_index
         if not current:
             return

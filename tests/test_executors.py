@@ -438,3 +438,66 @@ class TestAdversitySharding:
         with pytest.raises(ExecutorConfigError, match="different sweep"):
             run_experiment("e7", preset="quick", overrides={"adversity": "loss"},
                            executor="sharded", run_dir=run_dir, resume=True)
+
+
+# ----------------------------------------------------------------------
+# the xhot presets through the executor matrix
+# ----------------------------------------------------------------------
+class TestXhotPresetSmoke:
+    """The flyweight-backed xhot presets must honour the backend contract.
+
+    The scale probes (``e7_xhot``/``e10_xhot``) run the flyweight sim layer
+    and per-node substreams; their rows must stay bit-identical across
+    backends exactly like the classic presets.  The sweep sizes are
+    overridden downward so the smoke exercises the xhot *configuration*
+    (scale-free topology, gated size protocols) without the n = 102400
+    wall-clock — the full-size budget is checked by the CI xhot smoke and
+    recorded in ``BENCH_core.json``.
+    """
+
+    E7_OVERRIDES = {"sizes": (64, 128)}
+    E10_OVERRIDES = {"sizes": (36, 64)}
+
+    @pytest.fixture(scope="class")
+    def serial_e7_xhot(self):
+        return run_experiment("e7", preset="xhot", overrides=self.E7_OVERRIDES)
+
+    @pytest.fixture(scope="class")
+    def serial_e10_xhot(self):
+        return run_experiment("e10", preset="xhot", overrides=self.E10_OVERRIDES)
+
+    def test_e7_xhot_process_rows_match_serial(self, serial_e7_xhot):
+        result = run_experiment("e7", preset="xhot", overrides=self.E7_OVERRIDES,
+                                executor="process", processes=2)
+        assert result.rows == serial_e7_xhot.rows
+
+    def test_e7_xhot_sharded_rows_match_serial(self, serial_e7_xhot, tmp_path):
+        result = run_experiment("e7", preset="xhot", overrides=self.E7_OVERRIDES,
+                                executor="sharded", run_dir=tmp_path / "run")
+        assert result.rows == serial_e7_xhot.rows
+
+    def test_e10_xhot_process_rows_match_serial(self, serial_e10_xhot):
+        result = run_experiment("e10", preset="xhot",
+                                overrides=self.E10_OVERRIDES,
+                                executor="process", processes=2)
+        assert result.rows == serial_e10_xhot.rows
+
+    def test_e10_xhot_sharded_resumes_to_serial_rows(self, serial_e10_xhot,
+                                                     tmp_path):
+        run_dir = tmp_path / "run"
+        partial = run_experiment("e10", preset="xhot",
+                                 overrides=self.E10_OVERRIDES,
+                                 executor="sharded", run_dir=run_dir,
+                                 max_shards=1)
+        assert partial.pending_points == 1
+        resumed = run_experiment("e10", preset="xhot",
+                                 overrides=self.E10_OVERRIDES,
+                                 executor="sharded", run_dir=run_dir,
+                                 resume=True)
+        assert resumed.pending_points == 0
+        assert resumed.rows == serial_e10_xhot.rows
+
+    def test_e10_xhot_gates_the_size_columns(self, serial_e10_xhot):
+        for row in serial_e10_xhot.rows:
+            assert row["det_size_exact"] == "-"
+            assert row["mean_GL_estimate"] == "-"

@@ -22,8 +22,17 @@ algorithms *compute*.  Two golden files pin that, under
   computation with fault counters, including the abort rows of runs the
   adversary legitimately kills.  The v1/v2 files double as the zero-adversity
   no-op proof — they are untouched by the adversity layer.
+* ``v4/equivalence_golden.json`` — workloads that consume *per-node* random
+  sources (``ctx.rng``): the Greenberg–Ladner estimator and the randomized
+  leader election, plus the e10 registry sweep that runs them end to end.
+  PR 7's flyweight sim layer replaced the eager per-node ``Random`` objects
+  (one master draw each, in node order) with hash-derived substreams
+  (:mod:`repro.sim.substreams`), which started this era; the literal
+  ``substream_seed`` values are pinned here too, so the derivation itself
+  cannot drift.  v1–v3 are untouched by the substream switch — no workload
+  they cover draws from a per-node source.
 
-Regenerate both files (only do this when an RNG-stream or algorithm change is
+Regenerate the files (only do this when an RNG-stream or algorithm change is
 intended — a pure performance PR must show an empty diff here):
 
     PYTHONPATH=src python tests/test_perf_equivalence.py
@@ -40,6 +49,7 @@ GOLDEN_DIR = Path(__file__).parent / "data" / "goldens"
 GOLDEN_V1 = GOLDEN_DIR / "v1" / "equivalence_golden.json"
 GOLDEN_V2 = GOLDEN_DIR / "v2" / "equivalence_golden.json"
 GOLDEN_V3 = GOLDEN_DIR / "v3" / "equivalence_golden.json"
+GOLDEN_V4 = GOLDEN_DIR / "v4" / "equivalence_golden.json"
 
 
 def _compute_deterministic_state():
@@ -211,6 +221,53 @@ def _compute_adversity_state():
     return state
 
 
+def _compute_substream_state():
+    """Fixed-seed workloads drawing from per-node substreams (``ctx.rng``)."""
+    from repro.experiments.harness import make_topology
+    from repro.experiments.runner import run_experiment
+    from repro.protocols.collision.greenberg_ladner import GreenbergLadnerEstimator
+    from repro.protocols.collision.leader_election import RandomizedLeaderElection
+    from repro.sim.multimedia import MultimediaNetwork
+    from repro.sim.substreams import substream_seed
+
+    state = {}
+
+    # the derivation itself: literal seeds for fixed (master, scope, key)
+    # triples — any change to the hash recipe shows up here first
+    for master, scope, key in (
+        (0, "sim.multimedia", (0,)),
+        (0, "sim.synchronizer", (0,)),
+        (5, "sim.multimedia", (7,)),
+        (5, "sim.multimedia", ("a",)),
+        (2**63, "sim.multimedia", ((1, 2),)),
+    ):
+        state[f"substream_seed/{master}/{scope}/{key!r}"] = substream_seed(
+            master, scope, *key
+        )
+
+    # the two per-node-source protocols on the simulator, fixed topologies
+    graph = make_topology("ring", 16, seed=11)
+    result = MultimediaNetwork(graph, seed=4).run(GreenbergLadnerEstimator)
+    state["gl_estimator/ring/16/seed4"] = {
+        "estimates": sorted(
+            {value.estimate for value in result.results.values()}
+        ),
+        "rounds": result.rounds,
+    }
+    graph = make_topology("ring", 12, seed=11)
+    result = MultimediaNetwork(graph, seed=9).run(RandomizedLeaderElection)
+    state["leader_election/ring/12/seed9"] = {
+        "winners": sorted(set(result.results.values())),
+        "rounds": result.rounds,
+    }
+
+    # the e10 quick sweep end to end: synchronizer pulses and the
+    # Greenberg–Ladner estimate columns through the registry path
+    result = run_experiment("e10", preset="quick")
+    state["substream/e10/quick"] = {"rows": result.rows}
+    return state
+
+
 def _normalize(value):
     """Round-trip through JSON so tuples/lists and int/float compare equal."""
     return json.loads(json.dumps(value))
@@ -251,8 +308,18 @@ def current_v2():
 
 
 @pytest.fixture(scope="module")
+def golden_v4():
+    return _load(GOLDEN_V4)
+
+
+@pytest.fixture(scope="module")
 def current_v3():
     return _normalize(_compute_adversity_state())
+
+
+@pytest.fixture(scope="module")
+def current_v4():
+    return _normalize(_compute_substream_state())
 
 
 def test_golden_v1_covers_same_workloads(golden_v1, current_v1):
@@ -265,6 +332,10 @@ def test_golden_v2_covers_same_workloads(golden_v2, current_v2):
 
 def test_golden_v3_covers_same_workloads(golden_v3, current_v3):
     assert set(golden_v3) == set(current_v3)
+
+
+def test_golden_v4_covers_same_workloads(golden_v4, current_v4):
+    assert set(golden_v4) == set(current_v4)
 
 
 @pytest.mark.parametrize(
@@ -323,11 +394,20 @@ def test_output_matches_adversity_golden(golden_v3, current_v3, key):
     )
 
 
+def test_output_matches_substream_golden(golden_v4, current_v4):
+    for key in golden_v4:
+        assert current_v4[key] == golden_v4[key], (
+            f"{key} diverged from the v4 (per-node substream) stream era; if "
+            "the stream change is intentional, regenerate tests/data/goldens/"
+        )
+
+
 if __name__ == "__main__":
     for path, state in (
         (GOLDEN_V1, _compute_deterministic_state()),
         (GOLDEN_V2, _compute_stream_state()),
         (GOLDEN_V3, _compute_adversity_state()),
+        (GOLDEN_V4, _compute_substream_state()),
     ):
         path.parent.mkdir(parents=True, exist_ok=True)
         path.write_text(
