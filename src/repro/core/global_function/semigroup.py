@@ -73,6 +73,7 @@ class GlobalSensitiveFunction:
         return all(self.is_sensitive_at(operands, index) for index in range(len(operands)))
 
     def __repr__(self) -> str:
+        """Return the function's name for debugging."""
         return f"GlobalSensitiveFunction({self.name!r})"
 
 

@@ -35,15 +35,18 @@ class MSTEdges:
         return {edge.key() for edge in self.edges}
 
     def __len__(self) -> int:
+        """Return the number of chosen edges."""
         return len(self.edges)
 
 
 class _UnionFind:
     def __init__(self, nodes) -> None:
+        """Make every node its own singleton set."""
         self._parent: Dict[NodeId, NodeId] = {node: node for node in nodes}
         self._rank: Dict[NodeId, int] = {node: 0 for node in nodes}
 
     def find(self, node: NodeId) -> NodeId:
+        """Return ``node``'s set representative with path compression."""
         root = node
         while self._parent[root] != root:
             root = self._parent[root]
@@ -52,6 +55,7 @@ class _UnionFind:
         return root
 
     def union(self, a: NodeId, b: NodeId) -> bool:
+        """Merge the sets of ``a`` and ``b``; ``False`` if already joined."""
         ra, rb = self.find(a), self.find(b)
         if ra == rb:
             return False

@@ -213,12 +213,26 @@ class MultimediaMST:
         boundary: Dict[NodeId, List[Tuple[float, NodeId, NodeId]]] = {
             core: [] for core in initial_members
         }
-        for node in self._graph.nodes():
-            home = initial_of[node]
+        # walk the CSR rows (same neighbour order as neighbor_items) with a
+        # per-slot home column, so the inner test indexes a list instead of
+        # hashing a node identifier per directed edge
+        csr = self._graph.csr()
+        offsets = csr.offsets
+        csr_targets = csr.targets
+        csr_weights = csr.weights
+        csr_nodes = csr.nodes
+        slot_home = [initial_of[node] for node in csr_nodes]
+        start = 0
+        for i in range(csr.n):
+            end = offsets[i + 1]
+            home = slot_home[i]
             links = boundary[home]
-            for neighbor, weight in self._graph.neighbor_items(node):
-                if initial_of[neighbor] != home:
-                    links.append((weight, node, neighbor))
+            node = csr_nodes[i]
+            for k in range(start, end):
+                target = csr_targets[k]
+                if slot_home[target] != home:
+                    links.append((csr_weights[k], node, csr_nodes[target]))
+            start = end
         for links in boundary.values():
             links.sort()
         boundary_start: Dict[NodeId, int] = {core: 0 for core in initial_members}
@@ -297,6 +311,7 @@ def _contract(
         parent[current] = current
 
     def find(x: NodeId) -> NodeId:
+        """Return ``x``'s current-fragment root with path halving."""
         while parent[x] != x:
             parent[x] = parent[parent[x]]
             x = parent[x]

@@ -195,22 +195,24 @@ class DeterministicPartitioner:
         link_nbr: List[List[int]] = [[] for _ in range(n)]
         link_w: List[List[float]] = [[] for _ in range(n)]
         link_back: List[List[int]] = [[] for _ in range(n)]
-        edges = self._graph.edges()
-        if len({edge.weight for edge in edges}) == len(edges):
-            # distinct weights (the standard assumption): one global edge
-            # sort populates every node's scan list in (weight, repr) order
-            # — the same order sorted_incident_links produces — and both
-            # reverse positions are known at append time, one pass, no
-            # edge-key computation
-            for edge in sorted(edges, key=lambda edge: edge.weight):
-                u = index_of[edge.u]
-                v = index_of[edge.v]
+        edge_u, edge_v, edge_w = self._graph.csr().canonical_edges()
+        if len(set(edge_w)) == len(edge_w):
+            # distinct weights (the standard assumption): one stable argsort
+            # of the CSR weight column populates every node's scan list in
+            # (weight, repr) order — the same order sorted_incident_links
+            # produces — and both reverse positions are known at append
+            # time.  CSR slots are exactly this enumeration's indices, so
+            # the scan build never hashes a node or edge key at all.
+            for j in sorted(range(len(edge_w)), key=edge_w.__getitem__):
+                u = edge_u[j]
+                v = edge_v[j]
+                w = edge_w[j]
                 link_back[u].append(len(link_nbr[v]))
                 link_back[v].append(len(link_nbr[u]))
                 link_nbr[u].append(v)
                 link_nbr[v].append(u)
-                link_w[u].append(edge.weight)
-                link_w[v].append(edge.weight)
+                link_w[u].append(w)
+                link_w[v].append(w)
         else:
             # repeated weights: fall back to the per-node (weight, repr)
             # sort, then derive the reverse positions
@@ -541,6 +543,7 @@ class DeterministicPartitioner:
         group_of: Dict[NodeId, NodeId] = {}
 
         def find_group(vertex: NodeId) -> NodeId:
+            """Return ``vertex``'s cut-forest root, path-caching the chain."""
             chain = []
             current = vertex
             while current not in group_of:

@@ -47,6 +47,7 @@ class Fragment:
     _cache_version: int = field(default=0, init=False, repr=False, compare=False)
 
     def __post_init__(self) -> None:
+        """Default an empty parent map and validate that the core is a root."""
         if not self.parents:
             self.parents = {self.core: None}
         if self.core not in self.parents or self.parents[self.core] is not None:
@@ -228,6 +229,7 @@ class SpanningForest:
         """Return the union of all fragments' parent maps (cores map to None)."""
 
         def merge() -> Dict[NodeId, Optional[NodeId]]:
+            """Union the per-fragment parent maps."""
             merged: Dict[NodeId, Optional[NodeId]] = {}
             for fragment in self.fragments:
                 merged.update(fragment.parents)
@@ -239,6 +241,7 @@ class SpanningForest:
         """Return every tree edge of the forest as (child, parent) pairs."""
 
         def collect() -> List[Tuple[NodeId, NodeId]]:
+            """Concatenate the per-fragment tree edges."""
             edges: List[Tuple[NodeId, NodeId]] = []
             for fragment in self.fragments:
                 edges.extend(fragment.tree_edges())
@@ -287,6 +290,7 @@ class SpanningForest:
         limit = len(parents)
 
         def find_root(node: NodeId) -> NodeId:
+            """Return ``node``'s tree root, path-caching the chain walked."""
             chain = []
             current = node
             while current not in root_cache:
@@ -315,6 +319,7 @@ class SpanningForest:
         return cls(fragments)
 
     def __repr__(self) -> str:
+        """Return a compact fragment-count summary for debugging."""
         return (
             f"SpanningForest(fragments={self.num_fragments()}, "
             f"nodes={self.num_nodes()}, max_radius={self.max_radius()})"

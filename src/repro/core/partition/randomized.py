@@ -49,7 +49,7 @@ from repro.core.partition.forest import SpanningForest
 from repro.protocols.collision.base import run_contention
 from repro.protocols.collision.metcalfe_boggs import MetcalfeBoggsContender
 from repro.sim.metrics import MetricsRecorder, MetricsSnapshot
-from repro.topology.graph import WeightedGraph, is_identity_enumeration
+from repro.topology.graph import WeightedGraph
 from repro.topology.properties import is_connected
 
 NodeId = Hashable
@@ -179,17 +179,11 @@ class RandomizedPartitioner:
         adj: List[List[int]] = [[] for _ in range(n)]
         adj_back: List[List[int]] = [[] for _ in range(n)]
         live_template: List[Tuple[int, int, int]] = []
-        # when the nodes are their own 0..n-1 enumeration, the node→index
-        # translation is free
-        if is_identity_enumeration(nodes):
-            endpoint_pairs = ((edge.u, edge.v) for edge in self._graph.edges())
-        else:
-            index_of = {node: i for i, node in enumerate(nodes)}
-            endpoint_pairs = (
-                (index_of[edge.u], index_of[edge.v])
-                for edge in self._graph.edges()
-            )
-        for u, v in endpoint_pairs:
+        # the CSR snapshot's canonical edge columns are already in this
+        # enumeration's index space — identity and arbitrary labels alike —
+        # so the build hashes no node identifiers at all
+        edge_u, edge_v, _ = self._graph.csr().canonical_edges()
+        for u, v in zip(edge_u, edge_v):
             position_u = len(adj[u])
             live_template.append((u, v, position_u))
             adj_back[u].append(len(adj[v]))

@@ -41,8 +41,15 @@ DEFAULT_SIZES = (64, 144, 256, 400, 625)
         # single-instance scale probe past n = 10^5 (PR 5's partition-loop
         # round 2); one point, so a sharded/checkpointed run resumes cleanly
         "xhot": {"sizes": (102400,), "topology": "grid"},
+        # single instance at n = 10^6 (PR 8's CSR graph core); ~70 s/run —
+        # bench-only, never part of the CI smoke suite
+        "xxhot": {"sizes": (1000000,), "topology": "grid"},
     },
-    bench_extras=(("e2_hot", "hot", {}), ("e2_xhot", "xhot", {})),
+    bench_extras=(
+        ("e2_hot", "hot", {}),
+        ("e2_xhot", "xhot", {}),
+        ("e2_xxhot", "xxhot", {}),
+    ),
 )
 def sweep_point(n: int, topology: str = "grid") -> Dict[str, object]:
     """Partition one topology and compare its cost to the Section 3 bounds."""

@@ -87,6 +87,10 @@ def _title(params: Mapping[str, object]) -> str:
         # partition + two simulated stages inside a 10 s/run budget
         "xhot": {"sizes": (102400,), "topology": "scale_free",
                  "channel_baseline": False},
+        # single instance at n = 10^6 (PR 8's CSR graph core); ~130 s/run —
+        # bench-only, never part of the CI smoke suite
+        "xxhot": {"sizes": (1000000,), "topology": "scale_free",
+                  "channel_baseline": False},
     },
     bench_extras=(
         ("e7_scale_free_hot", "hot", {}),
@@ -95,6 +99,7 @@ def _title(params: Mapping[str, object]) -> str:
         ("e7_loss_hot", "hot",
          {"sizes": (1024, 4096), "adversity": "loss"}),
         ("e7_xhot", "xhot", {}),
+        ("e7_xxhot", "xxhot", {}),
     ),
     quick_extras=(
         ("e7_scale_free", "quick",

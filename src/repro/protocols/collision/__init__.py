@@ -27,11 +27,13 @@ from repro.protocols.collision.capetanakis import CapetanakisContender
 from repro.protocols.collision.metcalfe_boggs import MetcalfeBoggsContender
 from repro.protocols.collision.greenberg_ladner import (
     GreenbergLadnerEstimator,
+    GreenbergLadnerFlyweight,
     estimate_multiplicity,
 )
 from repro.protocols.collision.leader_election import (
     BitByBitLeaderElection,
     RandomizedLeaderElection,
+    RandomizedLeaderElectionFlyweight,
     elect_leader,
 )
 
@@ -47,8 +49,10 @@ __all__ = [
     "CapetanakisContender",
     "MetcalfeBoggsContender",
     "GreenbergLadnerEstimator",
+    "GreenbergLadnerFlyweight",
     "estimate_multiplicity",
     "BitByBitLeaderElection",
     "RandomizedLeaderElection",
+    "RandomizedLeaderElectionFlyweight",
     "elect_leader",
 ]

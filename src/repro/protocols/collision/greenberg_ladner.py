@@ -25,6 +25,7 @@ from typing import Hashable, List, Optional
 
 from repro.sim.channel import SlottedChannel
 from repro.sim.events import ChannelEvent, Message
+from repro.sim.flyweight import FlyweightEnvironment, FlyweightProtocol
 from repro.sim.metrics import MetricsRecorder
 from repro.sim.node import NodeContext, NodeProtocol
 
@@ -115,3 +116,47 @@ class GreenbergLadnerEstimator(NodeProtocol):
             return
         self._round += 1
         self._flip_and_maybe_write()
+
+
+class GreenbergLadnerFlyweight(FlyweightProtocol):
+    """Flyweight twin of :class:`GreenbergLadnerEstimator` — columnar state.
+
+    One shared instance holds every node's current round number in one
+    integer column and materialises each node's private generator lazily
+    from the environment's substream family, replacing n protocol objects,
+    contexts and ``random.Random`` constructions with O(1) allocations.
+
+    The protocol reacts to channel feedback every slot and never to
+    point-to-point mail, so it keeps the default ``MESSAGE_DRIVEN = False``
+    and the fault-free loop dispatches every active slot each round —
+    exactly the classic full scan, with the per-node object tax removed.
+    """
+
+    def __init__(self, env: FlyweightEnvironment) -> None:
+        """Allocate the per-slot round and generator columns."""
+        super().__init__(env)
+        num_slots = env.num_slots
+        self._round: List[int] = [1] * num_slots
+        self._rngs: List[Optional[random.Random]] = [None] * num_slots
+
+    def _flip_and_maybe_write(self, slot: int) -> None:
+        rng = self._rngs[slot]
+        if rng is None:
+            rng = self._rngs[slot] = self.env.streams.rng_for(self.env.nodes[slot])
+        if rng.random() < 1.0 / (2.0 ** self._round[slot]):
+            self.channel_write(self.env.nodes[slot], "busy")
+
+    def on_start(self, slot: int) -> None:
+        """Flip the round-1 coin for ``slot``."""
+        self._flip_and_maybe_write(slot)
+
+    def on_round(self, slot: int, inbox: List[Message], channel: ChannelEvent) -> None:
+        """Halt on the first idle slot, otherwise advance and flip again."""
+        if channel.is_idle() and channel.slot >= 0:
+            rounds = self._round[slot]
+            self.halt_slot(
+                slot, MultiplicityEstimate(rounds=rounds, estimate=2 ** (rounds - 1))
+            )
+            return
+        self._round[slot] += 1
+        self._flip_and_maybe_write(slot)

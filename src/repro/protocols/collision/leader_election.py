@@ -31,6 +31,7 @@ from typing import Hashable, List, Optional, Sequence
 
 from repro.sim.channel import SlottedChannel
 from repro.sim.events import ChannelEvent, Message
+from repro.sim.flyweight import FlyweightEnvironment, FlyweightProtocol
 from repro.sim.metrics import MetricsRecorder
 from repro.sim.node import NodeContext, NodeProtocol
 
@@ -164,3 +165,50 @@ class RandomizedLeaderElection(NodeProtocol):
         if channel.is_collision() and self._candidate and not self._transmitted:
             self._candidate = False
         self._flip()
+
+
+class RandomizedLeaderElectionFlyweight(FlyweightProtocol):
+    """Flyweight twin of :class:`RandomizedLeaderElection` — columnar state.
+
+    The per-node candidate and transmitted flags live in two ``bytearray``
+    columns on one shared instance, and each slot's private generator is
+    materialised lazily from the environment's substream family — no
+    per-node protocol objects, contexts or ``random.Random`` constructions.
+
+    Like the classic protocol it reacts to channel feedback every slot
+    (never to point-to-point mail), so it keeps the default
+    ``MESSAGE_DRIVEN = False`` full-scan dispatch.
+    """
+
+    def __init__(self, env: FlyweightEnvironment) -> None:
+        """Allocate the candidate/transmitted flag and generator columns."""
+        super().__init__(env)
+        num_slots = env.num_slots
+        self._candidate = bytearray(b"\x01") * num_slots
+        self._transmitted = bytearray(num_slots)
+        self._rngs: List[Optional[random.Random]] = [None] * num_slots
+
+    def _flip(self, slot: int) -> None:
+        self._transmitted[slot] = 0
+        if not self._candidate[slot]:
+            return
+        rng = self._rngs[slot]
+        if rng is None:
+            rng = self._rngs[slot] = self.env.streams.rng_for(self.env.nodes[slot])
+        if rng.random() < 0.5:
+            node = self.env.nodes[slot]
+            self.channel_write(node, node)
+            self._transmitted[slot] = 1
+
+    def on_start(self, slot: int) -> None:
+        """Flip the first coin for ``slot``."""
+        self._flip(slot)
+
+    def on_round(self, slot: int, inbox: List[Message], channel: ChannelEvent) -> None:
+        """Halt on a success; withdraw non-transmitters on a collision."""
+        if channel.is_success():
+            self.halt_slot(slot, channel.payload)
+            return
+        if channel.is_collision() and self._candidate[slot] and not self._transmitted[slot]:
+            self._candidate[slot] = 0
+        self._flip(slot)

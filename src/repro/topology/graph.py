@@ -13,10 +13,20 @@ by every edge mutation, the canonical edge list is rebuilt at most once per
 mutation generation, and the total weight is maintained incrementally.  The
 ``iter_neighbors``/``neighbor_items`` views expose the adjacency dict without
 the per-call list allocation of :meth:`neighbors`.
+
+On top of the dict API sits the columnar core (:class:`CSRView`,
+:meth:`WeightedGraph.csr`): an immutable compressed-sparse-row snapshot —
+stdlib ``array('q')`` offsets/targets plus a parallel weight column — built
+at most once per mutation generation under the same version-counter
+invalidation.  The generators construct graphs directly in CSR form
+(:meth:`WeightedGraph._from_csr_edges`) and the nested dicts materialise
+lazily only when something actually asks for them, so the partition-bound
+sweeps never pay for per-edge dict insertion at all.
 """
 
 from __future__ import annotations
 
+from array import array
 from typing import (
     Dict,
     Hashable,
@@ -87,14 +97,15 @@ def sorted_incident_links(
     links: Dict[NodeId, List[Tuple[float, NodeId, Tuple[NodeId, NodeId]]]] = {
         node: [] for node in graph.nodes()
     }
-    edges = graph.edges()
-    weights = [edge.weight for edge in edges]
-    if len(set(weights)) == len(weights):
-        edges.sort(key=lambda edge: edge.weight)
-        for edge in edges:
-            key = edge_key(edge.u, edge.v)
-            links[edge.u].append((edge.weight, edge.v, key))
-            links[edge.v].append((edge.weight, edge.u, key))
+    csr = graph.csr()
+    edge_u, edge_v, edge_w = csr.canonical_edges()
+    if len(set(edge_w)) == len(edge_w):
+        nodes = csr.nodes
+        for j in sorted(range(len(edge_w)), key=edge_w.__getitem__):
+            u, v, w = nodes[edge_u[j]], nodes[edge_v[j]], edge_w[j]
+            key = edge_key(u, v)
+            links[u].append((w, v, key))
+            links[v].append((w, u, key))
     else:
         for node in links:
             links[node] = sorted(
@@ -147,6 +158,135 @@ class Edge(NamedTuple):
         return edge_key(self.u, self.v)
 
 
+class CSRView:
+    """An immutable compressed-sparse-row snapshot of a :class:`WeightedGraph`.
+
+    The columnar layout the hot loops walk instead of the nested adjacency
+    dicts: ``offsets`` is an ``array('q')`` of length ``n + 1``, ``targets``
+    holds the ``2m`` neighbour *slot indices* row by row, and ``weights`` is
+    the parallel ``array('d')`` weight column.  Slot ``i`` is node
+    ``nodes[i]`` — the graph's insertion-order enumeration, so slot space is
+    exactly the index space the partitioners already use.  On
+    identity-labelled graphs (:func:`is_identity_enumeration`) ``nodes`` is a
+    ``range`` and ``index_of`` is ``None``: labels *are* slots and no
+    translation dict is ever built; arbitrary hashable labels get a ``tuple``
+    plus a label→slot dict.
+
+    Row order within a node equals the adjacency dict's insertion order, so a
+    consumer that walks ``targets[offsets[i]:offsets[i + 1]]`` visits
+    neighbours in exactly the order ``iter_neighbors`` would yield them —
+    that row-order contract is what keeps CSR-walking consumers bit-identical
+    to their dict-walking predecessors.
+
+    Views are snapshots: :meth:`WeightedGraph.csr` hands out one view per
+    mutation generation and a mutation makes the next call rebuild.  A stale
+    view stays internally consistent (nothing is mutated in place) but no
+    longer describes the graph.
+    """
+
+    __slots__ = (
+        "n",
+        "offsets",
+        "targets",
+        "weights",
+        "nodes",
+        "index_of",
+        "identity",
+        "_canonical",
+    )
+
+    def __init__(
+        self,
+        n: int,
+        offsets: array,
+        targets: array,
+        weights: array,
+        nodes: Sequence[NodeId],
+        index_of: Optional[Dict[NodeId, int]],
+        identity: bool,
+    ) -> None:
+        """Bind the column arrays; built by the graph, not by callers."""
+        self.n = n
+        self.offsets = offsets
+        self.targets = targets
+        self.weights = weights
+        self.nodes = nodes
+        self.index_of = index_of
+        self.identity = identity
+        self._canonical: Optional[Tuple[array, array, array]] = None
+
+    @property
+    def num_edges(self) -> int:
+        """Return ``m``, the number of undirected edges in the snapshot."""
+        return len(self.targets) // 2
+
+    def canonical_edges(self) -> Tuple[array, array, array]:
+        """Return ``(edge_u, edge_v, edge_w)`` columns in canonical edge order.
+
+        One entry per undirected edge, endpoints as slot indices with
+        ``edge_u[j] < edge_v[j]``, in exactly the order
+        :meth:`WeightedGraph.edges` enumerates (first-endpoint insertion
+        order).  Computed once per view and cached, so repeated consumers
+        (weight assignment, the partition scan builders) share the arrays.
+        """
+        if self._canonical is None:
+            offsets = self.offsets
+            targets = self.targets
+            weights = self.weights
+            edge_u = array("q")
+            edge_v = array("q")
+            edge_w = array("d")
+            start = 0
+            for u in range(self.n):
+                end = offsets[u + 1]
+                for k in range(start, end):
+                    t = targets[k]
+                    if t > u:
+                        edge_u.append(u)
+                        edge_v.append(t)
+                        edge_w.append(weights[k])
+                start = end
+            self._canonical = (edge_u, edge_v, edge_w)
+        return self._canonical
+
+
+def _csr_from_adjacency(adjacency: Dict[NodeId, Dict[NodeId, float]]) -> CSRView:
+    """Build a :class:`CSRView` mirroring ``adjacency`` rows exactly."""
+    nodes_list = list(adjacency)
+    n = len(nodes_list)
+    identity = is_identity_enumeration(nodes_list)
+    offsets = array("q", bytes(8 * (n + 1)))
+    targets = array("q")
+    weights = array("d")
+    if identity:
+        nodes: Sequence[NodeId] = range(n)
+        index_of = None
+        try:
+            for i, row in enumerate(adjacency.values()):
+                targets.extend(row.keys())
+                weights.extend(row.values())
+                offsets[i + 1] = len(targets)
+        except TypeError:
+            # a numeric alias of an integer label (add_edge(1, 2.0)) snuck
+            # into a row: redo slot by slot with explicit conversion
+            del targets[:]
+            del weights[:]
+            for i, row in enumerate(adjacency.values()):
+                for v, w in row.items():
+                    targets.append(int(v))
+                    weights.append(w)
+                offsets[i + 1] = len(targets)
+    else:
+        nodes = tuple(nodes_list)
+        index_of = {node: i for i, node in enumerate(nodes_list)}
+        for i, row in enumerate(adjacency.values()):
+            for v, w in row.items():
+                targets.append(index_of[v])
+                weights.append(w)
+            offsets[i + 1] = len(targets)
+    return CSRView(n, offsets, targets, weights, nodes, index_of, identity)
+
+
 class WeightedGraph:
     """An undirected weighted graph with deterministic iteration order.
 
@@ -156,7 +296,10 @@ class WeightedGraph:
     """
 
     def __init__(self) -> None:
-        self._adjacency: Dict[NodeId, Dict[NodeId, float]] = {}
+        """Create an empty graph."""
+        # nested adjacency dicts, or None while a CSR-built graph has not
+        # needed them yet (see _materialize_adjacency)
+        self._adj: Optional[Dict[NodeId, Dict[NodeId, float]]] = {}
         self._edge_count = 0
         self._total_weight = 0.0
         # cache generation: bumped by every edge mutation; whole-graph views
@@ -164,10 +307,139 @@ class WeightedGraph:
         self._version = 0
         self._edges_cache: List[Edge] = []
         self._edges_cache_version = -1
+        self._csr_cache: Optional[CSRView] = None
+        self._csr_cache_version = -1
+
+    @property
+    def _adjacency(self) -> Dict[NodeId, Dict[NodeId, float]]:
+        """The nested adjacency dicts, materialised from CSR on first use."""
+        adj = self._adj
+        if adj is None:
+            adj = self._materialize_adjacency()
+        return adj
+
+    @_adjacency.setter
+    def _adjacency(self, value: Dict[NodeId, Dict[NodeId, float]]) -> None:
+        self._adj = value
+
+    def _materialize_adjacency(self) -> Dict[NodeId, Dict[NodeId, float]]:
+        """Build the nested dicts from the pending CSR snapshot.
+
+        Only reachable on a graph constructed in CSR form (``_adj is None``),
+        whose snapshot is by construction current.  Row insertion order is
+        the CSR row order, i.e. exactly what the equivalent ``add_edge``
+        sequence would have produced; materialising is therefore invisible
+        (no version bump).
+        """
+        csr = self._csr_cache
+        offsets = csr.offsets
+        targets = csr.targets
+        weights = csr.weights
+        adj: Dict[NodeId, Dict[NodeId, float]] = {}
+        start = 0
+        if csr.identity:
+            for i in range(csr.n):
+                end = offsets[i + 1]
+                adj[i] = {
+                    targets[k]: weights[k] for k in range(start, end)
+                }
+                start = end
+        else:
+            nodes = csr.nodes
+            for i in range(csr.n):
+                end = offsets[i + 1]
+                adj[nodes[i]] = {
+                    nodes[targets[k]]: weights[k] for k in range(start, end)
+                }
+                start = end
+        self._adj = adj
+        return adj
 
     # ------------------------------------------------------------------
     # construction
     # ------------------------------------------------------------------
+    @classmethod
+    def _from_csr_edges(
+        cls,
+        n: int,
+        edge_u: Sequence[int],
+        edge_v: Sequence[int],
+        edge_weights: Optional[Sequence[float]] = None,
+        nodes: Optional[Sequence[NodeId]] = None,
+        index_of: Optional[Dict[NodeId, int]] = None,
+    ) -> "WeightedGraph":
+        """Build a graph directly in CSR form from an edge stream.
+
+        ``edge_u``/``edge_v`` give one entry per undirected edge as slot
+        indices; ``edge_weights`` is the parallel weight column (``None`` ⇒
+        unit weights).  ``nodes`` maps slots to labels (``None`` ⇒ the
+        identity enumeration ``0..n-1``).  The stream must not repeat an
+        edge.
+
+        The counting-sort fill places each edge at its endpoints' cursors in
+        stream order, so row order — and hence every downstream iteration
+        order — is exactly what per-edge :meth:`add_edge` calls in the same
+        order would have produced.  The nested adjacency dicts are *not*
+        built here; they materialise lazily on first dict-shaped access,
+        which the partition-only workloads never perform.
+        """
+        m = len(edge_u)
+        degree = array("q", bytes(8 * n)) if n else array("q")
+        for u in edge_u:
+            degree[u] += 1
+        for v in edge_v:
+            degree[v] += 1
+        offsets = array("q", bytes(8 * (n + 1)))
+        run = 0
+        for i in range(n):
+            run += degree[i]
+            offsets[i + 1] = run
+        cursor = offsets[:n]
+        targets = array("q", bytes(16 * m))
+        total = 0.0
+        if edge_weights is None:
+            weights = array("d", [1.0]) * (2 * m)
+            for j in range(m):
+                u = edge_u[j]
+                v = edge_v[j]
+                cu = cursor[u]
+                targets[cu] = v
+                cursor[u] = cu + 1
+                cv = cursor[v]
+                targets[cv] = u
+                cursor[v] = cv + 1
+            total = float(m)
+        else:
+            weights = array("d", bytes(16 * m))
+            for j in range(m):
+                u = edge_u[j]
+                v = edge_v[j]
+                w = edge_weights[j]
+                cu = cursor[u]
+                targets[cu] = v
+                weights[cu] = w
+                cursor[u] = cu + 1
+                cv = cursor[v]
+                targets[cv] = u
+                weights[cv] = w
+                cursor[v] = cv + 1
+                # accumulate in stream order: bit-identical to the same
+                # sequence of add_edge calls
+                total += w
+        if nodes is None:
+            view = CSRView(n, offsets, targets, weights, range(n), None, True)
+        else:
+            if index_of is None:
+                index_of = {node: i for i, node in enumerate(nodes)}
+            view = CSRView(n, offsets, targets, weights, nodes, index_of, False)
+        graph = cls()
+        graph._adj = None
+        graph._edge_count = m
+        graph._total_weight = total
+        graph._csr_cache = view
+        graph._csr_cache_version = graph._version
+        return graph
+
     def add_node(self, node: NodeId) -> None:
         """Add ``node`` to the graph (no-op if already present)."""
         if node not in self._adjacency:
@@ -235,7 +507,15 @@ class WeightedGraph:
     # ------------------------------------------------------------------
     def has_node(self, node: NodeId) -> bool:
         """Return ``True`` when ``node`` is in the graph."""
-        return node in self._adjacency
+        adj = self._adj
+        if adj is not None:
+            return node in adj
+        csr = self._csr_cache
+        if csr.index_of is not None:
+            return node in csr.index_of
+        # identity enumeration: range membership has the same ==/hash
+        # semantics as the dict lookup (numeric aliases included)
+        return node in csr.nodes
 
     def has_edge(self, u: NodeId, v: NodeId) -> bool:
         """Return ``True`` when the undirected edge ``{u, v}`` exists."""
@@ -291,7 +571,10 @@ class WeightedGraph:
 
     def nodes(self) -> List[NodeId]:
         """Return all nodes in insertion order."""
-        return list(self._adjacency)
+        adj = self._adj
+        if adj is not None:
+            return list(adj)
+        return list(self._csr_cache.nodes)
 
     def edges(self) -> List[Edge]:
         """Return every undirected edge exactly once.
@@ -301,20 +584,54 @@ class WeightedGraph:
         mutation generation and copied per call, so callers may mutate it.
         """
         if self._edges_cache_version != self._version:
-            position = {node: index for index, node in enumerate(self._adjacency)}
-            result: List[Edge] = []
-            for u, nbrs in self._adjacency.items():
-                pos_u = position[u]
-                for v, w in nbrs.items():
-                    if position[v] > pos_u:
-                        result.append(Edge(u, v, w))
+            adj = self._adj
+            if adj is None:
+                # CSR-built graph: canonical edge order falls straight out of
+                # the row scan, no need to materialise the dicts
+                csr = self._csr_cache
+                edge_u, edge_v, edge_w = csr.canonical_edges()
+                if csr.identity:
+                    result = [
+                        Edge(u, v, w)
+                        for u, v, w in zip(edge_u, edge_v, edge_w)
+                    ]
+                else:
+                    labels = csr.nodes
+                    result = [
+                        Edge(labels[u], labels[v], w)
+                        for u, v, w in zip(edge_u, edge_v, edge_w)
+                    ]
+            else:
+                position = {node: index for index, node in enumerate(adj)}
+                result = []
+                for u, nbrs in adj.items():
+                    pos_u = position[u]
+                    for v, w in nbrs.items():
+                        if position[v] > pos_u:
+                            result.append(Edge(u, v, w))
             self._edges_cache = result
             self._edges_cache_version = self._version
         return list(self._edges_cache)
 
+    def csr(self) -> "CSRView":
+        """Return the CSR snapshot of the current mutation generation.
+
+        Built at most once per generation (the same version-counter
+        invalidation :meth:`edges` uses) and shared by every caller until
+        the next mutation.  Graphs constructed by the generators are born
+        with the snapshot already in place, so this is free for them.
+        """
+        if self._csr_cache_version != self._version:
+            self._csr_cache = _csr_from_adjacency(self._adj)
+            self._csr_cache_version = self._version
+        return self._csr_cache
+
     def num_nodes(self) -> int:
         """Return ``n``, the number of nodes."""
-        return len(self._adjacency)
+        adj = self._adj
+        if adj is not None:
+            return len(adj)
+        return self._csr_cache.n
 
     def num_edges(self) -> int:
         """Return ``m``, the number of undirected edges."""
@@ -333,15 +650,22 @@ class WeightedGraph:
         return self._total_weight
 
     def __contains__(self, node: NodeId) -> bool:
+        """Return ``True`` when ``node`` is a node of the graph."""
         return self.has_node(node)
 
     def __len__(self) -> int:
+        """Return the number of nodes."""
         return self.num_nodes()
 
     def __iter__(self) -> Iterator[NodeId]:
-        return iter(self._adjacency)
+        """Iterate over the nodes in insertion order."""
+        adj = self._adj
+        if adj is not None:
+            return iter(adj)
+        return iter(self._csr_cache.nodes)
 
     def __repr__(self) -> str:
+        """Return a compact ``n``/``m`` summary for debugging."""
         return (
             f"WeightedGraph(n={self.num_nodes()}, m={self.num_edges()})"
         )
@@ -352,6 +676,16 @@ class WeightedGraph:
     def copy(self) -> "WeightedGraph":
         """Return a deep copy of this graph."""
         clone = WeightedGraph()
+        if self._adj is None:
+            # CSR-built and never materialised: the snapshot is immutable, so
+            # the clone shares it; whichever side mutates first materialises
+            # its own dicts from the shared view
+            clone._adj = None
+            clone._edge_count = self._edge_count
+            clone._total_weight = self._total_weight
+            clone._csr_cache = self._csr_cache
+            clone._csr_cache_version = clone._version
+            return clone
         adjacency: Dict[NodeId, Dict[NodeId, float]] = {
             node: {} for node in self._adjacency
         }
@@ -368,7 +702,7 @@ class WeightedGraph:
         keep = set(nodes)
         sub = WeightedGraph()
         adjacency: Dict[NodeId, Dict[NodeId, float]] = {
-            node: {} for node in self._adjacency if node in keep
+            node: {} for node in self.nodes() if node in keep
         }
         count = 0
         total = 0.0
@@ -390,10 +724,10 @@ class WeightedGraph:
         insertion order, which is what the simulator expects.
         """
         if mapping is None:
-            mapping = {node: index for index, node in enumerate(self._adjacency)}
+            mapping = {node: index for index, node in enumerate(self.nodes())}
         renamed = WeightedGraph()
         adjacency: Dict[NodeId, Dict[NodeId, float]] = {
-            mapping[node]: {} for node in self._adjacency
+            mapping[node]: {} for node in self.nodes()
         }
         # count and total are re-derived rather than copied: a non-injective
         # mapping may merge edges (last weight wins, as with add_edge) or

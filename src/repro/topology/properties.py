@@ -24,23 +24,39 @@ def breadth_first_levels(graph: WeightedGraph, source: NodeId) -> Dict[NodeId, i
     Raises:
         KeyError: if ``source`` is not a node of ``graph``.
     """
-    adjacency = graph.adjacency()
-    if source not in adjacency:
+    csr = graph.csr()
+    if csr.index_of is not None:
+        if source not in csr.index_of:
+            raise KeyError(f"{source!r} is not a node of the graph")
+        start = csr.index_of[source]
+    elif type(source) is int and 0 <= source < csr.n:
+        start = source
+    elif isinstance(source, (int, float)) and source in csr.nodes:
+        # bool/float alias of an identity label (True, 2.0): same ==/hash
+        # semantics the adjacency-dict lookup had
+        start = int(source)
+    else:
         raise KeyError(f"{source!r} is not a node of the graph")
-    # frontier-at-a-time sweep over the raw adjacency dict: same visit order
-    # as the node-at-a-time deque (FIFO within each level), without the
-    # per-node popleft and per-level dict lookups
+    offsets = csr.offsets
+    targets = csr.targets
+    nodes = csr.nodes
+    # frontier-at-a-time sweep over the CSR rows: same visit order as the
+    # node-at-a-time deque (FIFO within each level, neighbours in row
+    # order), with byte-flag visit marks instead of per-neighbour hashing
+    seen = bytearray(csr.n)
+    seen[start] = 1
     levels: Dict[NodeId, int] = {source: 0}
-    frontier = [source]
+    frontier = [start]
     depth = 0
     while frontier:
         depth += 1
-        next_frontier: List[NodeId] = []
-        for node in frontier:
-            for neighbor in adjacency[node]:
-                if neighbor not in levels:
-                    levels[neighbor] = depth
-                    next_frontier.append(neighbor)
+        next_frontier: List[int] = []
+        for slot in frontier:
+            for target in targets[offsets[slot]:offsets[slot + 1]]:
+                if not seen[target]:
+                    seen[target] = 1
+                    levels[nodes[target]] = depth
+                    next_frontier.append(target)
         frontier = next_frontier
     return levels
 
@@ -95,15 +111,62 @@ def eccentricity(graph: WeightedGraph, node: NodeId) -> int:
     return max(levels.values()) if levels else 0
 
 
+def _slot_rows(graph: WeightedGraph) -> List[List[int]]:
+    """Return per-slot neighbour lists (Python ints) from the CSR view.
+
+    One O(m) materialisation shared by the all-sources sweeps below: list
+    rows make the inner BFS loop iterate existing int objects instead of
+    allocating an ``array`` slice (and boxing its entries) per visited node,
+    which is what dominates when every node is a BFS source.
+    """
+    csr = graph.csr()
+    targets = list(csr.targets)
+    offsets = csr.offsets
+    return [targets[offsets[i]:offsets[i + 1]] for i in range(csr.n)]
+
+
+def _slot_eccentricity(rows: List[List[int]], n: int, start: int) -> int:
+    """Return the eccentricity of slot ``start`` over ``rows``.
+
+    Raises:
+        ValueError: if the sweep does not reach all ``n`` slots.
+    """
+    seen = bytearray(n)
+    seen[start] = 1
+    visited = 1
+    frontier = [start]
+    depth = 0
+    while frontier:
+        next_frontier: List[int] = []
+        for slot in frontier:
+            for target in rows[slot]:
+                if not seen[target]:
+                    seen[target] = 1
+                    next_frontier.append(target)
+        if not next_frontier:
+            break
+        depth += 1
+        visited += len(next_frontier)
+        frontier = next_frontier
+    if visited != n:
+        raise ValueError("eccentricity is undefined on a disconnected graph")
+    return depth
+
+
 def diameter(graph: WeightedGraph) -> int:
     """Return the hop diameter of a connected ``graph``.
+
+    Every node is a BFS source, so the sweep runs on shared slot rows
+    (:func:`_slot_rows`) and tracks only depths — no per-source level map.
 
     Raises:
         ValueError: if the graph is empty or disconnected.
     """
-    if graph.num_nodes() == 0:
+    n = graph.num_nodes()
+    if n == 0:
         raise ValueError("the diameter of an empty graph is undefined")
-    return max(eccentricity(graph, node) for node in graph.nodes())
+    rows = _slot_rows(graph)
+    return max(_slot_eccentricity(rows, n, start) for start in range(n))
 
 
 def approximate_diameter(graph: WeightedGraph) -> int:
@@ -137,9 +200,11 @@ def approximate_diameter(graph: WeightedGraph) -> int:
 
 def graph_radius(graph: WeightedGraph) -> int:
     """Return the hop radius (minimum eccentricity) of a connected ``graph``."""
-    if graph.num_nodes() == 0:
+    n = graph.num_nodes()
+    if n == 0:
         raise ValueError("the radius of an empty graph is undefined")
-    return min(eccentricity(graph, node) for node in graph.nodes())
+    rows = _slot_rows(graph)
+    return min(_slot_eccentricity(rows, n, start) for start in range(n))
 
 
 def shortest_path_lengths(graph: WeightedGraph) -> Dict[NodeId, Dict[NodeId, int]]:
@@ -163,6 +228,7 @@ def tree_radius_from_root(parents: Dict[NodeId, Optional[NodeId]], root: NodeId)
     depth_cache: Dict[NodeId, int] = {root: 0}
 
     def depth(node: NodeId) -> int:
+        """Return ``node``'s depth, path-caching every ancestor on the way."""
         chain = []
         current = node
         while current not in depth_cache:

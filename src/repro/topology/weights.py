@@ -11,6 +11,7 @@ checkable.
 from __future__ import annotations
 
 import random
+from array import array
 from typing import Optional, Tuple
 
 from repro.topology.graph import WeightedGraph
@@ -30,13 +31,15 @@ def assign_random_weights(
     if low > high:
         raise ValueError("low must not exceed high")
     rng = random.Random(seed)
-    weighted = WeightedGraph()
-    weighted.add_nodes(graph.nodes())
+    csr = graph.csr()
+    edge_u, edge_v, _ = csr.canonical_edges()
     # draw in canonical edge order (the same order the copy-then-reweight
-    # implementation used), building the weighted copy in one pass
-    for edge in graph.edges():
-        weighted.add_edge(edge.u, edge.v, rng.uniform(low, high))
-    return weighted
+    # implementation used), then counting-sort the reweighted edge stream
+    # straight into the copy's CSR form — the row order per-edge add_edge
+    # calls would have produced, without ever building the nested dicts
+    uniform = rng.uniform
+    drawn = array("d", (uniform(low, high) for _ in range(len(edge_u))))
+    return _weighted_copy(csr, edge_u, edge_v, drawn)
 
 
 def assign_distinct_weights(
@@ -50,16 +53,28 @@ def assign_distinct_weights(
     assumption that a message carries O(log n) bits plus one data element.
     """
     rng = random.Random(seed)
-    edges = graph.edges()
-    weights = list(range(1, len(edges) + 1))
+    csr = graph.csr()
+    edge_u, edge_v, _ = csr.canonical_edges()
+    weights = list(range(1, len(edge_u) + 1))
     rng.shuffle(weights)
-    weighted = WeightedGraph()
-    weighted.add_nodes(graph.nodes())
     # assign in canonical edge order (identical to the old copy-then-reweight
-    # pairing), building the weighted copy in one pass
-    for edge, weight in zip(edges, weights):
-        weighted.add_edge(edge.u, edge.v, float(weight))
-    return weighted
+    # pairing); array('d') conversion is exactly float(weight)
+    return _weighted_copy(csr, edge_u, edge_v, array("d", weights))
+
+
+def _weighted_copy(csr, edge_u, edge_v, weights) -> WeightedGraph:
+    """Build the reweighted copy of a graph directly in CSR form.
+
+    ``csr`` is the source graph's snapshot; ``weights`` pairs with its
+    canonical edge columns.  Node labels (and the label→slot dict, when the
+    enumeration is not the identity) are shared with the source — both are
+    immutable in use.
+    """
+    if csr.identity:
+        return WeightedGraph._from_csr_edges(csr.n, edge_u, edge_v, weights)
+    return WeightedGraph._from_csr_edges(
+        csr.n, edge_u, edge_v, weights, nodes=csr.nodes, index_of=csr.index_of
+    )
 
 
 def ensure_distinct_weights(graph: WeightedGraph) -> WeightedGraph:
@@ -112,6 +127,7 @@ def minimum_spanning_tree_edges(graph: WeightedGraph) -> Tuple[float, list]:
     parent = {node: node for node in graph.nodes()}
 
     def find(node):
+        """Return ``node``'s union-find root with path halving."""
         while parent[node] != node:
             parent[node] = parent[parent[node]]
             node = parent[node]

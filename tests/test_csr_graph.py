@@ -1,0 +1,252 @@
+"""Differential tests for the columnar CSR graph core (``topology/graph.py``).
+
+The CSR view is a pure data-layout change: every consumer that walks the
+``array('q')`` columns must see exactly the nodes, neighbours, weights and
+orders the dict-of-dicts adjacency produced.  These tests pin that contract
+differentially — dict-built graphs against their own CSR views, CSR-built
+(lazy) graphs against dict-built twins, identity-labelled against
+arbitrarily-labelled graphs — plus the invalidation contract (a mutation
+after a view is taken must rebuild it) and the degenerate shapes (empty,
+single node, isolated nodes).  The golden byte-identity assertion rides in
+``tests/test_perf_equivalence.py``; topology-level equivalence of the CSR
+consumers (BFS, partition, MST) is pinned by the existing suites.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.topology.generators import (
+    barabasi_albert_graph,
+    erdos_renyi_graph,
+    grid_graph,
+    path_graph,
+    ring_graph,
+)
+from repro.topology.graph import WeightedGraph, is_identity_enumeration
+from repro.topology.properties import breadth_first_levels
+from repro.topology.weights import assign_distinct_weights, assign_random_weights
+
+
+def csr_as_adjacency(graph):
+    """Rebuild a nested-dict adjacency purely from the CSR columns."""
+    csr = graph.csr()
+    adjacency = {}
+    for slot in range(csr.n):
+        row = {}
+        for position in range(csr.offsets[slot], csr.offsets[slot + 1]):
+            row[csr.nodes[csr.targets[position]]] = csr.weights[position]
+        adjacency[csr.nodes[slot]] = row
+    return adjacency
+
+
+def assert_csr_matches_dicts(graph):
+    """The CSR view must reproduce the adjacency dicts entry for entry, in order."""
+    adjacency = graph.adjacency()
+    rebuilt = csr_as_adjacency(graph)
+    assert rebuilt == adjacency
+    # insertion order is part of the contract (it drives BFS visit order and
+    # the partitioners' workspace layout), so compare orders too
+    assert list(rebuilt) == list(adjacency)
+    for node in adjacency:
+        assert list(rebuilt[node]) == list(adjacency[node])
+
+
+def random_labeled_graph(labels, seed, edge_probability=0.4):
+    """Dict-built random graph over arbitrary ``labels``."""
+    rng = random.Random(seed)
+    graph = WeightedGraph()
+    graph.add_nodes(labels)
+    weight = 1
+    for i, u in enumerate(labels):
+        for v in labels[i + 1:]:
+            if rng.random() < edge_probability:
+                graph.add_edge(u, v, weight)
+                weight += 1
+    return graph
+
+
+class TestCSRMatchesDict:
+    @pytest.mark.parametrize("seed", (1, 2, 3, 4, 5))
+    def test_random_identity_graphs(self, seed):
+        graph = erdos_renyi_graph(40, 0.15, seed=seed)
+        assert graph.csr().identity
+        assert_csr_matches_dicts(graph)
+
+    @pytest.mark.parametrize("seed", (1, 2, 3))
+    def test_random_string_labeled_graphs(self, seed):
+        labels = [f"host-{i}" for i in range(25)]
+        graph = random_labeled_graph(labels, seed)
+        csr = graph.csr()
+        assert not csr.identity
+        assert csr.index_of == {label: slot for slot, label in enumerate(labels)}
+        assert_csr_matches_dicts(graph)
+
+    def test_float_labeled_graph(self):
+        labels = [0.5, 1.5, 2.25, -3.0, 4.125]
+        graph = random_labeled_graph(labels, seed=7, edge_probability=0.8)
+        assert not graph.csr().identity
+        assert_csr_matches_dicts(graph)
+
+    def test_mixed_hashable_labels(self):
+        graph = WeightedGraph()
+        graph.add_edge("a", (1, 2), 1.0)
+        graph.add_edge((1, 2), frozenset({3}), 2.0)
+        graph.add_edge("a", frozenset({3}), 3.0)
+        assert_csr_matches_dicts(graph)
+
+    def test_canonical_edges_match_edges_enumeration(self):
+        graph = erdos_renyi_graph(30, 0.2, seed=9)
+        csr = graph.csr()
+        edge_u, edge_v, edge_w = csr.canonical_edges()
+        canonical = [
+            (csr.nodes[u], csr.nodes[v], w)
+            for u, v, w in zip(edge_u, edge_v, edge_w)
+        ]
+        assert canonical == [tuple(edge) for edge in graph.edges()]
+
+
+class TestDegenerateShapes:
+    def test_empty_graph(self):
+        graph = WeightedGraph()
+        csr = graph.csr()
+        assert csr.n == 0
+        assert list(csr.offsets) == [0]
+        assert len(csr.targets) == 0
+        assert all(len(column) == 0 for column in csr.canonical_edges())
+        assert_csr_matches_dicts(graph)
+
+    def test_single_node(self):
+        graph = WeightedGraph()
+        graph.add_node(0)
+        csr = graph.csr()
+        assert csr.n == 1 and csr.num_edges == 0
+        assert list(csr.offsets) == [0, 0]
+        assert_csr_matches_dicts(graph)
+
+    def test_isolated_nodes_between_connected_ones(self):
+        graph = WeightedGraph()
+        graph.add_nodes(range(5))
+        graph.add_edge(0, 4, 2.0)
+        csr = graph.csr()
+        assert [csr.offsets[i + 1] - csr.offsets[i] for i in range(5)] == [
+            1, 0, 0, 0, 1
+        ]
+        assert_csr_matches_dicts(graph)
+
+
+class TestInvalidation:
+    def test_mutation_after_view_rebuilds(self):
+        graph = path_graph(6)
+        before = graph.csr()
+        assert graph.csr() is before  # cached while unmutated
+        graph.add_edge(0, 5, 9.0)
+        after = graph.csr()
+        assert after is not before
+        assert after.num_edges == before.num_edges + 1
+        assert_csr_matches_dicts(graph)
+
+    def test_remove_edge_invalidates(self):
+        graph = ring_graph(8)
+        before = graph.csr()
+        graph.remove_edge(0, 1)
+        assert graph.csr() is not before
+        assert_csr_matches_dicts(graph)
+
+    def test_set_weight_invalidates(self):
+        graph = grid_graph(3, 3)
+        before = graph.csr()
+        graph.set_weight(0, 1, 42.0)
+        after = graph.csr()
+        assert after is not before
+        assert after.weights[after.offsets[0]] == 42.0
+        assert_csr_matches_dicts(graph)
+
+    def test_stale_view_keeps_old_data(self):
+        graph = path_graph(4)
+        before = graph.csr()
+        edges_before = before.num_edges
+        graph.add_edge(0, 3, 5.0)
+        # an already-taken view is immutable: it must not see the mutation
+        assert before.num_edges == edges_before
+
+
+class TestLazyBuiltGraphs:
+    """Generator-built (CSR-first) graphs against dict-built twins."""
+
+    @pytest.mark.parametrize("seed", (1, 2, 3))
+    def test_barabasi_albert_matches_dict_twin(self, seed):
+        lazy = barabasi_albert_graph(60, 3, seed=seed)
+        twin = WeightedGraph()
+        twin.add_nodes(lazy.nodes())
+        for u, v, w in lazy.edges():
+            twin.add_edge(u, v, w)
+        assert lazy.adjacency() == twin.adjacency()
+        assert lazy.edges() == twin.edges()
+        assert lazy.total_weight() == twin.total_weight()
+        assert_csr_matches_dicts(lazy)
+
+    def test_weight_assignment_matches_dict_built(self):
+        lazy = grid_graph(6, 6)
+        twin = WeightedGraph()
+        twin.add_nodes(lazy.nodes())
+        for u, v, w in lazy.edges():
+            twin.add_edge(u, v, w)
+        for assign in (
+            lambda g: assign_distinct_weights(g, seed=3),
+            lambda g: assign_random_weights(g, seed=3),
+        ):
+            weighted_lazy = assign(lazy)
+            weighted_twin = assign(twin)
+            assert weighted_lazy.edges() == weighted_twin.edges()
+            assert weighted_lazy.adjacency() == weighted_twin.adjacency()
+
+    def test_weight_assignment_on_labeled_graph(self):
+        labels = [f"s{i}" for i in range(12)]
+        graph = random_labeled_graph(labels, seed=5, edge_probability=0.5)
+        weighted = assign_distinct_weights(graph, seed=2)
+        assert weighted.nodes() == graph.nodes()
+        assert sorted(e.weight for e in weighted.edges()) == list(
+            map(float, range(1, graph.num_edges() + 1))
+        )
+        assert_csr_matches_dicts(weighted)
+
+    def test_copy_shares_then_diverges(self):
+        lazy = ring_graph(10)
+        clone = lazy.copy()
+        assert clone.adjacency() == lazy.adjacency()
+        clone.add_edge(0, 5, 7.0)
+        assert lazy.has_edge(0, 5) is False
+        assert clone.has_edge(0, 5) is True
+
+    def test_bfs_identical_on_lazy_and_dict_built(self):
+        lazy = barabasi_albert_graph(50, 2, seed=4)
+        twin = WeightedGraph()
+        twin.add_nodes(lazy.nodes())
+        for u, v, w in lazy.edges():
+            twin.add_edge(u, v, w)
+        assert breadth_first_levels(lazy, 0) == breadth_first_levels(twin, 0)
+        assert list(breadth_first_levels(lazy, 0)) == list(
+            breadth_first_levels(twin, 0)
+        )
+
+
+class TestIdentityDetection:
+    def test_identity_enumeration_cases(self):
+        assert is_identity_enumeration([0, 1, 2])
+        assert is_identity_enumeration([])
+        assert not is_identity_enumeration([1, 2, 3])
+        assert not is_identity_enumeration(["a", "b"])
+
+    def test_bfs_accepts_float_alias_source_on_identity_graph(self):
+        graph = path_graph(5)
+        assert breadth_first_levels(graph, 2.0) == breadth_first_levels(graph, 2)
+
+    def test_bfs_rejects_unknown_source(self):
+        graph = path_graph(3)
+        with pytest.raises(KeyError):
+            breadth_first_levels(graph, 99)
+        with pytest.raises(KeyError):
+            breadth_first_levels(WeightedGraph(), 0)

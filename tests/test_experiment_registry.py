@@ -317,6 +317,64 @@ class TestCli:
         assert "max_feasible_n" in recorded["e2"]
 
 
+class FakeClock:
+    """Scripted ``perf_counter``: each run's elapsed time is read off a list."""
+
+    def __init__(self, elapsed):
+        self._elapsed = iter(elapsed)
+        self._now = 0.0
+        self._pending = None
+
+    def __call__(self):
+        if self._pending is None:
+            self._pending = next(self._elapsed)
+            return self._now
+        self._now += self._pending
+        self._pending = None
+        return self._now
+
+
+class TestMaxFeasibleProbe:
+    """The probe's boundary decision must not flap on one-sided host noise."""
+
+    def _run_probe(self, monkeypatch, elapsed, budget=2.0):
+        from repro.experiments import trajectory
+
+        calls = []
+        monkeypatch.setattr(trajectory.time, "perf_counter", FakeClock(elapsed))
+        result = trajectory._probe(calls.append, start_n=64, budget=budget)
+        return result, calls
+
+    def test_single_overshoot_near_boundary_is_retimed(self, monkeypatch):
+        # n=64 fits (1.0); n=128's first timing is a noise spike (2.5) but
+        # the re-timing fits (1.9); n=256 overshoots on all three timings
+        result, calls = self._run_probe(
+            monkeypatch, [1.0, 2.5, 1.9, 3.0, 3.0, 3.0]
+        )
+        assert result["max_feasible_n"] == 128
+        assert result["seconds_at_max"] == 1.9
+        assert calls == [64, 128, 128, 256, 256, 256]
+
+    def test_fitting_sizes_cost_one_run(self, monkeypatch):
+        # no overshoots until the final size: every fitting size is timed
+        # exactly once, as before the retry logic
+        result, calls = self._run_probe(monkeypatch, [1.0, 1.5, 4.0, 4.0, 4.0])
+        assert result["max_feasible_n"] == 128
+        assert calls == [64, 128, 256, 256, 256]
+
+    def test_consistent_overshoot_stops_after_bounded_retries(self, monkeypatch):
+        result, calls = self._run_probe(monkeypatch, [5.0, 5.0, 5.0])
+        assert result["max_feasible_n"] is None
+        assert result["seconds_at_max"] is None
+        assert calls == [64, 64, 64]
+
+    def test_minimum_of_timings_is_recorded(self, monkeypatch):
+        # the recorded seconds are the minimum timing, not the first
+        result, _ = self._run_probe(monkeypatch, [2.4, 2.2, 1.8, 9.0, 9.0, 9.0])
+        assert result["max_feasible_n"] == 64
+        assert result["seconds_at_max"] == 1.8
+
+
 class TestDocsCatalog:
     def test_markdown_is_deterministic_and_covers_every_spec(self):
         from repro.experiments.catalog import experiments_markdown

@@ -14,6 +14,12 @@ from __future__ import annotations
 import pytest
 
 from repro.experiments.harness import make_topology
+from repro.protocols.collision import (
+    GreenbergLadnerEstimator,
+    GreenbergLadnerFlyweight,
+    RandomizedLeaderElection,
+    RandomizedLeaderElectionFlyweight,
+)
 from repro.protocols.spanning.bfs import build_bfs_forest
 from repro.protocols.spanning.broadcast_convergecast import (
     TreeAggregationFlyweight,
@@ -90,6 +96,54 @@ class TestSynchronousEquivalence:
                 inputs=inputs,
                 stop_when=lambda protocols: False,
             )
+
+
+CHANNEL_PAIRS = (
+    (GreenbergLadnerEstimator, GreenbergLadnerFlyweight),
+    (RandomizedLeaderElection, RandomizedLeaderElectionFlyweight),
+)
+
+
+class TestChannelProtocolEquivalence:
+    """The PR 7 follow-up twins: channel-feedback protocols, no mail."""
+
+    @pytest.mark.parametrize("kind,n", TOPOLOGIES)
+    @pytest.mark.parametrize("classic,flyweight", CHANNEL_PAIRS)
+    def test_results_and_rounds_match_classic(self, kind, n, classic, flyweight):
+        graph = make_topology(kind, n, seed=11)
+        for seed in (3, 9):
+            classic_run = MultimediaNetwork(graph, seed=seed).run(classic)
+            flyweight_run = MultimediaNetwork(graph, seed=seed).run(flyweight)
+            assert flyweight_run.results == classic_run.results
+            assert flyweight_run.rounds == classic_run.rounds
+            assert flyweight_run.metrics.rounds == classic_run.metrics.rounds
+            assert (
+                flyweight_run.channel_history == classic_run.channel_history
+            )
+
+    @pytest.mark.parametrize(
+        "preset", sorted(name for name in ADVERSITY_PRESETS if name != "none")
+    )
+    @pytest.mark.parametrize("classic,flyweight", CHANNEL_PAIRS)
+    def test_outcome_matches_classic_under_preset(self, preset, classic, flyweight):
+        graph = make_topology("grid", 36, seed=11)
+        outcomes = []
+        for factory in (classic, flyweight):
+            adv = adversity_state(preset, "flyweight-channel", 36, "grid", preset)
+            try:
+                result = MultimediaNetwork(graph, seed=3).run(
+                    factory, adversity=adv
+                )
+                outcomes.append(("ok", result.results, result.rounds, adv.counters()))
+            except AdversityAbort as abort:
+                outcomes.append(
+                    ("abort", abort.rounds, abort.reason, adv.counters())
+                )
+        assert outcomes[0] == outcomes[1]
+
+    @pytest.mark.parametrize("flyweight", [pair[1] for pair in CHANNEL_PAIRS])
+    def test_detected_as_flyweight(self, flyweight):
+        assert is_flyweight_factory(flyweight)
 
 
 class TestAdversityEquivalence:

@@ -402,6 +402,32 @@ def test_output_matches_substream_golden(golden_v4, current_v4):
         )
 
 
+@pytest.mark.parametrize(
+    "fixture,path",
+    [
+        ("current_v1", GOLDEN_V1),
+        ("current_v2", GOLDEN_V2),
+        ("current_v3", GOLDEN_V3),
+        ("current_v4", GOLDEN_V4),
+    ],
+    ids=["v1", "v2", "v3", "v4"],
+)
+def test_goldens_regenerate_byte_identically(fixture, path, request):
+    """Re-serializing the current state must reproduce the committed bytes.
+
+    Stricter than the per-key equality above: it also pins key coverage,
+    serialization format and trailing newline, so running this module's
+    ``__main__`` regeneration on an equivalent tree leaves ``git diff``
+    empty — the check the CSR graph-core refactor (PR 8) is held to.
+    """
+    current = request.getfixturevalue(fixture)
+    regenerated = json.dumps(current, indent=2, sort_keys=True) + "\n"
+    assert regenerated == path.read_text(), (
+        f"{path.name} would not regenerate byte-identically; if the change "
+        "is intentional, regenerate tests/data/goldens/ and review the diff"
+    )
+
+
 if __name__ == "__main__":
     for path, state in (
         (GOLDEN_V1, _compute_deterministic_state()),
