@@ -150,8 +150,13 @@ def _probe(
     single overshoot near the boundary carries no information about the
     size itself; re-timing on overshoot keeps the committed value stable
     across runners instead of flapping between adjacent powers of two
-    (e4's historical 32768-vs-65536 jitter on the 2 s boundary).  Sizes
-    that fit on their first timing cost one run, exactly as before.
+    (e4's historical 32768-vs-65536 jitter on the 2 s boundary).  Re-timing
+    only happens inside the jitter window (under ``2 * budget``): a gross
+    overshoot is already conclusive — host jitter does not double a
+    runtime — and the terminal doubling step typically overshoots by a
+    large factor, so re-timing it would triple the probe's most expensive
+    run for nothing.  Sizes that fit on their first timing cost one run,
+    exactly as before.
     """
     n = start_n
     feasible = None
@@ -164,7 +169,7 @@ def _probe(
             elapsed = time.perf_counter() - start
             if best is None or elapsed < best:
                 best = elapsed
-            if best <= budget:
+            if best <= budget or best >= 2 * budget:
                 break
         if best > budget:
             break

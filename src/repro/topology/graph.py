@@ -9,7 +9,8 @@ from a seed.
 
 The class sits under every hot loop of the partition/MST algorithms, so the
 whole-graph accessors are cached: a mutation counter (``_version``) is bumped
-by every edge mutation, the canonical edge list is rebuilt at most once per
+by every mutation (edge changes and node insertions alike), the canonical
+edge list is rebuilt at most once per
 mutation generation, and the total weight is maintained incrementally.  The
 ``iter_neighbors``/``neighbor_items`` views expose the adjacency dict without
 the per-call list allocation of :meth:`neighbors`.
@@ -26,6 +27,7 @@ sweeps never pay for per-edge dict insertion at all.
 
 from __future__ import annotations
 
+import numbers
 from array import array
 from typing import (
     Dict,
@@ -302,8 +304,9 @@ class WeightedGraph:
         self._adj: Optional[Dict[NodeId, Dict[NodeId, float]]] = {}
         self._edge_count = 0
         self._total_weight = 0.0
-        # cache generation: bumped by every edge mutation; whole-graph views
-        # derived from the adjacency are rebuilt lazily when stale
+        # cache generation: bumped by every mutation (edges and node
+        # insertions — the CSR snapshot encodes the node set); whole-graph
+        # views derived from the adjacency are rebuilt lazily when stale
         self._version = 0
         self._edges_cache: List[Edge] = []
         self._edges_cache_version = -1
@@ -442,8 +445,13 @@ class WeightedGraph:
 
     def add_node(self, node: NodeId) -> None:
         """Add ``node`` to the graph (no-op if already present)."""
-        if node not in self._adjacency:
-            self._adjacency[node] = {}
+        adjacency = self._adjacency
+        if node not in adjacency:
+            adjacency[node] = {}
+            # the CSR snapshot encodes the node set (n, offsets, nodes), so
+            # inserting even an isolated node invalidates it exactly like an
+            # edge mutation does
+            self._version += 1
 
     def add_nodes(self, nodes: Iterable[NodeId]) -> None:
         """Add every node in ``nodes``."""
@@ -513,9 +521,21 @@ class WeightedGraph:
         csr = self._csr_cache
         if csr.index_of is not None:
             return node in csr.index_of
-        # identity enumeration: range membership has the same ==/hash
-        # semantics as the dict lookup (numeric aliases included)
-        return node in csr.nodes
+        # identity enumeration: the node set is exactly the ints 0..n-1.
+        # Reproduce the dict lookup's ==/hash semantics without delegating
+        # to range.__contains__, whose equality fallback is an O(n) scan
+        # for anything but exact ints:
+        hash(node)  # unhashable labels raise TypeError, as the dict did
+        if isinstance(node, int):  # bools and int subclasses included
+            return 0 <= node < csr.n
+        if isinstance(node, float):
+            return node.is_integer() and 0 <= node < csr.n
+        if isinstance(node, numbers.Number):
+            # exotic numeric aliases (Decimal, Fraction, complex, …) keep
+            # the exact dict-equality semantics; rare enough that range's
+            # linear scan is acceptable
+            return node in csr.nodes
+        return False
 
     def has_edge(self, u: NodeId, v: NodeId) -> bool:
         """Return ``True`` when the undirected edge ``{u, v}`` exists."""

@@ -172,6 +172,36 @@ class TestInvalidation:
         # an already-taken view is immutable: it must not see the mutation
         assert before.num_edges == edges_before
 
+    def test_add_node_invalidates_csr_born_graph(self):
+        # regression: the snapshot encodes the node set, so an isolated-node
+        # insertion on a CSR-born graph must rebuild it — CSR consumers used
+        # to silently miss the new node
+        graph = path_graph(3)
+        before = graph.csr()
+        graph.add_node(3)
+        after = graph.csr()
+        assert after is not before
+        assert after.n == 4
+        weighted = assign_random_weights(graph, seed=1)
+        assert weighted.has_node(3)
+        assert breadth_first_levels(graph, 3) == {3: 0}
+        assert_csr_matches_dicts(graph)
+
+    def test_add_node_invalidates_dict_built_graph(self):
+        graph = WeightedGraph()
+        graph.add_edge(0, 1, 1.0)
+        before = graph.csr()
+        graph.add_node(2)
+        after = graph.csr()
+        assert after is not before and after.n == 3
+        assert_csr_matches_dicts(graph)
+
+    def test_add_existing_node_keeps_view_cached(self):
+        graph = path_graph(3)
+        before = graph.csr()
+        graph.add_node(1)  # no-op: node already present
+        assert graph.csr() is before
+
 
 class TestLazyBuiltGraphs:
     """Generator-built (CSR-first) graphs against dict-built twins."""
@@ -250,3 +280,34 @@ class TestIdentityDetection:
             breadth_first_levels(graph, 99)
         with pytest.raises(KeyError):
             breadth_first_levels(WeightedGraph(), 0)
+
+
+class TestHasNodeOnLazyIdentityGraph:
+    """``has_node`` on a CSR-born graph must match the dict lookup's
+    semantics without falling into range's O(n) equality scan."""
+
+    def test_int_and_numeric_alias_membership(self):
+        graph = path_graph(5)
+        assert graph._adj is None  # still lazy: exercises the CSR path
+        assert graph.has_node(0) and graph.has_node(4)
+        assert not graph.has_node(5) and not graph.has_node(-1)
+        # numeric aliases hash/compare equal to their int, like dict keys
+        assert graph.has_node(2.0) and 2.0 in graph
+        assert not graph.has_node(2.5)
+        assert graph.has_node(True)  # True == 1
+        assert graph._adj is None  # none of the above materialised dicts
+
+    def test_non_numeric_labels_are_absent(self):
+        graph = path_graph(5)
+        assert not graph.has_node("2")
+        assert not graph.has_node((2,))
+        assert "2" not in graph
+
+    def test_unhashable_label_raises_like_dict_lookup(self):
+        graph = path_graph(5)
+        with pytest.raises(TypeError):
+            graph.has_node([2])
+        twin = WeightedGraph()
+        twin.add_nodes(range(5))
+        with pytest.raises(TypeError):
+            twin.has_node([2])

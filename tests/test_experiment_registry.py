@@ -357,16 +357,26 @@ class TestMaxFeasibleProbe:
 
     def test_fitting_sizes_cost_one_run(self, monkeypatch):
         # no overshoots until the final size: every fitting size is timed
-        # exactly once, as before the retry logic
-        result, calls = self._run_probe(monkeypatch, [1.0, 1.5, 4.0, 4.0, 4.0])
+        # exactly once, and the gross terminal overshoot (>= 2x budget) is
+        # conclusive on a single run
+        result, calls = self._run_probe(monkeypatch, [1.0, 1.5, 4.0])
         assert result["max_feasible_n"] == 128
-        assert calls == [64, 128, 256, 256, 256]
+        assert calls == [64, 128, 256]
 
     def test_consistent_overshoot_stops_after_bounded_retries(self, monkeypatch):
-        result, calls = self._run_probe(monkeypatch, [5.0, 5.0, 5.0])
+        # overshoots inside the jitter window (budget..2x budget) are
+        # re-timed up to the retry bound before declaring infeasibility
+        result, calls = self._run_probe(monkeypatch, [3.0, 3.0, 3.0])
         assert result["max_feasible_n"] is None
         assert result["seconds_at_max"] is None
         assert calls == [64, 64, 64]
+
+    def test_gross_overshoot_is_conclusive_on_one_run(self, monkeypatch):
+        # host jitter does not double a runtime: a first timing at or above
+        # 2x budget ends the size without burning two more over-budget runs
+        result, calls = self._run_probe(monkeypatch, [1.0, 5.0])
+        assert result["max_feasible_n"] == 64
+        assert calls == [64, 128]
 
     def test_minimum_of_timings_is_recorded(self, monkeypatch):
         # the recorded seconds are the minimum timing, not the first
