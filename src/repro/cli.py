@@ -11,6 +11,9 @@ pytest benches and the benchmark trajectory execute::
     python -m repro run e7 --executor sharded --preset hot --run-dir runs/e7
     python -m repro run e7 --shard 2/8 --run-dir runs/e7   # farm out one shard
     python -m repro run e7 --resume --run-dir runs/e7      # finish what's left
+    python -m repro run e7 --workers 4                     # coordinator + workers
+    python -m repro worker --connect 127.0.0.1:8036        # join a coordinator
+    python -m repro serve --port 8035                      # read-side JSON API
     python -m repro bench --quick
     python -m repro docs --check
 
@@ -89,9 +92,11 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     run_parser.add_argument(
         "--executor", choices=EXECUTOR_NAMES, default=None,
-        help="execution backend: serial, process (-j pool), or sharded "
+        help="execution backend: serial, process (-j pool), sharded "
         "(deterministic checkpointed shards under --run-dir; defaults to "
-        "sharded when any sharded option below is given)",
+        "sharded when any sharded option below is given), or distributed "
+        "(a coordinator leasing shards to worker processes; implied by "
+        "--workers)",
     )
     run_parser.add_argument(
         "--shard", type=str, default=None, metavar="K/N",
@@ -114,6 +119,16 @@ def _build_parser() -> argparse.ArgumentParser:
         "pending (resume later with --resume)",
     )
     run_parser.add_argument(
+        "--workers", type=int, default=0, metavar="W",
+        help="distributed backend: spawn W local worker processes and lease "
+        "shards to them (remote workers join with `repro worker`)",
+    )
+    run_parser.add_argument(
+        "--lease-timeout", type=float, default=0.0, metavar="SECONDS",
+        help="distributed backend: seconds a shard lease survives without a "
+        "heartbeat before it is reassigned (default: 30)",
+    )
+    run_parser.add_argument(
         "--json", type=Path, default=None, metavar="PATH",
         help="write the structured result (rows + params) to this JSON file",
     )
@@ -121,13 +136,36 @@ def _build_parser() -> argparse.ArgumentParser:
         "--quiet", action="store_true", help="suppress the rendered table"
     )
 
-    # `bench` is dispatched before this parser runs (argparse.REMAINDER
-    # cannot forward leading --options); the subparser exists so the command
-    # shows up in `repro --help`.
+    worker_parser = sub.add_parser(
+        "worker",
+        help="join a distributed coordinator and compute leased shards",
+    )
+    worker_parser.add_argument(
+        "--connect", required=True, metavar="HOST:PORT",
+        help="the coordinator's address (printed by `repro run --workers` "
+        "with --executor distributed, or your farm tooling)",
+    )
+    worker_parser.add_argument(
+        "--id", default=None, metavar="NAME",
+        help="worker identity in coordinator logs (default: host/pid based)",
+    )
+    worker_parser.add_argument(
+        "--max-attempts", type=int, default=8, metavar="N",
+        help="reconnect attempts (with exponential backoff) before giving up",
+    )
+
+    # `bench` and `serve` are dispatched before this parser runs
+    # (argparse.REMAINDER cannot forward leading --options); the subparsers
+    # exist so the commands show up in `repro --help`.
     sub.add_parser(
         "bench",
         help="time the benchmark suite and merge into BENCH_core.json "
         "(see `repro bench --help`)",
+    )
+    sub.add_parser(
+        "serve",
+        help="serve the experiment/run/benchmark corpus as a JSON API "
+        "(see `repro serve --help`)",
     )
 
     docs_parser = sub.add_parser(
@@ -272,6 +310,8 @@ def _command_run(args: argparse.Namespace) -> int:
         spec.params_for(args.preset, overrides)
         shard = parse_shard(args.shard) if args.shard is not None else None
         executor_name = args.executor
+        if executor_name is None and (args.workers or args.lease_timeout):
+            executor_name = "distributed"
         if executor_name is None and (
             shard is not None or args.resume or args.run_dir is not None
             or args.max_shards
@@ -285,6 +325,8 @@ def _command_run(args: argparse.Namespace) -> int:
                 resume=args.resume,
                 run_dir=args.run_dir,
                 max_shards=args.max_shards,
+                workers=args.workers,
+                lease_timeout=args.lease_timeout,
             )
             if executor_name is not None
             else None
@@ -324,6 +366,33 @@ def _command_run(args: argparse.Namespace) -> int:
     return 0
 
 
+def _command_worker(args: argparse.Namespace) -> int:
+    """``repro worker``: serve a distributed coordinator until its sweep ends."""
+    from repro.experiments.distributed import (
+        DistributedProtocolError,
+        run_worker,
+    )
+
+    host, sep, port_text = args.connect.rpartition(":")
+    try:
+        if not sep or not host:
+            raise ValueError("no colon")
+        port = int(port_text)
+    except ValueError:
+        print(f"error: expected HOST:PORT, got {args.connect!r}", file=sys.stderr)
+        return 2
+    try:
+        computed = run_worker(
+            host, port, worker_id=args.id, max_attempts=args.max_attempts
+        )
+    except DistributedProtocolError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 1
+    print(f"sweep complete: this worker computed {computed} shard(s)",
+          file=sys.stderr)
+    return 0
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     """Entry point for ``python -m repro`` and the ``repro`` console script."""
     argv = list(sys.argv[1:]) if argv is None else list(argv)
@@ -332,11 +401,18 @@ def main(argv: Optional[List[str]] = None) -> int:
         from repro.experiments.trajectory import main as bench_main
 
         return bench_main(argv[1:])
+    if argv[:1] == ["serve"]:
+        # delegate to the serve CLI, which owns the service options
+        from repro.serve import main as serve_main
+
+        return serve_main(argv[1:])
     args = _build_parser().parse_args(argv)
     if args.command == "list":
         return _command_list(args)
     if args.command == "docs":
         return _command_docs(args)
+    if args.command == "worker":
+        return _command_worker(args)
     return _command_run(args)
 
 

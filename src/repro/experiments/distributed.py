@@ -1,0 +1,833 @@
+"""Distributed sweep execution: a shard-leasing coordinator plus workers.
+
+The ``distributed`` backend farms the sharded executor's deterministic
+shards out to worker *processes* (local or across a LAN) instead of
+executing them inline.  A :class:`ShardCoordinator` owns the shard queue and
+leases shards over a tiny JSON-over-TCP protocol; :class:`ShardWorker`
+processes lease, compute, and submit shards back, heartbeating while they
+work and reconnecting with exponential backoff when the coordinator is
+briefly unreachable.  :class:`DistributedExecutor` wires the two together
+behind the unchanged :class:`~repro.experiments.executors.Executor`
+protocol, so ``run_experiment(..., executor="distributed")`` is all it takes.
+
+Fault model
+-----------
+Workers are assumed to fail arbitrarily: they may be SIGKILLed mid-shard,
+hang past their lease, partition away from the coordinator, or submit stale
+or corrupt payloads.  The design holds the merged result bit-identical to a
+serial run through three mechanisms:
+
+* **Leases + heartbeats.**  A leased shard must be heartbeat within
+  ``lease_timeout`` seconds or the lease expires and the shard returns to
+  the pending queue (*at-least-once* reassignment).  A worker whose lease
+  was reassigned learns so from its next heartbeat reply.
+* **Digest-checked submissions.**  Every submission must carry the sweep
+  digest, the shard's exact point indices, and rows matching the spec's
+  column schema — the same validation
+  :func:`~repro.experiments.executors.load_checkpoint` applies to files on
+  disk — before the coordinator writes the checkpoint.  A stale submission
+  from a differently-parameterised sweep (or a worker running drifted code)
+  is rejected and the shard re-queued.
+* **Deterministic rows.**  Every sweep point carries its own seeds, so a
+  shard computed twice (the at-least-once case) yields byte-identical rows;
+  duplicate submissions of a completed shard are acknowledged and discarded.
+
+Because accepted shards land as the *same* digest-checked checkpoint files
+the sharded executor writes (and the merge reads every row back through the
+JSON decoder), a distributed run directory is interchangeable with a
+sharded one: ``--resume`` works across backends and the merged rows equal a
+serial run bit-for-bit.  ``tests/test_distributed.py`` holds the
+worker-fault harness proving all of this under SIGKILL, hangs, and corrupt
+submissions.
+
+Wire protocol
+-------------
+One JSON object per connection, newline-terminated, reply in kind
+(connection-per-request keeps a partitioned or killed peer from wedging
+either side).  Resolved sweep parameters cross the wire under the
+tuple-preserving encoding of
+:func:`~repro.experiments.serialization.encode_wire`, and workers recompute
+the sweep digest from the decoded parameters — a codec or code-version skew
+is refused before any shard runs.
+
+=============  ==========================================================
+request op     reply op
+=============  ==========================================================
+``describe``   ``sweep`` — experiment id, preset, wire-encoded params,
+               point/shard counts, digest, lease timeout
+``lease``      ``assign`` (shard + indices) / ``wait`` / ``done``
+``heartbeat``  ``ok`` with ``valid`` false once the lease was reassigned
+``submit``     ``accepted`` (``duplicate`` true when already complete) /
+               ``rejected`` with a reason, shard re-queued
+=============  ==========================================================
+"""
+
+from __future__ import annotations
+
+import json
+import multiprocessing
+import os
+import socket
+import socketserver
+import threading
+import time
+import uuid
+from collections import deque
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Callable, Dict, List, Mapping, Optional, Tuple
+
+from repro.experiments.executors import (
+    ExecutionOutcome,
+    ExecutorConfigError,
+    _manifest_shard_count,
+    ensure_manifest,
+    execute_point,
+    load_checkpoint,
+    merge_checkpoints,
+    resolve_run_dir,
+    shard_indices,
+    sweep_digest,
+    write_checkpoint,
+)
+from repro.experiments.registry import (
+    ExperimentSpec,
+    PointParams,
+    get_experiment,
+)
+from repro.experiments.serialization import decode_wire, encode_wire
+
+#: wire protocol version; bumped on incompatible message changes
+PROTOCOL = 1
+
+#: hard cap on one wire message (a quick-preset shard is a few KiB)
+MAX_MESSAGE_BYTES = 32 * 1024 * 1024
+
+
+class DistributedProtocolError(RuntimeError):
+    """A worker/coordinator exchange failed in a way retries cannot fix.
+
+    Raised for version or digest skew between the two sides, malformed
+    replies, and a coordinator that stays unreachable past the backoff
+    budget — conditions where continuing could only waste compute or
+    (worse) submit rows for the wrong sweep.
+    """
+
+
+def send_request(
+    address: Tuple[str, int],
+    payload: Mapping[str, Any],
+    timeout: float = 10.0,
+) -> Dict[str, Any]:
+    """Send one JSON request to ``address`` and return the JSON reply.
+
+    One connection per request: connect, write a single newline-terminated
+    JSON object, read a single reply line, close.  Raises ``OSError`` on
+    connection/timeout trouble (the worker's backoff loop retries those)
+    and :class:`DistributedProtocolError` on a malformed or oversized reply.
+    """
+    with socket.create_connection(address, timeout=timeout) as sock:
+        sock.sendall(json.dumps(payload).encode("utf-8") + b"\n")
+        with sock.makefile("rb") as stream:
+            line = stream.readline(MAX_MESSAGE_BYTES + 1)
+    if not line:
+        raise ConnectionError("peer closed the connection without replying")
+    if len(line) > MAX_MESSAGE_BYTES:
+        raise DistributedProtocolError("oversized reply from coordinator")
+    try:
+        reply = json.loads(line.decode("utf-8"))
+    except ValueError as error:
+        raise DistributedProtocolError(f"malformed reply: {error}") from None
+    if not isinstance(reply, dict):
+        raise DistributedProtocolError("reply is not a JSON object")
+    return reply
+
+
+# ----------------------------------------------------------------------
+# coordinator
+# ----------------------------------------------------------------------
+@dataclass
+class _Lease:
+    """One outstanding shard lease: who holds it and until when."""
+
+    worker: str
+    deadline: float
+
+
+class _CoordinatorServer(socketserver.ThreadingTCPServer):
+    """Threaded TCP server dispatching wire messages to the coordinator."""
+
+    allow_reuse_address = True
+    daemon_threads = True
+    coordinator: "ShardCoordinator"
+
+
+class _CoordinatorHandler(socketserver.StreamRequestHandler):
+    """One request: read a JSON line, dispatch, write the JSON reply."""
+
+    def setup(self) -> None:
+        """Bound the read so a partitioned client cannot pin the thread."""
+        self.request.settimeout(10.0)
+        super().setup()
+
+    def handle(self) -> None:
+        """Dispatch one wire message to :meth:`ShardCoordinator.handle`."""
+        try:
+            line = self.rfile.readline(MAX_MESSAGE_BYTES + 1)
+            if not line or len(line) > MAX_MESSAGE_BYTES:
+                raise ValueError("missing or oversized request")
+            message = json.loads(line.decode("utf-8"))
+            if not isinstance(message, dict):
+                raise ValueError("request is not a JSON object")
+        except (OSError, ValueError, UnicodeDecodeError) as error:
+            reply: Dict[str, Any] = {"op": "error", "reason": str(error)}
+        else:
+            reply = self.server.coordinator.handle(message)
+        try:
+            self.wfile.write(json.dumps(reply).encode("utf-8") + b"\n")
+        except OSError:
+            pass  # client vanished mid-reply; its retry will re-ask
+
+
+class ShardCoordinator:
+    """Leases one sweep's shards to workers and checkpoints their results.
+
+    The coordinator owns the pending-shard queue, the outstanding leases,
+    and the completed set; every state transition happens under one lock
+    inside :meth:`handle`, which is plain-callable (the fault-harness and
+    property tests drive it directly, with an injected clock) and is what
+    the TCP server invokes per request.  Completed shards are written
+    through :func:`~repro.experiments.executors.write_checkpoint` into the
+    standard run-directory layout, so everything downstream (resume, merge,
+    ``repro serve``) is backend-agnostic.
+
+    Attributes:
+        stats: monotonic counters — ``leases_granted``, ``reassigned``,
+            ``accepted``, ``rejected``, ``duplicates``, ``heartbeats`` —
+            exposed for tests and operational logging.
+    """
+
+    def __init__(
+        self,
+        spec: ExperimentSpec,
+        preset: str,
+        params: Mapping[str, Any],
+        points: List[PointParams],
+        shard_count: int,
+        digest: str,
+        run_dir: Path,
+        completed: Tuple[int, ...] = (),
+        lease_timeout: float = 30.0,
+        clock: Callable[[], float] = time.monotonic,
+        host: str = "127.0.0.1",
+        port: int = 0,
+    ) -> None:
+        """Set up coordinator state; call :meth:`start` to serve.
+
+        Raises:
+            ValueError: on a non-positive ``lease_timeout``.
+        """
+        if lease_timeout <= 0:
+            raise ValueError(
+                f"lease timeout must be positive, got {lease_timeout}"
+            )
+        self._spec = spec
+        self._preset = preset
+        self._params = dict(params)
+        self._points = points
+        self._shard_count = shard_count
+        self._digest = digest
+        self._run_dir = Path(run_dir)
+        self._plan = shard_indices(len(points), shard_count)
+        self._lease_timeout = lease_timeout
+        self._clock = clock
+        self._host = host
+        self._port = port
+        done = set(completed)
+        self._pending = deque(
+            shard for shard in range(shard_count) if shard not in done
+        )
+        self._leases: Dict[int, _Lease] = {}
+        self._completed = done
+        self._lock = threading.Lock()
+        self.stats: Dict[str, int] = {
+            "leases_granted": 0,
+            "reassigned": 0,
+            "accepted": 0,
+            "rejected": 0,
+            "duplicates": 0,
+            "heartbeats": 0,
+        }
+        self._server: Optional[_CoordinatorServer] = None
+        self._thread: Optional[threading.Thread] = None
+
+    # -- lifecycle ------------------------------------------------------
+    def bind(self) -> Tuple[str, int]:
+        """Bind the TCP server (without serving yet) and return the address.
+
+        Split from :meth:`start` so callers can learn the ephemeral port —
+        and fork worker processes — *before* any server thread exists.
+        """
+        if self._server is None:
+            self._server = _CoordinatorServer(
+                (self._host, self._port), _CoordinatorHandler
+            )
+            self._server.coordinator = self
+        return self.address
+
+    def start(self) -> Tuple[str, int]:
+        """Bind (if needed) and serve requests on a daemon thread."""
+        self.bind()
+        if self._thread is None:
+            self._thread = threading.Thread(
+                target=self._server.serve_forever,
+                kwargs={"poll_interval": 0.05},
+                name="repro-coordinator",
+                daemon=True,
+            )
+            self._thread.start()
+        return self.address
+
+    def stop(self) -> None:
+        """Stop serving and release the socket (idempotent)."""
+        if self._server is not None:
+            if self._thread is not None:
+                self._server.shutdown()
+                self._thread.join(timeout=5.0)
+                self._thread = None
+            self._server.server_close()
+            self._server = None
+
+    def __enter__(self) -> "ShardCoordinator":
+        """Start serving on context entry."""
+        self.start()
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        """Stop serving on context exit."""
+        self.stop()
+
+    @property
+    def address(self) -> Tuple[str, int]:
+        """The bound ``(host, port)``; binds the server if needed."""
+        if self._server is None:
+            self.bind()
+        host, port = self._server.server_address[:2]
+        return host, port
+
+    # -- observability --------------------------------------------------
+    @property
+    def finished(self) -> bool:
+        """True when every shard has a validated checkpoint."""
+        with self._lock:
+            return len(self._completed) == self._shard_count
+
+    @property
+    def progress(self) -> Tuple[int, int, int]:
+        """Return ``(completed, leased, pending)`` shard counts."""
+        with self._lock:
+            return len(self._completed), len(self._leases), len(self._pending)
+
+    # -- the protocol ---------------------------------------------------
+    def handle(self, message: Mapping[str, Any]) -> Dict[str, Any]:
+        """Process one wire message and return the reply object.
+
+        Unknown or malformed operations yield an ``error`` reply instead of
+        raising: a confused (or malicious) client must never take the
+        coordinator down with it.
+        """
+        op = message.get("op")
+        try:
+            if op == "describe":
+                return self._describe()
+            if op == "lease":
+                return self._lease(str(message.get("worker", "?")))
+            if op == "heartbeat":
+                return self._heartbeat(
+                    str(message.get("worker", "?")), message.get("shard")
+                )
+            if op == "submit":
+                return self._submit(message)
+        except (TypeError, ValueError, KeyError) as error:
+            return {"op": "error", "reason": f"malformed {op}: {error}"}
+        return {"op": "error", "reason": f"unknown op {op!r}"}
+
+    def _describe(self) -> Dict[str, Any]:
+        """The sweep identity a (possibly remote) worker needs to join."""
+        return {
+            "op": "sweep",
+            "protocol": PROTOCOL,
+            "experiment": self._spec.id,
+            "preset": self._preset,
+            "params": encode_wire(self._params),
+            "num_points": len(self._points),
+            "shard_count": self._shard_count,
+            "digest": self._digest,
+            "lease_timeout": self._lease_timeout,
+        }
+
+    def _reap_expired(self, now: float) -> None:
+        """Re-queue every lease whose deadline passed (lock held)."""
+        for shard, lease in list(self._leases.items()):
+            if lease.deadline < now:
+                del self._leases[shard]
+                self._pending.append(shard)
+                self.stats["reassigned"] += 1
+
+    def reap(self) -> None:
+        """Expire overdue leases now (the executor's wait loop calls this)."""
+        with self._lock:
+            self._reap_expired(self._clock())
+
+    def _lease(self, worker: str) -> Dict[str, Any]:
+        """Grant the next pending shard, or say wait/done."""
+        with self._lock:
+            now = self._clock()
+            self._reap_expired(now)
+            if len(self._completed) == self._shard_count:
+                return {"op": "done"}
+            if not self._pending:
+                # everything is leased out: poll again within the lease
+                # window so an expiry is picked up promptly
+                return {
+                    "op": "wait",
+                    "seconds": min(1.0, self._lease_timeout / 4),
+                }
+            shard = self._pending.popleft()
+            self._leases[shard] = _Lease(worker, now + self._lease_timeout)
+            self.stats["leases_granted"] += 1
+            return {
+                "op": "assign",
+                "shard": shard,
+                "indices": list(self._plan[shard]),
+                "digest": self._digest,
+            }
+
+    def _heartbeat(self, worker: str, shard: Any) -> Dict[str, Any]:
+        """Extend a live lease; tell a superseded worker to stand down."""
+        with self._lock:
+            now = self._clock()
+            self._reap_expired(now)
+            self.stats["heartbeats"] += 1
+            lease = self._leases.get(shard) if isinstance(shard, int) else None
+            valid = lease is not None and lease.worker == worker
+            if valid:
+                lease.deadline = now + self._lease_timeout
+            return {"op": "ok", "valid": valid}
+
+    def _submit(self, message: Mapping[str, Any]) -> Dict[str, Any]:
+        """Validate a shard submission and persist it as a checkpoint."""
+        worker = str(message.get("worker", "?"))
+        shard = message.get("shard")
+        with self._lock:
+            now = self._clock()
+            self._reap_expired(now)
+            if not isinstance(shard, int) or not 0 <= shard < self._shard_count:
+                return self._reject(worker, shard, "shard index out of range")
+            if shard in self._completed:
+                # at-least-once: a reassigned worker finishing late submits
+                # rows identical to the accepted ones — acknowledge, discard
+                self.stats["duplicates"] += 1
+                return {"op": "accepted", "duplicate": True}
+            if message.get("digest") != self._digest:
+                return self._reject(worker, shard, "stale sweep digest")
+            if message.get("indices") != list(self._plan[shard]):
+                return self._reject(worker, shard, "shard indices mismatch")
+            rows = decode_wire(message.get("rows"))
+            expected = len(self._plan[shard])
+            if not isinstance(rows, list) or len(rows) != expected:
+                return self._reject(worker, shard, "row count mismatch")
+            if any(
+                not isinstance(row, dict) or set(self._spec.columns) - set(row)
+                for row in rows
+            ):
+                return self._reject(worker, shard, "row schema mismatch")
+            try:
+                compute_seconds = float(message.get("compute_seconds", 0.0))
+            except (TypeError, ValueError):
+                compute_seconds = 0.0
+            write_checkpoint(
+                self._run_dir,
+                shard,
+                self._shard_count,
+                self._plan[shard],
+                rows,
+                compute_seconds,
+                self._digest,
+            )
+            self._completed.add(shard)
+            self._leases.pop(shard, None)
+            self.stats["accepted"] += 1
+            return {"op": "accepted", "duplicate": False}
+
+    def _reject(self, worker: str, shard: Any, reason: str) -> Dict[str, Any]:
+        """Refuse a submission; re-queue the shard if this worker held it.
+
+        Lock held by the caller.  Only the lease holder's rejection
+        re-queues — a rejected submission from a worker whose lease was
+        already reassigned must not duplicate the shard in the queue.
+        """
+        self.stats["rejected"] += 1
+        if isinstance(shard, int):
+            lease = self._leases.get(shard)
+            if lease is not None and lease.worker == worker:
+                del self._leases[shard]
+                self._pending.append(shard)
+        return {"op": "rejected", "reason": reason}
+
+
+# ----------------------------------------------------------------------
+# worker
+# ----------------------------------------------------------------------
+class ShardWorker:
+    """One worker process's lease→compute→submit loop.
+
+    The worker is stateless between shards and trusts nothing it cannot
+    verify: it fetches the sweep description, re-resolves the spec from its
+    own registry, decodes the parameters, and *recomputes the sweep digest*
+    — refusing to compute anything when the two sides disagree (version
+    skew).  While computing it heartbeats from a daemon thread; every
+    request reconnects with exponential backoff so a briefly unreachable
+    coordinator (restart, network blip) is ridden out, and a permanently
+    gone one terminates the worker with
+    :class:`DistributedProtocolError` after ``max_attempts`` tries.
+
+    Subclasses may override :meth:`on_leased` (called between winning a
+    lease and computing it) — the seam the fault-harness's ``FaultyWorker``
+    doubles use to die, hang, or corrupt at the worst possible moment.
+    """
+
+    def __init__(
+        self,
+        address: Tuple[str, int],
+        worker_id: Optional[str] = None,
+        request_timeout: float = 10.0,
+        backoff_base: float = 0.05,
+        backoff_cap: float = 2.0,
+        max_attempts: int = 8,
+        heartbeat_interval: Optional[float] = None,
+    ) -> None:
+        """Configure the worker; :meth:`run` does the work."""
+        self.address = (address[0], int(address[1]))
+        self.worker_id = worker_id or (
+            f"worker-{socket.gethostname()}-{os.getpid()}-{uuid.uuid4().hex[:6]}"
+        )
+        self.request_timeout = request_timeout
+        self.backoff_base = backoff_base
+        self.backoff_cap = backoff_cap
+        self.max_attempts = max_attempts
+        self.heartbeat_interval = heartbeat_interval
+        self.shards_computed = 0
+
+    # -- overridable seams ---------------------------------------------
+    def on_leased(self, shard: int) -> None:
+        """Called after a lease is granted, before computing it (test seam)."""
+
+    def resolve_spec(self, experiment_id: str) -> ExperimentSpec:
+        """Resolve the sweep's spec from this worker's own registry."""
+        return get_experiment(experiment_id)
+
+    # -- the loop -------------------------------------------------------
+    def run(self) -> int:
+        """Serve the coordinator until the sweep is done.
+
+        Returns the number of shards this worker computed and had accepted.
+
+        Raises:
+            DistributedProtocolError: on digest/protocol skew, a malformed
+                reply, or a coordinator unreachable past the backoff budget.
+        """
+        description = self._request({"op": "describe"})
+        if description.get("op") != "sweep":
+            raise DistributedProtocolError(
+                f"unexpected describe reply: {description!r}"
+            )
+        if description.get("protocol") != PROTOCOL:
+            raise DistributedProtocolError(
+                f"coordinator speaks protocol {description.get('protocol')!r}, "
+                f"this worker speaks {PROTOCOL}"
+            )
+        spec = self.resolve_spec(description["experiment"])
+        params = decode_wire(description["params"])
+        points = spec.points(params)
+        shard_count = int(description["shard_count"])
+        digest = sweep_digest(
+            spec.id, description["preset"], params, len(points), shard_count
+        )
+        if digest != description["digest"] or len(points) != int(
+            description["num_points"]
+        ):
+            raise DistributedProtocolError(
+                "sweep digest mismatch between coordinator and worker — "
+                "mismatched code versions or a wire-codec fault; refusing "
+                "to compute shards that could never be accepted"
+            )
+        plan = shard_indices(len(points), shard_count)
+        interval = self.heartbeat_interval
+        if interval is None:
+            interval = max(float(description["lease_timeout"]) / 4.0, 0.05)
+
+        while True:
+            reply = self._request({"op": "lease", "worker": self.worker_id})
+            op = reply.get("op")
+            if op == "done":
+                return self.shards_computed
+            if op == "wait":
+                time.sleep(float(reply.get("seconds", 0.1)))
+                continue
+            if op != "assign":
+                raise DistributedProtocolError(
+                    f"unexpected lease reply: {reply!r}"
+                )
+            shard = int(reply["shard"])
+            self.on_leased(shard)
+            rows, elapsed = self._compute(spec, points, plan[shard], shard, interval)
+            outcome = self._request(
+                {
+                    "op": "submit",
+                    "worker": self.worker_id,
+                    "shard": shard,
+                    "digest": digest,
+                    "indices": list(plan[shard]),
+                    "rows": encode_wire(rows),
+                    "compute_seconds": round(elapsed, 6),
+                }
+            )
+            if outcome.get("op") == "accepted":
+                if not outcome.get("duplicate"):
+                    self.shards_computed += 1
+            # a rejected submission is not fatal: the coordinator re-queued
+            # the shard (or already has it); keep leasing
+
+    def _compute(
+        self,
+        spec: ExperimentSpec,
+        points: List[PointParams],
+        indices: List[int],
+        shard: int,
+        interval: float,
+    ) -> Tuple[List[Dict[str, Any]], float]:
+        """Execute one shard's points under a background heartbeat."""
+        stop = threading.Event()
+        beat = threading.Thread(
+            target=self._heartbeat_loop,
+            args=(shard, interval, stop),
+            name=f"heartbeat-{shard}",
+            daemon=True,
+        )
+        beat.start()
+        try:
+            start = time.perf_counter()
+            rows = [execute_point(spec, points[index]) for index in indices]
+            return rows, time.perf_counter() - start
+        finally:
+            stop.set()
+            beat.join(timeout=self.request_timeout + 1.0)
+
+    def _heartbeat_loop(
+        self, shard: int, interval: float, stop: threading.Event
+    ) -> None:
+        """Heartbeat ``shard`` every ``interval`` seconds until stopped."""
+        while not stop.wait(interval):
+            try:
+                send_request(
+                    self.address,
+                    {
+                        "op": "heartbeat",
+                        "worker": self.worker_id,
+                        "shard": shard,
+                    },
+                    timeout=self.request_timeout,
+                )
+            except (OSError, DistributedProtocolError):
+                # a missed heartbeat is survivable: the next one (or the
+                # submit itself) may land before the lease expires, and an
+                # expiry only costs a duplicate computation
+                pass
+
+    def _request(self, payload: Mapping[str, Any]) -> Dict[str, Any]:
+        """Send one request, reconnecting with exponential backoff."""
+        delay = self.backoff_base
+        last: Optional[BaseException] = None
+        for _ in range(self.max_attempts):
+            try:
+                return send_request(
+                    self.address, payload, timeout=self.request_timeout
+                )
+            except OSError as error:
+                last = error
+            time.sleep(delay)
+            delay = min(delay * 2, self.backoff_cap)
+        raise DistributedProtocolError(
+            f"coordinator at {self.address[0]}:{self.address[1]} unreachable "
+            f"after {self.max_attempts} attempts ({last})"
+        )
+
+
+def run_worker(
+    host: str,
+    port: int,
+    worker_id: Optional[str] = None,
+    **kwargs: Any,
+) -> int:
+    """Run one :class:`ShardWorker` to completion (process entry point).
+
+    This is what ``repro worker --connect HOST:PORT`` executes, and the
+    target :class:`DistributedExecutor` spawns its local worker processes
+    on; extra keyword arguments forward to :class:`ShardWorker`.
+    """
+    return ShardWorker((host, port), worker_id=worker_id, **kwargs).run()
+
+
+# ----------------------------------------------------------------------
+# the executor
+# ----------------------------------------------------------------------
+@dataclass
+class DistributedExecutor:
+    """Coordinator-backed executor: shards leased to worker processes.
+
+    Attributes:
+        workers: local worker processes to spawn (when ``spawn_workers``).
+        run_dir: checkpoint directory (same default naming as the sharded
+            backend, so the two are interchangeable on one directory).
+        shard_count: shard layout; defaults to an existing manifest's count,
+            else one shard per sweep point.
+        resume: treat valid pre-existing checkpoints as completed shards
+            instead of recomputing them.
+        lease_timeout: seconds a shard lease survives without a heartbeat.
+        host: coordinator bind address; ``0.0.0.0`` admits LAN workers
+            (``repro worker --connect``), the default stays loopback-only.
+        port: coordinator port (0 picks an ephemeral one).
+        spawn_workers: when false, spawn nothing and rely on external
+            workers connecting to the coordinator (``wall_timeout`` then
+            bounds the wait).
+        wall_timeout: optional overall deadline in seconds; on expiry the
+            merged partial result is returned (``pending_points`` > 0),
+            exactly like an interrupted sharded run — ``--resume`` finishes.
+        poll_interval: coordinator wait-loop poll period.
+    """
+
+    workers: int = 2
+    run_dir: Optional[Path] = None
+    shard_count: Optional[int] = None
+    resume: bool = False
+    lease_timeout: float = 30.0
+    host: str = "127.0.0.1"
+    port: int = 0
+    spawn_workers: bool = True
+    wall_timeout: Optional[float] = None
+    poll_interval: float = 0.05
+    name: str = field(default="distributed", init=False)
+
+    def execute(
+        self,
+        spec: ExperimentSpec,
+        preset: str,
+        params: Mapping[str, Any],
+        points: List[PointParams],
+    ) -> ExecutionOutcome:
+        """Coordinate workers over the sweep and merge their checkpoints.
+
+        Raises:
+            ExecutorConfigError: on a nonsensical configuration (no
+                workers and nothing external to wait for, bad lease
+                timeout) or a run directory belonging to a different sweep.
+        """
+        if self.spawn_workers and self.workers < 1:
+            raise ExecutorConfigError(
+                f"distributed executor needs at least one worker, got "
+                f"{self.workers}"
+            )
+        if self.lease_timeout <= 0:
+            raise ExecutorConfigError(
+                f"lease timeout must be positive, got {self.lease_timeout}"
+            )
+        if not self.spawn_workers and self.wall_timeout is None:
+            raise ExecutorConfigError(
+                "spawn_workers=False needs a wall_timeout: with no local "
+                "workers and no deadline the coordinator could wait forever"
+            )
+        run_dir = resolve_run_dir(
+            spec.id, preset, params, len(points), self.run_dir
+        )
+        count = self.shard_count
+        if count is None:
+            count = _manifest_shard_count(run_dir)
+        if count is None:
+            count = max(1, len(points))
+        if count < 1:
+            raise ExecutorConfigError(
+                f"shard count must be positive, got {count}"
+            )
+        digest = sweep_digest(spec.id, preset, params, len(points), count)
+        run_dir.mkdir(parents=True, exist_ok=True)
+        ensure_manifest(
+            run_dir, spec.id, preset, params, len(points), count, digest
+        )
+        plan = shard_indices(len(points), count)
+        completed = tuple(
+            shard
+            for shard in range(count)
+            if self.resume
+            and load_checkpoint(run_dir, shard, plan[shard], spec.columns, digest)
+            is not None
+        )
+        coordinator = ShardCoordinator(
+            spec,
+            preset,
+            params,
+            points,
+            count,
+            digest,
+            run_dir,
+            completed=completed,
+            lease_timeout=self.lease_timeout,
+            host=self.host,
+            port=self.port,
+        )
+        # bind before spawning so (a) workers know the ephemeral port and
+        # (b) local workers fork while this process is still single-threaded
+        host, port = coordinator.bind()
+        procs: List[multiprocessing.process.BaseProcess] = []
+        try:
+            if self.spawn_workers and not coordinator.finished:
+                context = multiprocessing.get_context()
+                for _ in range(self.workers):
+                    proc = context.Process(
+                        target=run_worker, args=(host, port), daemon=True
+                    )
+                    proc.start()
+                    procs.append(proc)
+            coordinator.start()
+            deadline = (
+                None
+                if self.wall_timeout is None
+                else time.monotonic() + self.wall_timeout
+            )
+            while not coordinator.finished:
+                coordinator.reap()
+                if deadline is not None and time.monotonic() > deadline:
+                    break
+                if procs and not any(proc.is_alive() for proc in procs):
+                    # every local worker is gone (a worker exits only after
+                    # its final submit round-trip): nothing will finish the
+                    # remaining shards — return the partial result honestly
+                    break
+                time.sleep(self.poll_interval)
+        finally:
+            coordinator.stop()
+            for proc in procs:
+                proc.join(timeout=5.0)
+                if proc.is_alive():
+                    proc.terminate()
+                    proc.join(timeout=5.0)
+
+        rows_by_index, compute_seconds = merge_checkpoints(
+            run_dir, plan, spec.columns, digest
+        )
+        rows = [rows_by_index[i] for i in sorted(rows_by_index)]
+        return ExecutionOutcome(
+            rows=rows,
+            compute_seconds=compute_seconds,
+            pending_points=len(points) - len(rows_by_index),
+        )

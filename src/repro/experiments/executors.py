@@ -17,6 +17,17 @@ drivers.  Three backends ship today:
   sweep restarts from its last completed shard (``--resume``), shards can be
   farmed out across invocations (``--shard 2/8``), and the merged rows are
   bit-identical to a serial run of the same sweep.
+* ``distributed`` (:class:`~repro.experiments.distributed.DistributedExecutor`)
+  — a coordinator leases the same shards to worker processes over TCP
+  (heartbeats, lease timeouts, at-least-once reassignment); every accepted
+  shard lands as the same digest-checked checkpoint, so the merged rows stay
+  bit-identical to serial.  Lives in :mod:`repro.experiments.distributed`
+  and is resolved lazily by :func:`make_executor`.
+
+The checkpoint primitives (:func:`write_checkpoint`, :func:`load_checkpoint`,
+:func:`ensure_manifest`, :func:`merge_checkpoints`, :func:`resolve_run_dir`)
+are module-level so every checkpoint-producing backend — and the read-side
+``repro serve`` service — validates and merges through one code path.
 
 Shard / checkpoint layout
 -------------------------
@@ -88,7 +99,7 @@ MANIFEST_SCHEMA = 1
 MANIFEST_NAME = "manifest.json"
 
 #: executor names accepted by ``run_experiment(executor=...)`` and the CLI
-EXECUTOR_NAMES: Tuple[str, ...] = ("serial", "process", "sharded")
+EXECUTOR_NAMES: Tuple[str, ...] = ("serial", "process", "sharded", "distributed")
 
 
 class ExecutorConfigError(ValueError):
@@ -287,6 +298,26 @@ def default_run_root() -> Path:
     return Path.cwd() / ".repro_runs"
 
 
+def resolve_run_dir(
+    experiment_id: str,
+    preset: str,
+    params: Mapping[str, Any],
+    num_points: int,
+    run_dir: Optional[Path],
+) -> Path:
+    """Return ``run_dir`` as a path, or the default directory for this sweep.
+
+    The default directory name must NOT depend on the shard layout (only the
+    sweep identity), so a farm run with ``--shard K/N``, a bare ``--resume``
+    collect, and a distributed coordinator all resolve to the same
+    directory; shard count 0 is the layout-independent sentinel.
+    """
+    if run_dir is not None:
+        return Path(run_dir)
+    name_digest = sweep_digest(experiment_id, preset, params, num_points, 0)
+    return default_run_root() / f"{experiment_id}-{preset}-{name_digest[:10]}"
+
+
 def _shard_path(run_dir: Path, shard: int) -> Path:
     """Return the checkpoint path of shard ``shard`` under ``run_dir``."""
     return run_dir / f"shard-{shard:04d}.json"
@@ -316,6 +347,154 @@ def _write_json_atomic(path: Path, payload: Mapping[str, Any]) -> None:
         except OSError:
             pass
         raise
+
+
+def ensure_manifest(
+    run_dir: Path,
+    experiment_id: str,
+    preset: str,
+    params: Mapping[str, Any],
+    num_points: int,
+    shard_count: int,
+    digest: str,
+) -> None:
+    """Create the run directory's manifest, or verify an existing one.
+
+    Raises:
+        ExecutorConfigError: when the directory's manifest carries a
+            different digest (another experiment, preset, parameterisation,
+            or shard layout).
+    """
+    manifest_path = run_dir / MANIFEST_NAME
+    if manifest_path.exists():
+        try:
+            manifest = json.loads(manifest_path.read_text())
+            existing = manifest["digest"]
+        except (OSError, ValueError, KeyError):
+            existing = None  # unreadable manifest: rewrite it below
+        if existing is not None and existing != digest:
+            raise ExecutorConfigError(
+                f"run directory {run_dir} belongs to a different sweep "
+                f"(manifest digest {existing[:10]}… != {digest[:10]}…); "
+                "pass a fresh --run-dir or matching parameters"
+            )
+        if existing == digest:
+            return
+    _write_json_atomic(
+        manifest_path,
+        {
+            "schema": MANIFEST_SCHEMA,
+            "experiment": experiment_id,
+            "preset": preset,
+            "params": jsonable(dict(params)),
+            "adversity": jsonable(params.get("adversity")),
+            "num_points": num_points,
+            "shard_count": shard_count,
+            "digest": digest,
+        },
+    )
+
+
+def write_checkpoint(
+    run_dir: Path,
+    shard: int,
+    shard_count: int,
+    indices: List[int],
+    rows: List[RowDict],
+    compute_seconds: float,
+    digest: str,
+) -> None:
+    """Write one completed shard's checkpoint file atomically.
+
+    The rows are stored under the reversible non-finite encoding so the
+    file stays strict RFC 8259 JSON while the decoded rows stay
+    bit-identical to a serial run's.
+    """
+    _write_json_atomic(
+        _shard_path(run_dir, shard),
+        {
+            "schema": MANIFEST_SCHEMA,
+            "digest": digest,
+            "shard": shard,
+            "shard_count": shard_count,
+            "indices": list(indices),
+            "rows": encode_nonfinite(rows),
+            "compute_seconds": round(compute_seconds, 6),
+        },
+    )
+
+
+def load_checkpoint(
+    run_dir: Path,
+    shard: int,
+    expected_indices: List[int],
+    columns: Tuple[str, ...],
+    digest: str,
+) -> Optional[Dict[str, Any]]:
+    """Load and validate one shard checkpoint; ``None`` when unusable.
+
+    A missing, truncated, corrupt, foreign (digest mismatch), or
+    schema-mismatched file is reported as absent rather than fatal, so
+    recovery is always "re-run the shard" — the checkpoint directory can
+    never wedge a sweep, and a stale checkpoint from a
+    differently-parameterised sweep is never merged even when the manifest
+    was lost.  The distributed coordinator applies the same validation to
+    worker *submissions* before anything reaches the directory at all.
+    """
+    path = _shard_path(run_dir, shard)
+    try:
+        data = json.loads(path.read_text())
+    except (OSError, ValueError):
+        return None
+    try:
+        if data["digest"] != digest:
+            return None
+        rows = decode_nonfinite(data["rows"])
+        if data["indices"] != list(expected_indices) or len(rows) != len(
+            expected_indices
+        ):
+            return None
+        if any(
+            not isinstance(row, dict) or set(columns) - set(row)
+            for row in rows
+        ):
+            return None
+        return {
+            "rows": rows,
+            "compute_seconds": float(data["compute_seconds"]),
+        }
+    except (KeyError, TypeError, ValueError):
+        return None
+
+
+def merge_checkpoints(
+    run_dir: Path,
+    plan: List[List[int]],
+    columns: Tuple[str, ...],
+    digest: str,
+    preloaded: Optional[Dict[int, Dict[str, Any]]] = None,
+) -> Tuple[Dict[int, RowDict], float]:
+    """Merge every valid checkpoint under ``run_dir`` into per-index rows.
+
+    Returns ``(rows_by_index, compute_seconds)`` — whoever wrote the
+    checkpoints (a serial sharded run, farmed ``--shard K/N`` invocations,
+    or distributed workers), the merge validates each file against the
+    digest and layout and sums the contributing shards' compute time.
+    ``preloaded`` carries checkpoints the caller already parsed this
+    invocation so they are not re-read.
+    """
+    rows_by_index: Dict[int, RowDict] = {}
+    compute_seconds = 0.0
+    for shard in range(len(plan)):
+        loaded = (preloaded or {}).get(shard)
+        if loaded is None:
+            loaded = load_checkpoint(run_dir, shard, plan[shard], columns, digest)
+        if loaded is None:
+            continue
+        for index, row in zip(plan[shard], loaded["rows"]):
+            rows_by_index[index] = row
+        compute_seconds += loaded["compute_seconds"]
+    return rows_by_index, compute_seconds
 
 
 @dataclass
@@ -366,15 +545,9 @@ class ShardedExecutor:
                 non-positive ``shard_count``, or a run directory that
                 belongs to a different sweep.
         """
-        run_dir = self.run_dir
-        if run_dir is None:
-            # the default directory name must NOT depend on the shard
-            # layout (only the sweep identity), so a farm run with
-            # --shard K/N and a bare --resume collect resolve to the same
-            # directory; shard_count 0 is the layout-independent sentinel
-            name_digest = sweep_digest(spec.id, preset, params, len(points), 0)
-            run_dir = default_run_root() / f"{spec.id}-{preset}-{name_digest[:10]}"
-        run_dir = Path(run_dir)
+        run_dir = resolve_run_dir(
+            spec.id, preset, params, len(points), self.run_dir
+        )
         count = self.shard_count
         if count is None:
             # a collect/resume invocation without an explicit layout adopts
@@ -395,7 +568,9 @@ class ShardedExecutor:
             )
         digest = sweep_digest(spec.id, preset, params, len(points), count)
         run_dir.mkdir(parents=True, exist_ok=True)
-        self._check_manifest(run_dir, spec, preset, params, len(points), count, digest)
+        ensure_manifest(
+            run_dir, spec.id, preset, params, len(points), count, digest
+        )
 
         selected = (
             range(count) if self.shard_index is None else [self.shard_index]
@@ -406,148 +581,32 @@ class ShardedExecutor:
         computed = 0
         for shard in selected:
             if self.resume:
-                loaded = self._load_shard(run_dir, shard, plan, spec, digest)
+                loaded = load_checkpoint(
+                    run_dir, shard, plan[shard], spec.columns, digest
+                )
                 if loaded is not None:
                     preloaded[shard] = loaded
                     continue
             if self.max_shards > 0 and computed >= self.max_shards:
                 break
-            self._run_shard(run_dir, shard, plan, spec, points, digest)
+            start = time.perf_counter()
+            rows = [execute_point(spec, points[index]) for index in plan[shard]]
+            write_checkpoint(
+                run_dir, shard, count, plan[shard], rows,
+                time.perf_counter() - start, digest,
+            )
             computed += 1
 
         # merge every valid checkpoint present, whoever wrote it
-        rows_by_index: Dict[int, RowDict] = {}
-        compute_seconds = 0.0
-        for shard in range(count):
-            loaded = preloaded.get(shard)
-            if loaded is None:
-                loaded = self._load_shard(run_dir, shard, plan, spec, digest)
-            if loaded is None:
-                continue
-            for index, row in zip(plan[shard], loaded["rows"]):
-                rows_by_index[index] = row
-            compute_seconds += loaded["compute_seconds"]
+        rows_by_index, compute_seconds = merge_checkpoints(
+            run_dir, plan, spec.columns, digest, preloaded
+        )
         rows = [rows_by_index[i] for i in sorted(rows_by_index)]
         return ExecutionOutcome(
             rows=rows,
             compute_seconds=compute_seconds,
             pending_points=len(points) - len(rows_by_index),
         )
-
-    # ------------------------------------------------------------------
-    def _check_manifest(
-        self,
-        run_dir: Path,
-        spec: ExperimentSpec,
-        preset: str,
-        params: Mapping[str, Any],
-        num_points: int,
-        shard_count: int,
-        digest: str,
-    ) -> None:
-        """Create the manifest, or verify an existing one matches this sweep.
-
-        Raises:
-            ExecutorConfigError: when the directory's manifest carries a
-                different digest (another experiment, preset,
-                parameterisation, or shard layout).
-        """
-        manifest_path = run_dir / MANIFEST_NAME
-        if manifest_path.exists():
-            try:
-                manifest = json.loads(manifest_path.read_text())
-                existing = manifest["digest"]
-            except (OSError, ValueError, KeyError):
-                existing = None  # unreadable manifest: rewrite it below
-            if existing is not None and existing != digest:
-                raise ExecutorConfigError(
-                    f"run directory {run_dir} belongs to a different sweep "
-                    f"(manifest digest {existing[:10]}… != {digest[:10]}…); "
-                    "pass a fresh --run-dir or matching parameters"
-                )
-            if existing == digest:
-                return
-        _write_json_atomic(
-            manifest_path,
-            {
-                "schema": MANIFEST_SCHEMA,
-                "experiment": spec.id,
-                "preset": preset,
-                "params": jsonable(dict(params)),
-                "adversity": jsonable(params.get("adversity")),
-                "num_points": num_points,
-                "shard_count": shard_count,
-                "digest": digest,
-            },
-        )
-
-    def _run_shard(
-        self,
-        run_dir: Path,
-        shard: int,
-        plan: List[List[int]],
-        spec: ExperimentSpec,
-        points: List[PointParams],
-        digest: str,
-    ) -> None:
-        """Execute one shard's points and write its checkpoint."""
-        start = time.perf_counter()
-        rows = [execute_point(spec, points[index]) for index in plan[shard]]
-        elapsed = time.perf_counter() - start
-        _write_json_atomic(
-            _shard_path(run_dir, shard),
-            {
-                "schema": MANIFEST_SCHEMA,
-                "digest": digest,
-                "shard": shard,
-                "shard_count": len(plan),
-                "indices": plan[shard],
-                # reversible non-finite encoding: the file stays strict
-                # JSON, the decoded rows stay bit-identical to serial
-                "rows": encode_nonfinite(rows),
-                "compute_seconds": round(elapsed, 6),
-            },
-        )
-
-    def _load_shard(
-        self,
-        run_dir: Path,
-        shard: int,
-        plan: List[List[int]],
-        spec: ExperimentSpec,
-        digest: str,
-    ) -> Optional[Dict[str, Any]]:
-        """Load and validate one shard checkpoint; ``None`` when unusable.
-
-        A missing, truncated, corrupt, foreign (digest mismatch), or
-        schema-mismatched file is reported as absent rather than fatal, so
-        recovery is always "re-run the shard" — the checkpoint directory can
-        never wedge a sweep, and a stale checkpoint from a
-        differently-parameterised sweep is never merged even when the
-        manifest was lost.
-        """
-        path = _shard_path(run_dir, shard)
-        try:
-            data = json.loads(path.read_text())
-        except (OSError, ValueError):
-            return None
-        try:
-            if data["digest"] != digest:
-                return None
-            rows = decode_nonfinite(data["rows"])
-            if data["indices"] != plan[shard] or len(rows) != len(plan[shard]):
-                return None
-            if any(
-                not isinstance(row, dict) or set(spec.columns) - set(row)
-                for row in rows
-            ):
-                return None
-            return {
-                "rows": rows,
-                "compute_seconds": float(data["compute_seconds"]),
-            }
-        except (KeyError, TypeError, ValueError):
-            return None
 
 
 def _manifest_shard_count(run_dir: Path) -> Optional[int]:
@@ -596,6 +655,8 @@ def make_executor(
     resume: bool = False,
     run_dir: Optional[Path] = None,
     max_shards: int = 0,
+    workers: int = 0,
+    lease_timeout: float = 0.0,
 ) -> Executor:
     """Build an executor from CLI-shaped options.
 
@@ -605,37 +666,39 @@ def make_executor(
         shard: 0-based ``(index, count)`` pair for the ``sharded`` backend
             (see :func:`parse_shard`); sets both the shard layout and the
             single shard this invocation executes.
-        resume: reuse completed checkpoints (``sharded`` only).
-        run_dir: checkpoint directory override (``sharded`` only).
+        resume: reuse completed checkpoints (``sharded``/``distributed``).
+        run_dir: checkpoint directory override (``sharded``/``distributed``).
         max_shards: compute at most this many shards this invocation
             (``sharded`` only; 0 means no limit).
+        workers: local worker-process count for the ``distributed`` backend
+            (0 means its default).
+        lease_timeout: seconds a distributed shard lease stays valid without
+            a heartbeat (0 means the backend's default).
 
     Raises:
-        ValueError: on an unknown executor name, or sharded-only options
-            combined with a non-sharded backend.
+        ValueError: on an unknown executor name, or options combined with a
+            backend that does not take them.
     """
-    if name == "serial":
-        sharded_options = shard or resume or run_dir or max_shards
-        if sharded_options:
-            raise ValueError(
-                "--shard/--resume/--run-dir/--max-shards require "
-                "--executor sharded"
-            )
-        if processes > 0:
-            # an explicit serial request and a worker count contradict
-            # each other; refuse rather than silently picking one
-            raise ValueError("-j/--processes requires --executor process")
-        return SerialExecutor()
-    if name == "process":
+    if name in ("serial", "process"):
         if shard or resume or run_dir or max_shards:
             raise ValueError(
                 "--shard/--resume/--run-dir/--max-shards require "
-                "--executor sharded"
+                "--executor sharded (or distributed for --run-dir/--resume)"
             )
+        if workers or lease_timeout:
+            raise ValueError(
+                "--workers/--lease-timeout require --executor distributed"
+            )
+        if name == "serial":
+            if processes > 0:
+                # an explicit serial request and a worker count contradict
+                # each other; refuse rather than silently picking one
+                raise ValueError("-j/--processes requires --executor process")
+            return SerialExecutor()
         # no explicit worker count: use the machine; an explicit count is
         # honoured as-is (1 degrades to the serial path, deliberately)
-        workers = processes if processes > 0 else (os.cpu_count() or 2)
-        return ProcessExecutor(processes=workers)
+        count = processes if processes > 0 else (os.cpu_count() or 2)
+        return ProcessExecutor(processes=count)
     if name == "sharded":
         if max_shards < 0:
             raise ValueError(
@@ -647,6 +710,10 @@ def make_executor(
                 "(shards run serially within an invocation; farm them out "
                 "across invocations with --shard K/N instead)"
             )
+        if workers or lease_timeout:
+            raise ValueError(
+                "--workers/--lease-timeout require --executor distributed"
+            )
         index, count = (None, None) if shard is None else shard
         return ShardedExecutor(
             run_dir=run_dir,
@@ -655,6 +722,32 @@ def make_executor(
             resume=resume,
             max_shards=max_shards,
         )
+    if name == "distributed":
+        if shard is not None or max_shards:
+            raise ValueError(
+                "--shard/--max-shards are not supported by the distributed "
+                "executor (the coordinator leases shards to workers itself)"
+            )
+        if processes > 0:
+            raise ValueError(
+                "-j/--processes is not supported by the distributed "
+                "executor; use --workers for the local worker count"
+            )
+        if workers < 0:
+            raise ValueError(f"--workers must be non-negative, got {workers}")
+        if lease_timeout < 0:
+            raise ValueError(
+                f"--lease-timeout must be non-negative, got {lease_timeout}"
+            )
+        # imported lazily: distributed.py builds on this module
+        from repro.experiments.distributed import DistributedExecutor
+
+        kwargs: Dict[str, Any] = {"run_dir": run_dir, "resume": resume}
+        if workers > 0:
+            kwargs["workers"] = workers
+        if lease_timeout > 0:
+            kwargs["lease_timeout"] = lease_timeout
+        return DistributedExecutor(**kwargs)
     raise ValueError(
         f"unknown executor {name!r} (available: {', '.join(EXECUTOR_NAMES)})"
     )

@@ -3,7 +3,7 @@
 :func:`run_experiment` resolves an :class:`~repro.experiments.registry.ExperimentSpec`
 (by id or directly), expands the chosen preset into sweep points, hands them
 to an execution backend (see :mod:`repro.experiments.executors` — serial,
-process-pool, or sharded/checkpointed), and returns an
+process-pool, sharded/checkpointed, or distributed), and returns an
 :class:`ExperimentResult` holding the structured row dictionaries.  The
 result renders to the exact plain-text :class:`~repro.analysis.reporting.Table`
 the experiment modules historically printed **and** serializes to JSON, so
@@ -162,6 +162,8 @@ def run_experiment(
     resume: bool = False,
     run_dir: Optional[Path] = None,
     max_shards: int = 0,
+    workers: int = 0,
+    lease_timeout: float = 0.0,
 ) -> ExperimentResult:
     """Run one experiment sweep and return its structured result.
 
@@ -178,26 +180,36 @@ def run_experiment(
             execution runs any spec object as-is.
         executor: execution backend — an :class:`~repro.experiments.executors.Executor`
             instance, or one of the registered names (``serial``/``process``/
-            ``sharded``).  Defaults to ``process`` when ``processes > 1``
-            and ``serial`` otherwise, preserving the historical signature.
+            ``sharded``/``distributed``).  Defaults to ``process`` when
+            ``processes > 1``, ``distributed`` when ``workers > 0``, and
+            ``serial`` otherwise, preserving the historical signature.
         shard: 0-based ``(index, count)`` pair selecting one shard of a
             ``sharded`` run (the CLI's ``--shard K/N``).
-        resume: reuse completed shard checkpoints (``sharded`` only).
-        run_dir: shard checkpoint directory override (``sharded`` only).
+        resume: reuse completed shard checkpoints (``sharded`` and
+            ``distributed``).
+        run_dir: shard checkpoint directory override (``sharded`` and
+            ``distributed``).
         max_shards: compute at most this many shards in this invocation
             (``sharded`` only; 0 means no limit).
+        workers: worker processes for the ``distributed`` backend; > 0
+            implies ``distributed`` when no explicit ``executor`` is given.
+        lease_timeout: seconds a distributed shard lease survives without a
+            heartbeat (``distributed`` only; 0 uses the backend default).
 
     Raises:
         KeyError: on an unknown experiment id or preset.
         ValueError: on unsupported parameter overrides, an unknown executor
-            name, or sharded options combined with a non-sharded backend.
+            name, or backend options combined with a backend that does not
+            understand them.
     """
     spec = _resolve(experiment)
     params = spec.params_for(preset, overrides)
     points = spec.points(params)
     sharded_requested = (
-        shard is not None or resume or run_dir is not None or max_shards != 0
+        shard is not None or max_shards != 0
     )
+    distributed_requested = workers > 0 or lease_timeout > 0
+    checkpoint_requested = resume or run_dir is not None
     if isinstance(executor, str):
         backend: Executor = make_executor(
             executor,
@@ -206,16 +218,33 @@ def run_experiment(
             resume=resume,
             run_dir=run_dir,
             max_shards=max_shards,
+            workers=workers,
+            lease_timeout=lease_timeout,
         )
     elif executor is not None:
-        if sharded_requested or processes > 0:
+        if (
+            sharded_requested
+            or distributed_requested
+            or checkpoint_requested
+            or processes > 0
+        ):
             raise ValueError(
-                "processes/shard/resume/run_dir/max_shards cannot be "
-                "combined with an executor instance — configure the "
-                "instance itself, or pass the executor by name"
+                "processes/shard/resume/run_dir/max_shards/workers/"
+                "lease_timeout cannot be combined with an executor "
+                "instance — configure the instance itself, or pass the "
+                "executor by name"
             )
         backend = executor
-    elif sharded_requested:
+    elif distributed_requested:
+        # worker options imply the distributed backend, mirroring how
+        # sharded options imply sharded below (sharded-only options are
+        # forwarded so the unsupported combination is rejected)
+        backend = make_executor(
+            "distributed", processes=processes, shard=shard, resume=resume,
+            run_dir=run_dir, max_shards=max_shards, workers=workers,
+            lease_timeout=lease_timeout,
+        )
+    elif sharded_requested or checkpoint_requested:
         # sharded options imply the sharded backend, so `--resume` alone
         # does the expected thing without repeating `--executor sharded`
         # (processes is forwarded so the unsupported combination is

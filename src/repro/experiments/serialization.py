@@ -66,3 +66,42 @@ def decode_nonfinite(value: Any) -> Any:
     if isinstance(value, list):
         return [decode_nonfinite(item) for item in value]
     return value
+
+
+#: marker key for the tuple-preserving wire encoding below
+TUPLE_KEY = "__wire_tuple__"
+
+
+def encode_wire(value: Any) -> Any:
+    """Encode ``value`` for a JSON wire protocol, preserving Python shapes.
+
+    A plain JSON round-trip flattens tuples to lists, and resolved sweep
+    parameters are full of tuples (``sizes``, ``seeds``) that must survive
+    the coordinator→worker hop *exactly* — the sweep digest is computed over
+    the parameters on both ends, so any shape drift would (correctly) refuse
+    the sweep.  Tuples become ``{"__wire_tuple__": [...]}`` markers and
+    non-finite floats reuse the :data:`NONFINITE_KEY` markers, so
+    :func:`decode_wire` restores the original objects bit-for-bit.
+    """
+    if isinstance(value, dict):
+        return {key: encode_wire(item) for key, item in value.items()}
+    if isinstance(value, tuple):
+        return {TUPLE_KEY: [encode_wire(item) for item in value]}
+    if isinstance(value, list):
+        return [encode_wire(item) for item in value]
+    if isinstance(value, float) and not math.isfinite(value):
+        return {NONFINITE_KEY: str(value)}
+    return value
+
+
+def decode_wire(value: Any) -> Any:
+    """Reverse :func:`encode_wire`, restoring tuples and non-finite floats."""
+    if isinstance(value, dict):
+        if set(value) == {TUPLE_KEY} and isinstance(value[TUPLE_KEY], list):
+            return tuple(decode_wire(item) for item in value[TUPLE_KEY])
+        if set(value) == {NONFINITE_KEY} and value[NONFINITE_KEY] in _NONFINITE_NAMES:
+            return _NONFINITE_NAMES[value[NONFINITE_KEY]]
+        return {key: decode_wire(item) for key, item in value.items()}
+    if isinstance(value, list):
+        return [decode_wire(item) for item in value]
+    return value

@@ -212,14 +212,16 @@ def probe_max_n(budget: float) -> Dict[str, Dict[str, object]]:
 # ----------------------------------------------------------------------
 # JSON trajectory file
 # ----------------------------------------------------------------------
-def _pair_speedups(
+def pair_speedups(
     before: Dict[str, Dict[str, object]], after: Dict[str, Dict[str, object]]
 ) -> Dict[str, float]:
     """Per-experiment wall-clock speedups between two recorded runs.
 
     Entries that carry no timing on either side are skipped — probe-only
     entries (a ``--only`` run still writes the e2/e4/e9 max-``n`` probes)
-    have no ``wall_seconds``.
+    have no ``wall_seconds``.  Public because ``repro serve``'s diff
+    endpoint computes the same comparison on demand for arbitrary label
+    pairs.
     """
     speedups = {}
     for name, before_entry in before.items():
@@ -230,12 +232,17 @@ def _pair_speedups(
     return speedups
 
 
+def label_order(runs: Dict[str, Dict[str, object]]) -> List[str]:
+    """Trajectory labels ordered by recorded sequence (oldest first)."""
+    return sorted(runs, key=lambda label: runs[label].get("sequence", 0))
+
+
 def _chain_speedups(runs: Dict[str, Dict[str, object]]) -> Dict[str, Dict[str, float]]:
     """Speedups between every consecutive pair of labels (by sequence)."""
-    ordered = sorted(runs, key=lambda label: runs[label].get("sequence", 0))
+    ordered = label_order(runs)
     chain: Dict[str, Dict[str, float]] = {}
     for earlier, later in zip(ordered, ordered[1:]):
-        chain[f"{earlier}->{later}"] = _pair_speedups(
+        chain[f"{earlier}->{later}"] = pair_speedups(
             runs[earlier].get("experiments", {}), runs[later].get("experiments", {})
         )
     return chain
@@ -332,7 +339,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "experiments": experiments,
     }
     if "before" in runs and "after" in runs:
-        data["speedup_before_to_after"] = _pair_speedups(
+        data["speedup_before_to_after"] = pair_speedups(
             runs["before"].get("experiments", {}),
             runs["after"].get("experiments", {}),
         )

@@ -1,0 +1,504 @@
+"""``repro serve``: a read-side JSON API over the results corpus.
+
+The ROADMAP's production story is *precompute on a farm, serve from a
+cache*: the distributed executor (:mod:`repro.experiments.distributed`)
+covers the precompute half, and this module is the serving half — a thin
+stdlib HTTP service (no new dependencies) exposing the experiment
+catalog, the run-directory checkpoints, and the ``BENCH_core.json``
+performance trajectory as JSON:
+
+===========================  =========================================
+``GET /experiments``         the registered experiment catalog
+``GET /runs``                run directories with completion status
+``GET /runs/<name>``         one run's checkpoints merged into the
+                             standard :class:`ExperimentResult` JSON
+``GET /bench/trajectory``    the benchmark trajectory file, labels
+                             ordered by sequence
+``GET /bench/diff``          per-experiment speedups between two labels
+                             (``?from=X&to=Y``; defaults to the last
+                             two recorded labels)
+===========================  =========================================
+
+Every 200 reply carries a strong ``ETag`` (a hash of the exact body) and
+honours ``If-None-Match`` with a 304, responses are memoised for a
+configurable TTL so a hot endpoint costs one merge per window, and a
+token-bucket rate limiter answers 429 when a client exceeds its budget.
+The service is read-only by construction — it opens every file through
+the same digest-validated readers the executors use, so a corrupt or
+foreign checkpoint is simply absent from the served result, never an
+error page.
+
+``ServeApp.respond`` is a plain function from request to
+``(status, headers, body)``; ``tests/test_serve.py`` drives it directly
+(with fake clocks for the TTL and bucket) and over a real socket.
+"""
+
+from __future__ import annotations
+
+import argparse
+import hashlib
+import json
+import threading
+import time
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from pathlib import Path
+from typing import Any, Callable, Dict, List, Mapping, Optional, Tuple
+from urllib.parse import parse_qs, urlsplit
+
+from repro.experiments.executors import (
+    MANIFEST_NAME,
+    default_run_root,
+    merge_checkpoints,
+    shard_indices,
+)
+from repro.experiments.registry import all_experiments, get_experiment, load_all
+from repro.experiments.runner import ExperimentResult
+from repro.experiments.trajectory import default_output, label_order, pair_speedups
+
+JSON_TYPE = "application/json; charset=utf-8"
+
+
+class TokenBucket:
+    """A classic token bucket: ``rate`` tokens/second, ``burst`` capacity.
+
+    ``allow`` is thread-safe (the HTTP server is threaded) and the clock is
+    injectable so the 429 path is testable without sleeping.  A
+    non-positive ``rate`` disables limiting entirely.
+    """
+
+    def __init__(
+        self,
+        rate: float,
+        burst: float,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        """Start full: the first ``burst`` requests always pass."""
+        self.rate = float(rate)
+        self.burst = float(burst)
+        self._tokens = float(burst)
+        self._clock = clock
+        self._last = clock()
+        self._lock = threading.Lock()
+
+    def allow(self, cost: float = 1.0) -> bool:
+        """Spend ``cost`` tokens if available; False means rate-limited."""
+        if self.rate <= 0:
+            return True
+        with self._lock:
+            now = self._clock()
+            self._tokens = min(
+                self.burst, self._tokens + (now - self._last) * self.rate
+            )
+            self._last = now
+            if self._tokens >= cost:
+                self._tokens -= cost
+                return True
+            return False
+
+
+class TTLCache:
+    """Response memoiser: body + ETag per key, expiring after ``ttl`` seconds.
+
+    A non-positive ``ttl`` disables caching (every request recomputes).
+    """
+
+    def __init__(
+        self, ttl: float, clock: Callable[[], float] = time.monotonic
+    ) -> None:
+        """An empty cache with injectable clock (for TTL-expiry tests)."""
+        self.ttl = float(ttl)
+        self._clock = clock
+        self._entries: Dict[str, Tuple[float, bytes, str]] = {}
+        self._lock = threading.Lock()
+
+    def get(self, key: str) -> Optional[Tuple[bytes, str]]:
+        """Return the fresh ``(body, etag)`` for ``key``, or ``None``."""
+        if self.ttl <= 0:
+            return None
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is None:
+                return None
+            expires, body, etag = entry
+            if expires <= self._clock():
+                del self._entries[key]
+                return None
+            return body, etag
+
+    def put(self, key: str, body: bytes, etag: str) -> None:
+        """Store ``(body, etag)`` under ``key`` for the next TTL window."""
+        if self.ttl <= 0:
+            return
+        with self._lock:
+            self._entries[key] = (self._clock() + self.ttl, body, etag)
+
+
+def _etag(body: bytes) -> str:
+    """A strong ETag for an exact body (quoted, per RFC 9110)."""
+    return '"' + hashlib.sha256(body).hexdigest()[:32] + '"'
+
+
+class ServeApp:
+    """The routing core of ``repro serve``, independent of any socket.
+
+    Attributes:
+        run_root: directory whose children are sharded/distributed run
+            directories (default: the executors' ``.repro_runs/``).
+        bench_path: the benchmark trajectory file (default:
+            ``BENCH_core.json`` at the repo root).
+    """
+
+    def __init__(
+        self,
+        run_root: Optional[Path] = None,
+        bench_path: Optional[Path] = None,
+        ttl: float = 5.0,
+        rate: float = 20.0,
+        burst: float = 40.0,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        """Configure paths, cache TTL and rate limits; loads the registry."""
+        load_all()
+        self.run_root = Path(run_root) if run_root is not None else default_run_root()
+        self.bench_path = (
+            Path(bench_path) if bench_path is not None else default_output()
+        )
+        self.cache = TTLCache(ttl, clock)
+        self.limiter = TokenBucket(rate, burst, clock)
+
+    # -- the request entry point ---------------------------------------
+    def respond(
+        self,
+        path: str,
+        query: str = "",
+        if_none_match: Optional[str] = None,
+    ) -> Tuple[int, Dict[str, str], bytes]:
+        """Answer one GET: returns ``(status, headers, body)``.
+
+        Rate limiting happens before the cache (a cached body still costs a
+        token — the limiter protects the socket, not just the disk), then
+        fresh cached bodies short-circuit recomputation, and a matching
+        ``If-None-Match`` turns either outcome into an empty 304.
+        """
+        if not self.limiter.allow():
+            return self._reply(
+                429,
+                {"error": "rate limited", "path": path},
+                extra={"Retry-After": "1"},
+            )
+        key = f"{path}?{query}"
+        cached = self.cache.get(key)
+        if cached is not None:
+            body, etag = cached
+        else:
+            status, payload = self._route(path, parse_qs(query))
+            if status != 200:
+                return self._reply(status, payload)
+            body = _body_bytes(payload)
+            etag = _etag(body)
+            self.cache.put(key, body, etag)
+        headers = {
+            "Content-Type": JSON_TYPE,
+            "ETag": etag,
+            "Cache-Control": f"max-age={max(int(self.cache.ttl), 0)}",
+        }
+        if if_none_match is not None and etag in (
+            tag.strip() for tag in if_none_match.split(",")
+        ):
+            return 304, headers, b""
+        return 200, headers, body
+
+    def _reply(
+        self,
+        status: int,
+        payload: Mapping[str, Any],
+        extra: Optional[Mapping[str, str]] = None,
+    ) -> Tuple[int, Dict[str, str], bytes]:
+        """An uncached (error) reply."""
+        headers = {"Content-Type": JSON_TYPE}
+        if extra:
+            headers.update(extra)
+        return status, headers, _body_bytes(payload)
+
+    # -- routing --------------------------------------------------------
+    def _route(
+        self, path: str, params: Mapping[str, List[str]]
+    ) -> Tuple[int, Dict[str, Any]]:
+        """Dispatch a path to its payload builder."""
+        path = path.rstrip("/") or "/"
+        if path == "/":
+            return 200, {
+                "service": "repro serve",
+                "endpoints": [
+                    "/experiments",
+                    "/runs",
+                    "/runs/<name>",
+                    "/bench/trajectory",
+                    "/bench/diff?from=<label>&to=<label>",
+                ],
+            }
+        if path == "/experiments":
+            return self._experiments()
+        if path == "/runs":
+            return self._runs()
+        if path.startswith("/runs/"):
+            return self._run(path[len("/runs/"):])
+        if path == "/bench/trajectory":
+            return self._trajectory()
+        if path == "/bench/diff":
+            return self._diff(params)
+        return 404, {"error": "unknown endpoint", "path": path}
+
+    def _experiments(self) -> Tuple[int, Dict[str, Any]]:
+        """The registered experiment catalog."""
+        return 200, {
+            "experiments": [
+                {
+                    "id": spec.id,
+                    "description": spec.description,
+                    "presets": sorted(spec.presets),
+                    "columns": list(spec.columns),
+                    "topologies": list(spec.topologies),
+                    "adversities": list(spec.adversities),
+                }
+                for spec in all_experiments()
+            ]
+        }
+
+    def _run_summaries(self) -> List[Dict[str, Any]]:
+        """One summary per readable run directory under ``run_root``."""
+        summaries = []
+        if not self.run_root.is_dir():
+            return summaries
+        for run_dir in sorted(self.run_root.iterdir()):
+            manifest = _read_manifest(run_dir)
+            if manifest is None:
+                continue
+            merged = self._merge(manifest, run_dir)
+            summary = {
+                "name": run_dir.name,
+                "experiment": manifest.get("experiment"),
+                "preset": manifest.get("preset"),
+                "num_points": manifest.get("num_points"),
+                "shard_count": manifest.get("shard_count"),
+                "digest": manifest.get("digest"),
+            }
+            if merged is not None:
+                rows_by_index, _ = merged
+                summary["completed_points"] = len(rows_by_index)
+                summary["pending_points"] = (
+                    int(manifest["num_points"]) - len(rows_by_index)
+                )
+            summaries.append(summary)
+        return summaries
+
+    def _runs(self) -> Tuple[int, Dict[str, Any]]:
+        """The run-directory index."""
+        return 200, {
+            "run_root": str(self.run_root),
+            "runs": self._run_summaries(),
+        }
+
+    def _run(self, name: str) -> Tuple[int, Dict[str, Any]]:
+        """One run's checkpoints merged into ``ExperimentResult`` JSON."""
+        if not name or "/" in name or name in (".", ".."):
+            return 404, {"error": "unknown run", "run": name}
+        run_dir = self.run_root / name
+        manifest = _read_manifest(run_dir)
+        if manifest is None:
+            return 404, {"error": "unknown run", "run": name}
+        merged = self._merge(manifest, run_dir)
+        if merged is None:
+            return 404, {
+                "error": "run references an unknown experiment",
+                "run": name,
+                "experiment": manifest.get("experiment"),
+            }
+        rows_by_index, compute_seconds = merged
+        spec = get_experiment(manifest["experiment"])
+        params = dict(manifest.get("params", {}))
+        result = ExperimentResult(
+            experiment_id=spec.id,
+            title=spec.render_title(params),
+            columns=spec.columns,
+            rows=[rows_by_index[i] for i in sorted(rows_by_index)],
+            params=params,
+            preset=manifest.get("preset", "default"),
+            wall_seconds=compute_seconds,
+            invocation_seconds=0.0,
+            pending_points=int(manifest["num_points"]) - len(rows_by_index),
+            executor="serve-merge",
+        )
+        return 200, result.to_json_dict()
+
+    def _merge(
+        self, manifest: Mapping[str, Any], run_dir: Path
+    ) -> Optional[Tuple[Dict[int, Dict[str, Any]], float]]:
+        """Digest-validated checkpoint merge; ``None`` on an unknown spec."""
+        try:
+            spec = get_experiment(manifest["experiment"])
+            plan = shard_indices(
+                int(manifest["num_points"]), int(manifest["shard_count"])
+            )
+        except (KeyError, TypeError, ValueError):
+            return None
+        return merge_checkpoints(
+            run_dir, plan, spec.columns, manifest["digest"]
+        )
+
+    def _trajectory(self) -> Tuple[int, Dict[str, Any]]:
+        """The benchmark trajectory, labels ordered by sequence."""
+        data = _read_json(self.bench_path)
+        if data is None:
+            return 404, {
+                "error": "no trajectory file",
+                "path": str(self.bench_path),
+            }
+        payload = dict(data)
+        payload["labels"] = label_order(data.get("runs", {}))
+        return 200, payload
+
+    def _diff(
+        self, params: Mapping[str, List[str]]
+    ) -> Tuple[int, Dict[str, Any]]:
+        """Per-experiment speedups between two trajectory labels."""
+        data = _read_json(self.bench_path)
+        if data is None:
+            return 404, {
+                "error": "no trajectory file",
+                "path": str(self.bench_path),
+            }
+        runs = data.get("runs", {})
+        ordered = label_order(runs)
+        before = params.get("from", ordered[-2:-1] or [None])[0]
+        after = params.get("to", ordered[-1:] or [None])[0]
+        if before is None or after is None:
+            return 400, {
+                "error": "need ?from=<label>&to=<label> "
+                "(fewer than two labels recorded)",
+                "labels": ordered,
+            }
+        missing = [label for label in (before, after) if label not in runs]
+        if missing:
+            return 404, {"error": "unknown label(s)", "labels": missing}
+        return 200, {
+            "from": before,
+            "to": after,
+            "speedups": pair_speedups(
+                runs[before].get("experiments", {}),
+                runs[after].get("experiments", {}),
+            ),
+        }
+
+
+def _body_bytes(payload: Mapping[str, Any]) -> bytes:
+    """Serialize a payload deterministically (stable bodies → stable ETags)."""
+    return json.dumps(payload, indent=2, sort_keys=True).encode("utf-8") + b"\n"
+
+
+def _read_manifest(run_dir: Path) -> Optional[Dict[str, Any]]:
+    """Read a run directory's manifest; ``None`` when absent/unreadable."""
+    if not run_dir.is_dir():
+        return None
+    data = _read_json(run_dir / MANIFEST_NAME)
+    if not isinstance(data, dict) or "digest" not in data:
+        return None
+    return data
+
+
+def _read_json(path: Path) -> Optional[Any]:
+    """Read a JSON file; ``None`` when absent or unparseable."""
+    try:
+        return json.loads(path.read_text())
+    except (OSError, ValueError):
+        return None
+
+
+# ----------------------------------------------------------------------
+# the HTTP shell
+# ----------------------------------------------------------------------
+class ServeServer(ThreadingHTTPServer):
+    """Threaded HTTP server carrying the :class:`ServeApp` for its handlers."""
+
+    daemon_threads = True
+    allow_reuse_address = True
+    app: ServeApp
+
+
+class _ServeHandler(BaseHTTPRequestHandler):
+    """GET-only handler delegating to :meth:`ServeApp.respond`."""
+
+    server_version = "repro-serve/1"
+    protocol_version = "HTTP/1.1"
+
+    def do_GET(self) -> None:  # noqa: N802 (http.server naming contract)
+        """Answer one GET request."""
+        split = urlsplit(self.path)
+        status, headers, body = self.server.app.respond(
+            split.path, split.query, self.headers.get("If-None-Match")
+        )
+        self.send_response(status)
+        for name, value in headers.items():
+            self.send_header(name, value)
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        if body:
+            self.wfile.write(body)
+
+    def log_message(self, format: str, *args: Any) -> None:
+        """Silence per-request stderr logging (the service is a library too)."""
+
+
+def create_server(
+    app: ServeApp, host: str = "127.0.0.1", port: int = 0
+) -> ServeServer:
+    """Bind a :class:`ServeServer` for ``app`` (port 0 picks an ephemeral one)."""
+    server = ServeServer((host, port), _ServeHandler)
+    server.app = app
+    return server
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point (``python -m repro serve``)."""
+    parser = argparse.ArgumentParser(
+        prog="repro serve",
+        description="Serve the experiment/run/benchmark corpus as a JSON API.",
+    )
+    parser.add_argument("--host", default="127.0.0.1",
+                        help="bind address (default: loopback only)")
+    parser.add_argument("--port", type=int, default=8035,
+                        help="bind port (0 picks an ephemeral one)")
+    parser.add_argument("--run-root", type=Path, default=None,
+                        help="run-directory root (default: .repro_runs/)")
+    parser.add_argument("--bench", type=Path, default=None,
+                        help="trajectory file (default: BENCH_core.json)")
+    parser.add_argument("--ttl", type=float, default=5.0,
+                        help="response cache TTL in seconds (0 disables)")
+    parser.add_argument("--rate", type=float, default=20.0,
+                        help="sustained requests/second budget (0 disables)")
+    parser.add_argument("--burst", type=float, default=40.0,
+                        help="rate-limiter burst capacity")
+    args = parser.parse_args(argv)
+
+    app = ServeApp(
+        run_root=args.run_root,
+        bench_path=args.bench,
+        ttl=args.ttl,
+        rate=args.rate,
+        burst=args.burst,
+    )
+    server = create_server(app, host=args.host, port=args.port)
+    host, port = server.server_address[:2]
+    print(f"serving on http://{host}:{port}  (run_root={app.run_root}, "
+          f"bench={app.bench_path}) — Ctrl-C stops")
+    try:
+        server.serve_forever(poll_interval=0.2)
+    except KeyboardInterrupt:
+        pass
+    finally:
+        server.server_close()
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

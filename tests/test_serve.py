@@ -1,0 +1,311 @@
+"""``repro serve`` tests: endpoint schemas, ETag/TTL caching, rate limiting.
+
+The contract under test (see ``docs/architecture.md``, "Distributed
+execution & serving"): every endpoint serves deterministic JSON, a run
+endpoint's payload is exactly :class:`ExperimentResult`'s serialization
+(so clients of result *files* and of the API share one schema), ETags are
+strong hashes of the exact body honoured with 304s, responses are
+memoised for a TTL, and a token bucket answers 429 past the budget.
+Clocks are injected, so cache expiry and bucket refill are deterministic.
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+import threading
+
+import pytest
+
+from repro.experiments.registry import all_experiments
+from repro.experiments.runner import ExperimentResult, run_experiment
+from repro.serve import ServeApp, TTLCache, TokenBucket, create_server
+
+RUN_NAME = "e2-quick"
+
+
+class FakeClock:
+    """A manually-advanced clock for deterministic TTL/bucket behaviour."""
+
+    def __init__(self) -> None:
+        self.now = 0.0
+
+    def __call__(self) -> float:
+        return self.now
+
+    def advance(self, seconds: float) -> None:
+        self.now += seconds
+
+
+def write_bench(path, labels):
+    """A minimal trajectory file with the given ``{label: wall}`` entries."""
+    runs = {
+        label: {
+            "sequence": sequence,
+            "note": "",
+            "experiments": {"e2": {"wall_seconds": wall}},
+        }
+        for sequence, (label, wall) in enumerate(labels.items(), start=1)
+    }
+    path.write_text(json.dumps({"schema": 1, "runs": runs}))
+
+
+@pytest.fixture(scope="module")
+def corpus(tmp_path_factory):
+    """A served corpus: one completed sharded run plus a trajectory file."""
+    root = tmp_path_factory.mktemp("serve")
+    run_root = root / "runs"
+    run_root.mkdir()
+    serial = run_experiment("e2", preset="quick")
+    run_experiment("e2", preset="quick", executor="sharded",
+                   run_dir=run_root / RUN_NAME)
+    bench = root / "BENCH_core.json"
+    write_bench(bench, {"before": 2.0, "after": 1.0})
+    return {"run_root": run_root, "bench": bench, "serial": serial}
+
+
+def make_app(corpus, **kwargs):
+    return ServeApp(run_root=corpus["run_root"], bench_path=corpus["bench"],
+                    **kwargs)
+
+
+def body_json(body):
+    return json.loads(body.decode("utf-8"))
+
+
+# ----------------------------------------------------------------------
+# endpoint payloads
+# ----------------------------------------------------------------------
+class TestEndpoints:
+    def test_index_lists_endpoints(self, corpus):
+        status, _, body = make_app(corpus).respond("/")
+        assert status == 200
+        assert "/bench/trajectory" in body_json(body)["endpoints"]
+
+    def test_experiments_catalog_matches_registry(self, corpus):
+        status, _, body = make_app(corpus).respond("/experiments")
+        assert status == 200
+        catalog = body_json(body)["experiments"]
+        assert [entry["id"] for entry in catalog] == [
+            spec.id for spec in all_experiments()
+        ]
+        for entry in catalog:
+            assert set(entry) == {"id", "description", "presets", "columns",
+                                  "topologies", "adversities"}
+            assert {"quick", "default", "hot"} <= set(entry["presets"])
+
+    def test_runs_index_reports_completion(self, corpus):
+        status, _, body = make_app(corpus).respond("/runs")
+        assert status == 200
+        payload = body_json(body)
+        (entry,) = [r for r in payload["runs"] if r["name"] == RUN_NAME]
+        assert entry["experiment"] == "e2"
+        assert entry["preset"] == "quick"
+        assert entry["pending_points"] == 0
+        assert entry["completed_points"] == entry["num_points"]
+
+    def test_run_payload_is_experiment_result_schema(self, corpus):
+        status, _, body = make_app(corpus).respond(f"/runs/{RUN_NAME}")
+        assert status == 200
+        payload = body_json(body)
+        # the payload *is* the result serialization: same keys, loadable by
+        # the same deserializer, and the rows equal the serial run's
+        reference = corpus["serial"].to_json_dict()
+        assert set(payload) == set(reference)
+        loaded = ExperimentResult.from_json_dict(payload)
+        assert loaded.rows == reference["rows"]
+        assert loaded.pending_points == 0
+        assert payload["rows"] == reference["rows"]
+        assert payload["columns"] == reference["columns"]
+
+    def test_unknown_run_and_traversal_rejected(self, corpus):
+        app = make_app(corpus)
+        assert app.respond("/runs/no-such-run")[0] == 404
+        assert app.respond("/runs/..")[0] == 404
+        assert app.respond("/runs/a/b")[0] == 404
+
+    def test_trajectory_orders_labels_by_sequence(self, corpus):
+        status, _, body = make_app(corpus).respond("/bench/trajectory")
+        assert status == 200
+        payload = body_json(body)
+        assert payload["labels"] == ["before", "after"]
+        assert payload["runs"]["after"]["experiments"]["e2"]["wall_seconds"] == 1.0
+
+    def test_diff_defaults_to_last_two_labels(self, corpus):
+        status, _, body = make_app(corpus).respond("/bench/diff")
+        assert status == 200
+        payload = body_json(body)
+        assert (payload["from"], payload["to"]) == ("before", "after")
+        assert payload["speedups"] == {"e2": 2.0}
+
+    def test_diff_explicit_and_unknown_labels(self, corpus):
+        app = make_app(corpus)
+        status, _, body = app.respond("/bench/diff", "from=after&to=before")
+        assert status == 200
+        assert body_json(body)["speedups"] == {"e2": 0.5}
+        status, _, body = app.respond("/bench/diff", "from=nope&to=after")
+        assert status == 404
+        assert body_json(body)["labels"] == ["nope"]
+
+    def test_missing_trajectory_file_404s(self, corpus, tmp_path):
+        app = ServeApp(run_root=corpus["run_root"],
+                       bench_path=tmp_path / "absent.json")
+        assert app.respond("/bench/trajectory")[0] == 404
+        assert app.respond("/bench/diff")[0] == 404
+
+    def test_unknown_endpoint_404s(self, corpus):
+        status, _, body = make_app(corpus).respond("/nope")
+        assert status == 404
+        assert body_json(body)["error"] == "unknown endpoint"
+
+
+# ----------------------------------------------------------------------
+# ETag + TTL caching
+# ----------------------------------------------------------------------
+class TestCaching:
+    def test_etag_round_trip_304(self, corpus):
+        app = make_app(corpus)
+        status, headers, body = app.respond("/bench/trajectory")
+        assert status == 200
+        etag = headers["ETag"]
+        assert etag.startswith('"') and etag.endswith('"')
+        status, headers, body = app.respond("/bench/trajectory", "", etag)
+        assert status == 304
+        assert body == b""
+        assert headers["ETag"] == etag
+
+    def test_mismatched_etag_gets_full_body(self, corpus):
+        app = make_app(corpus)
+        _, headers, first = app.respond("/bench/trajectory")
+        status, _, body = app.respond("/bench/trajectory", "", '"deadbeef"')
+        assert status == 200
+        assert body == first
+
+    def test_etag_in_multi_value_if_none_match(self, corpus):
+        app = make_app(corpus)
+        _, headers, _ = app.respond("/bench/trajectory")
+        status, _, _ = app.respond(
+            "/bench/trajectory", "", f'"other", {headers["ETag"]}'
+        )
+        assert status == 304
+
+    def test_ttl_serves_cached_body_then_expires(self, corpus, tmp_path):
+        clock = FakeClock()
+        bench = tmp_path / "bench.json"
+        write_bench(bench, {"before": 2.0, "after": 1.0})
+        app = ServeApp(run_root=corpus["run_root"], bench_path=bench,
+                       ttl=5.0, clock=clock)
+        _, headers, _ = app.respond("/bench/trajectory")
+        etag = headers["ETag"]
+        # the file changes, but within the TTL the cached body is served
+        write_bench(bench, {"before": 2.0, "after": 1.0, "newer": 0.5})
+        clock.advance(4.9)
+        _, headers, body = app.respond("/bench/trajectory")
+        assert headers["ETag"] == etag
+        assert "newer" not in body_json(body)["labels"]
+        # past the TTL the new corpus is read and the ETag moves
+        clock.advance(0.2)
+        _, headers, body = app.respond("/bench/trajectory")
+        assert headers["ETag"] != etag
+        assert body_json(body)["labels"] == ["before", "after", "newer"]
+
+    def test_zero_ttl_disables_caching(self, corpus, tmp_path):
+        bench = tmp_path / "bench.json"
+        write_bench(bench, {"before": 2.0})
+        app = ServeApp(run_root=corpus["run_root"], bench_path=bench, ttl=0.0)
+        _, first_headers, _ = app.respond("/bench/trajectory")
+        write_bench(bench, {"before": 2.0, "after": 1.0})
+        _, second_headers, _ = app.respond("/bench/trajectory")
+        assert second_headers["ETag"] != first_headers["ETag"]
+
+    def test_distinct_queries_cached_separately(self, corpus):
+        app = make_app(corpus)
+        _, _, forward = app.respond("/bench/diff", "from=before&to=after")
+        _, _, backward = app.respond("/bench/diff", "from=after&to=before")
+        assert body_json(forward)["speedups"] != body_json(backward)["speedups"]
+
+    def test_error_responses_not_cached(self, corpus, tmp_path):
+        bench = tmp_path / "bench.json"
+        app = ServeApp(run_root=corpus["run_root"], bench_path=bench, ttl=60.0)
+        assert app.respond("/bench/trajectory")[0] == 404
+        write_bench(bench, {"before": 2.0})
+        assert app.respond("/bench/trajectory")[0] == 200
+
+    def test_ttl_cache_unit(self):
+        clock = FakeClock()
+        cache = TTLCache(10.0, clock)
+        cache.put("k", b"body", '"etag"')
+        assert cache.get("k") == (b"body", '"etag"')
+        clock.advance(10.1)
+        assert cache.get("k") is None
+
+
+# ----------------------------------------------------------------------
+# rate limiting
+# ----------------------------------------------------------------------
+class TestRateLimit:
+    def test_burst_then_429_then_refill(self, corpus):
+        clock = FakeClock()
+        app = make_app(corpus, rate=1.0, burst=2.0, clock=clock)
+        assert app.respond("/experiments")[0] == 200
+        assert app.respond("/experiments")[0] == 200
+        status, headers, body = app.respond("/experiments")
+        assert status == 429
+        assert headers["Retry-After"] == "1"
+        assert body_json(body)["error"] == "rate limited"
+        clock.advance(1.0)
+        assert app.respond("/experiments")[0] == 200
+
+    def test_zero_rate_disables_limiting(self, corpus):
+        app = make_app(corpus, rate=0.0, burst=0.0)
+        for _ in range(20):
+            assert app.respond("/")[0] == 200
+
+    def test_token_bucket_unit(self):
+        clock = FakeClock()
+        bucket = TokenBucket(rate=2.0, burst=4.0, clock=clock)
+        assert all(bucket.allow() for _ in range(4))
+        assert not bucket.allow()
+        clock.advance(0.5)  # refills one token
+        assert bucket.allow()
+        assert not bucket.allow()
+        clock.advance(60.0)  # refill clamps at burst
+        assert sum(bucket.allow() for _ in range(10)) == 4
+
+
+# ----------------------------------------------------------------------
+# the real HTTP shell
+# ----------------------------------------------------------------------
+class TestHTTPServer:
+    def test_etag_304_over_a_real_socket(self, corpus):
+        server = create_server(make_app(corpus))
+        thread = threading.Thread(target=server.serve_forever,
+                                  kwargs={"poll_interval": 0.05}, daemon=True)
+        thread.start()
+        host, port = server.server_address[:2]
+        try:
+            connection = http.client.HTTPConnection(host, port, timeout=10)
+            connection.request("GET", "/bench/trajectory")
+            first = connection.getresponse()
+            body = first.read()
+            assert first.status == 200
+            etag = first.headers["ETag"]
+            assert json.loads(body)["labels"] == ["before", "after"]
+            connection.request("GET", "/bench/trajectory",
+                               headers={"If-None-Match": etag})
+            second = connection.getresponse()
+            assert second.status == 304
+            assert second.read() == b""
+            assert second.headers["ETag"] == etag
+            connection.request("GET", "/runs/" + RUN_NAME)
+            run = connection.getresponse()
+            payload = json.loads(run.read())
+            assert run.status == 200
+            assert ExperimentResult.from_json_dict(payload).rows == (
+                corpus["serial"].to_json_dict()["rows"]
+            )
+            connection.close()
+        finally:
+            server.shutdown()
+            thread.join(timeout=5)
+            server.server_close()
