@@ -23,7 +23,7 @@ include tiny smoke sizes never divide by zero.
 from __future__ import annotations
 
 import math
-from typing import Sequence
+from typing import NamedTuple, Sequence
 
 from repro.protocols.symmetry.cole_vishkin import log_star
 from repro.core.partition.randomized import ln_star
@@ -40,6 +40,8 @@ __all__ = [
     "mst_time_bound",
     "mst_message_bound",
     "ratio_to_bound",
+    "PowerLawFit",
+    "fit_power_law",
 ]
 
 
@@ -158,3 +160,66 @@ def ratio_to_bound(measured: Sequence[float], bound: Sequence[float]) -> list:
             raise ValueError("bound values must be non-zero")
         ratios.append(value / reference)
     return ratios
+
+
+class PowerLawFit(NamedTuple):
+    """A least-squares power law ``value ≈ coefficient · n^exponent``.
+
+    Attributes:
+        exponent: the fitted scaling exponent (the slope in log–log space).
+        coefficient: the fitted prefactor.
+        residual: root-mean-square residual of ``log(value)`` around the
+            fit — small residuals mean the data really does follow a power
+            law over the fitted range.
+    """
+
+    exponent: float
+    coefficient: float
+    residual: float
+
+
+def fit_power_law(
+    sizes: Sequence[float], values: Sequence[float]
+) -> PowerLawFit:
+    """Fit ``value ≈ c · n^θ`` by least squares in log–log space.
+
+    The fit the scaling experiments report: a measured quantity (e.g. the
+    mean first-passage time of e12) follows a power law when the log–log
+    points fall on a line, and the slope of that line *is* the scaling
+    exponent the claim is about.  Two data sets sharing sizes but yielding
+    distinct exponents (beyond the residuals) scale differently — the
+    "distinct scalings, same degree sequence" effect of arXiv:0908.0976.
+
+    Args:
+        sizes: instance sizes, all positive, at least two distinct.
+        values: measured quantities, parallel to ``sizes``, all positive.
+
+    Raises:
+        ValueError: on mismatched lengths, fewer than two points,
+            non-positive entries, or all-equal sizes.
+    """
+    if len(sizes) != len(values):
+        raise ValueError("sizes and values must have the same length")
+    if len(sizes) < 2:
+        raise ValueError("a power-law fit needs at least two points")
+    if any(s <= 0 for s in sizes) or any(v <= 0 for v in values):
+        raise ValueError("power-law fits need positive sizes and values")
+    xs = [math.log(s) for s in sizes]
+    ys = [math.log(v) for v in values]
+    count = len(xs)
+    mean_x = sum(xs) / count
+    mean_y = sum(ys) / count
+    sxx = sum((x - mean_x) ** 2 for x in xs)
+    if sxx == 0.0:
+        raise ValueError("a power-law fit needs at least two distinct sizes")
+    slope = sum(
+        (x - mean_x) * (y - mean_y) for x, y in zip(xs, ys)
+    ) / sxx
+    intercept = mean_y - slope * mean_x
+    residual = math.sqrt(
+        sum((y - (slope * x + intercept)) ** 2 for x, y in zip(xs, ys))
+        / count
+    )
+    return PowerLawFit(
+        exponent=slope, coefficient=math.exp(intercept), residual=residual
+    )

@@ -1,0 +1,252 @@
+"""Columnar random-walk engine: batched first-passage walks over the CSR core.
+
+The mean-first-passage-time experiment (e12, after arXiv:0908.0976) measures
+how long an unbiased random walk takes to first hit a distinguished *hub*
+node, as a function of instance size, on scale-free families sharing one
+degree sequence.  This module supplies the three pieces that workload needs:
+
+* :func:`hub_node` — the canonical trap: the maximum-degree slot (ties break
+  to the smallest slot, so the choice is deterministic);
+* :func:`mean_first_passage_time` — the Monte-Carlo engine: a batch of
+  walkers stepped synchronously over the :class:`~repro.topology.graph.CSRView`
+  columns (``targets[offsets[u] + rng.randrange(degree)]`` per step — no
+  adjacency dicts, no per-step allocation), each walker driven by its own
+  hash-derived substream (:func:`~repro.sim.substreams.substream_seed`, scope
+  ``"sim.walks"``) so the result is independent of batching order, process
+  and executor;
+* :func:`exact_mfpt` — the absorbing-chain reference solve
+  ``(I − Q)·t = 1`` by Gaussian elimination (stdlib floats, no third-party
+  linear algebra), against which the statistical tests calibrate the engine
+  on small graphs.
+
+Walks are unbiased (uniform over neighbours) and ignore edge weights; the
+graphs the experiment walks carry unit weights anyway.
+
+The per-walker streams were introduced after golden eras v1–v4 were frozen
+and touch none of the streams those eras pin; their own fixed-seed
+fingerprints live in era v5 (``tests/test_perf_equivalence.py``).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+from repro.sim.substreams import substream_seed
+from repro.topology.graph import WeightedGraph
+
+#: substream scope of the per-walker generators (one layer, one scope —
+#: see :mod:`repro.sim.substreams`)
+WALK_SCOPE = "sim.walks"
+
+
+def hub_node(graph: WeightedGraph) -> int:
+    """Return the slot index of the maximum-degree node.
+
+    Ties break to the smallest slot, so the hub of a given graph is a pure
+    function of its structure — every consumer (the walk engine, the exact
+    solve, the dissemination source pick) agrees on it.
+
+    Raises:
+        ValueError: on an empty graph.
+    """
+    csr = graph.csr()
+    if csr.n == 0:
+        raise ValueError("an empty graph has no hub")
+    offsets = csr.offsets
+    best = 0
+    best_degree = -1
+    for i in range(csr.n):
+        degree = offsets[i + 1] - offsets[i]
+        if degree > best_degree:
+            best = i
+            best_degree = degree
+    return best
+
+
+@dataclass(frozen=True)
+class WalkSummary:
+    """Aggregate outcome of one batch of first-passage walks.
+
+    Attributes:
+        walkers: number of walkers in the batch.
+        target: the absorbing slot every walker runs to.
+        steps: per-walker first-passage step counts, in walker order (a
+            capped walker contributes ``max_steps``).
+        mean_steps: arithmetic mean of ``steps`` — the MFPT estimate.
+        max_steps: the step cap each walker ran under.
+        capped: walkers that hit the cap without reaching the target (their
+            contribution biases ``mean_steps`` low; a non-zero count flags
+            the estimate).
+    """
+
+    walkers: int
+    target: int
+    steps: Tuple[int, ...]
+    mean_steps: float
+    max_steps: int
+    capped: int
+
+
+def mean_first_passage_time(
+    graph: WeightedGraph,
+    target: Optional[int] = None,
+    walkers: int = 32,
+    seed: object = 0,
+    max_steps: Optional[int] = None,
+) -> WalkSummary:
+    """Estimate the MFPT to ``target`` over uniformly random start nodes.
+
+    Walker ``i`` derives its private generator from
+    ``substream_seed(seed, "sim.walks", i)``, draws a uniform start slot
+    distinct from the target, and performs an unbiased walk over the CSR
+    columns until it hits the target (or the step cap).  Walkers step
+    synchronously in one batch loop, but since every walker owns its stream
+    the step counts are identical to running them one at a time — and to
+    running them in any other process.
+
+    Args:
+        graph: the (connected) graph to walk; node labels must be the
+            identity enumeration ``0..n-1`` (all e12 generators' are).
+        target: absorbing slot; ``None`` means :func:`hub_node`.
+        walkers: batch size (more walkers, tighter estimate).
+        seed: master seed of the walker substream family — any repr-stable
+            value (experiments pass a tuple keying the sweep point).
+        max_steps: per-walker step cap; ``None`` means ``500 · n``, far
+            above the MFPT of every family e12 sweeps, so fault-free runs
+            cap only on pathological inputs.
+
+    Raises:
+        ValueError: on a graph with fewer than two nodes, a walker count
+            below one, a target outside the slot range, or an isolated node
+            (a walker standing on it could never move).
+    """
+    csr = graph.csr()
+    n = csr.n
+    if n < 2:
+        raise ValueError("first-passage walks need at least two nodes")
+    if walkers < 1:
+        raise ValueError("need at least one walker")
+    if target is None:
+        target = hub_node(graph)
+    elif not 0 <= target < n:
+        raise ValueError(f"target slot {target} outside 0..{n - 1}")
+    if max_steps is None:
+        max_steps = 500 * n
+    offsets = csr.offsets
+    neighbours = csr.targets
+    rngs: List[random.Random] = []
+    positions: List[int] = []
+    for i in range(walkers):
+        rng = random.Random(substream_seed(seed, WALK_SCOPE, i))
+        start = rng.randrange(n)
+        while start == target:
+            start = rng.randrange(n)
+        rngs.append(rng)
+        positions.append(start)
+    steps = [0] * walkers
+    active = list(range(walkers))
+    step = 0
+    while active and step < max_steps:
+        step += 1
+        still_walking = []
+        for i in active:
+            u = positions[i]
+            lo = offsets[u]
+            degree = offsets[u + 1] - lo
+            if degree == 0:
+                raise ValueError(f"walker stranded on isolated slot {u}")
+            nxt = neighbours[lo + rngs[i].randrange(degree)]
+            if nxt == target:
+                steps[i] = step
+            else:
+                positions[i] = nxt
+                still_walking.append(i)
+        active = still_walking
+    for i in active:
+        steps[i] = max_steps
+    return WalkSummary(
+        walkers=walkers,
+        target=target,
+        steps=tuple(steps),
+        mean_steps=sum(steps) / walkers,
+        max_steps=max_steps,
+        capped=len(active),
+    )
+
+
+def exact_mfpt(graph: WeightedGraph, target: int) -> List[float]:
+    """Solve the absorbing-chain system ``(I − Q)·t = 1`` exactly.
+
+    ``Q`` is the walk's transition matrix restricted to the transient
+    (non-target) nodes; the solution ``t[u]`` is the expected number of
+    steps an unbiased walk starting at slot ``u`` needs to first reach
+    ``target``.  Plain Gaussian elimination with partial pivoting over
+    stdlib floats — O(n³), intended as the reference the statistical tests
+    hold the Monte-Carlo engine to on small graphs, not as a production
+    path.
+
+    Returns:
+        A list indexed by slot; ``t[target] == 0.0``.
+
+    Raises:
+        ValueError: on a target outside the slot range, a graph with fewer
+            than two nodes, an isolated transient node, or a transient node
+            with no path to the target (singular system).
+    """
+    csr = graph.csr()
+    n = csr.n
+    if n < 2:
+        raise ValueError("the absorbing chain needs at least two nodes")
+    if not 0 <= target < n:
+        raise ValueError(f"target slot {target} outside 0..{n - 1}")
+    offsets = csr.offsets
+    neighbours = csr.targets
+    transient = [u for u in range(n) if u != target]
+    column = {u: r for r, u in enumerate(transient)}
+    size = n - 1
+    # dense augmented rows [I - Q | 1]
+    rows = [[0.0] * (size + 1) for _ in range(size)]
+    for r, u in enumerate(transient):
+        lo = offsets[u]
+        degree = offsets[u + 1] - lo
+        if degree == 0:
+            raise ValueError(f"isolated slot {u} can never reach the target")
+        row = rows[r]
+        row[r] += 1.0
+        row[size] = 1.0
+        p = 1.0 / degree
+        for k in range(lo, lo + degree):
+            v = neighbours[k]
+            if v != target:
+                row[column[v]] -= p
+    # Gaussian elimination with partial pivoting
+    for col in range(size):
+        pivot = max(range(col, size), key=lambda r: abs(rows[r][col]))
+        if abs(rows[pivot][col]) < 1e-12:
+            raise ValueError(
+                "singular absorbing chain: some node cannot reach the target"
+            )
+        if pivot != col:
+            rows[col], rows[pivot] = rows[pivot], rows[col]
+        pivot_row = rows[col]
+        inv = 1.0 / pivot_row[col]
+        for r in range(col + 1, size):
+            factor = rows[r][col] * inv
+            if factor == 0.0:
+                continue
+            row = rows[r]
+            for c in range(col, size + 1):
+                row[c] -= factor * pivot_row[c]
+    solution = [0.0] * size
+    for r in range(size - 1, -1, -1):
+        row = rows[r]
+        acc = row[size]
+        for c in range(r + 1, size):
+            acc -= row[c] * solution[c]
+        solution[r] = acc / row[r]
+    result = [0.0] * n
+    for r, u in enumerate(transient):
+        result[u] = solution[r]
+    return result

@@ -1,0 +1,280 @@
+"""Correctness tests for the affectance-selective dissemination layer (e13)."""
+
+import pytest
+
+from repro.experiments.e13_selective_dissemination import sweep_point
+from repro.protocols.dissemination import (
+    SCHEDULERS,
+    DisseminationResult,
+    disseminate,
+)
+from repro.sim.adversity import ABORTED, adversity_state
+from repro.sim.errors import AdversityAbort
+from repro.topology.generators import ad_hoc_affectance_graph
+from repro.topology.graph import WeightedGraph
+from repro.topology.properties import breadth_first_levels
+
+
+def build_instance(edges, affectance_overrides=None, n=None):
+    """Hand-built identity graph plus a uniform affectance map."""
+    if n is None:
+        n = max(max(u, v) for u, v in edges) + 1
+    graph = WeightedGraph()
+    graph.add_nodes(range(n))
+    affectance = {}
+    for u, v in edges:
+        graph.add_edge(u, v, 1)
+        key = (u, v) if u < v else (v, u)
+        affectance[key] = 0.5
+    if affectance_overrides:
+        for key, value in affectance_overrides.items():
+            affectance[key] = value
+    return graph, affectance
+
+
+def path_instance(n):
+    """A path 0-1-…-(n-1) with uniform affectance."""
+    return build_instance([(i, i + 1) for i in range(n - 1)])
+
+
+class TestCompleteness:
+    @pytest.mark.parametrize("scheduler", SCHEDULERS)
+    def test_star_completes_in_one_round(self, scheduler):
+        # a lone transmitter is always decoded by every uninformed
+        # neighbour — the collision-free base case of the physical layer
+        graph, affectance = build_instance([(0, i) for i in range(1, 6)])
+        result = disseminate(graph, affectance, scheduler=scheduler)
+        assert result.complete
+        assert result.rounds == 1
+        assert result.receptions == 5
+
+    @pytest.mark.parametrize("scheduler", SCHEDULERS)
+    def test_path_takes_one_round_per_layer(self, scheduler):
+        # on a path the frontier is a single station in every round, so
+        # the deterministic schedulers walk it in exactly n - 1 rounds;
+        # decay may idle a round whenever its backoff coin comes up silent
+        graph, affectance = path_instance(8)
+        result = disseminate(graph, affectance, scheduler=scheduler)
+        assert result.complete
+        if scheduler == "decay":
+            assert result.rounds >= 7
+        else:
+            assert result.rounds == 7
+        assert result.transmissions == 7
+
+    @pytest.mark.parametrize("scheduler", SCHEDULERS)
+    @pytest.mark.parametrize("n", (32, 64))
+    def test_ad_hoc_instances_complete(self, scheduler, n):
+        graph, affectance = ad_hoc_affectance_graph(
+            n, seed=11, return_affectance=True
+        )
+        result = disseminate(graph, affectance, scheduler=scheduler)
+        assert result.complete
+        assert result.informed == n
+        assert result.receptions == n - 1
+
+    def test_rounds_bounded_below_by_bfs_layers(self):
+        graph, affectance = ad_hoc_affectance_graph(
+            64, seed=11, return_affectance=True
+        )
+        layers = max(breadth_first_levels(graph, 0).values())
+        for scheduler in SCHEDULERS:
+            result = disseminate(graph, affectance, scheduler=scheduler)
+            assert result.rounds >= layers
+
+    def test_selective_packs_at_least_as_well_as_round_robin(self):
+        graph, affectance = ad_hoc_affectance_graph(
+            96, seed=11, return_affectance=True
+        )
+        selective = disseminate(graph, affectance, scheduler="selective")
+        round_robin = disseminate(graph, affectance, scheduler="round_robin")
+        assert selective.rounds <= round_robin.rounds
+        # round-robin pays one round per transmission by construction
+        assert round_robin.rounds == round_robin.transmissions
+
+    def test_selective_resolves_the_equal_signal_collision(self):
+        # 1 and 2 both border 3 with equal signal: transmitting together
+        # would collide forever, so the family must pick exactly one
+        graph, affectance = build_instance(
+            [(0, 1), (0, 2), (1, 3), (2, 3)]
+        )
+        result = disseminate(
+            graph, affectance, scheduler="selective", record_history=True
+        )
+        assert result.complete
+        assert result.rounds == 2
+        last = result.history[-1]
+        assert len(set(last.transmitters) & {1, 2}) == 1
+        assert last.received == (3,)
+
+
+class TestHistoryDifferential:
+    @pytest.mark.parametrize("scheduler", SCHEDULERS)
+    def test_recorded_rounds_match_brute_force_physics(self, scheduler):
+        # replay every recorded round against an independent (dict-based)
+        # recomputation of the reception rule: v decodes its strongest
+        # transmitting neighbour iff that signal strictly exceeds the sum
+        # of the other transmitting neighbours' signals
+        graph, affectance = ad_hoc_affectance_graph(
+            32, seed=7, return_affectance=True
+        )
+        result = disseminate(
+            graph, affectance, scheduler=scheduler, record_history=True
+        )
+        signal = {
+            key: 1.0 / max(alpha, 1e-9) for key, alpha in affectance.items()
+        }
+        adjacency = {u: set(graph.adjacency()[u]) for u in graph.nodes()}
+        informed = {0}
+        for trace in result.history:
+            for u in trace.transmitters:
+                # a transmitter is informed and has an uninformed neighbour
+                assert u in informed
+                assert any(v not in informed for v in adjacency[u])
+            expected = []
+            for v in sorted(set(graph.nodes()) - informed):
+                heard = [
+                    signal[(u, v) if u < v else (v, u)]
+                    for u in trace.transmitters
+                    if u in adjacency[v]
+                ]
+                if heard and 2.0 * max(heard) > sum(heard):
+                    expected.append(v)
+            assert list(trace.received) == expected
+            informed.update(trace.received)
+        assert informed == set(graph.nodes())
+        assert len(result.history) == result.rounds
+
+    def test_history_off_by_default(self):
+        graph, affectance = path_instance(4)
+        assert disseminate(graph, affectance).history is None
+
+
+class TestDeterminism:
+    @pytest.mark.parametrize("scheduler", SCHEDULERS)
+    def test_same_seed_same_run(self, scheduler):
+        graph, affectance = ad_hoc_affectance_graph(
+            48, seed=3, return_affectance=True
+        )
+        first = disseminate(graph, affectance, scheduler=scheduler, seed=9)
+        second = disseminate(graph, affectance, scheduler=scheduler, seed=9)
+        assert first == second
+
+    def test_decay_seed_changes_the_run(self):
+        graph, affectance = ad_hoc_affectance_graph(
+            48, seed=3, return_affectance=True
+        )
+        runs = {
+            disseminate(
+                graph, affectance, scheduler="decay", seed=s
+            ).rounds
+            for s in range(6)
+        }
+        assert len(runs) > 1
+
+
+class TestAdversity:
+    def test_total_loss_aborts_within_the_round_budget(self):
+        graph, affectance = ad_hoc_affectance_graph(
+            32, seed=11, return_affectance=True
+        )
+        state = adversity_state(
+            {"name": "loss", "loss_rate": 1.0, "delay_rate": 0.0},
+            "dissemination-loss", 32,
+        )
+        with pytest.raises(AdversityAbort) as excinfo:
+            disseminate(graph, affectance, adversity=state)
+        assert excinfo.value.rounds == state.round_budget(32)
+        assert 0 < excinfo.value.pending < 32
+
+    def test_certain_jam_aborts_within_the_round_budget(self):
+        graph, affectance = ad_hoc_affectance_graph(
+            32, seed=11, return_affectance=True
+        )
+        state = adversity_state(
+            {"name": "jam", "jam_rate": 1.0}, "dissemination-jam", 32
+        )
+        with pytest.raises(AdversityAbort) as excinfo:
+            disseminate(graph, affectance, adversity=state)
+        assert excinfo.value.rounds <= state.round_budget(32)
+
+    @pytest.mark.parametrize("scheduler", SCHEDULERS)
+    def test_moderate_loss_degrades_but_completes(self, scheduler):
+        graph, affectance = ad_hoc_affectance_graph(
+            48, seed=11, return_affectance=True
+        )
+        clean = disseminate(graph, affectance, scheduler=scheduler)
+        state = adversity_state(
+            {"name": "loss", "loss_rate": 0.3, "delay_rate": 0.0},
+            "dissemination-moderate", 48, scheduler,
+        )
+        lossy = disseminate(
+            graph, affectance, scheduler=scheduler, adversity=state
+        )
+        assert lossy.complete
+        assert lossy.rounds >= clean.rounds
+        assert state.faults_injected > 0
+
+    def test_explicit_round_cap_overrides_the_budget(self):
+        graph, affectance = path_instance(16)
+        state = adversity_state(
+            {"name": "loss", "loss_rate": 1.0, "delay_rate": 0.0},
+            "dissemination-cap", 16,
+        )
+        with pytest.raises(AdversityAbort) as excinfo:
+            disseminate(graph, affectance, adversity=state, max_rounds=5)
+        assert excinfo.value.rounds == 5
+
+
+class TestValidation:
+    def test_unknown_scheduler_rejected(self):
+        graph, affectance = path_instance(4)
+        with pytest.raises(ValueError):
+            disseminate(graph, affectance, scheduler="aloha")
+
+    def test_source_out_of_range_rejected(self):
+        graph, affectance = path_instance(4)
+        with pytest.raises(ValueError):
+            disseminate(graph, affectance, source=4)
+
+    def test_missing_affectance_link_rejected(self):
+        graph, affectance = path_instance(4)
+        del affectance[(1, 2)]
+        with pytest.raises(ValueError):
+            disseminate(graph, affectance)
+
+    def test_non_identity_graph_rejected(self):
+        graph = WeightedGraph()
+        graph.add_nodes(["a", "b"])
+        graph.add_edge("a", "b", 1)
+        with pytest.raises(ValueError):
+            disseminate(graph, {("a", "b"): 1.0})
+
+
+class TestE13Experiment:
+    def test_fault_free_row_schema(self):
+        row = sweep_point(32)
+        assert row["status"] == "ok"
+        assert row["n"] == 32
+        assert row["r_selective"] >= row["layers"]
+        assert row["r_selective"] <= row["r_round_robin"]
+        assert row["faults_injected"] == 0
+        assert row["sel_vs_rr"] >= 1.0
+
+    def test_total_loss_row_reports_bounded_aborts(self):
+        row = sweep_point(
+            32, adversity={"name": "loss", "loss_rate": 1.0, "delay_rate": 0.0}
+        )
+        assert row["r_selective"] == ABORTED
+        assert row["r_decay"] == ABORTED
+        assert row["r_round_robin"] == ABORTED
+        assert row["status"] == "abort:decay,round_robin,selective"
+        assert row["sel_vs_rr"] == "-"
+        assert row["faults_injected"] > 0
+
+    def test_result_dataclass_complete_property(self):
+        partial = DisseminationResult(
+            scheduler="decay", n=8, rounds=3, informed=5,
+            transmissions=4, receptions=4,
+        )
+        assert not partial.complete

@@ -23,7 +23,7 @@ from repro.experiments.registry import (
 from repro.experiments.runner import ExperimentResult, run_experiment
 from repro.experiments.trajectory import suite_entries
 
-EXPECTED_IDS = [f"e{i}" for i in range(1, 12)]
+EXPECTED_IDS = [f"e{i}" for i in range(1, 14)]
 
 
 class TestRegistryCompleteness:

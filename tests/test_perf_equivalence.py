@@ -31,6 +31,15 @@ algorithms *compute*.  Two golden files pin that, under
   ``substream_seed`` values are pinned here too, so the derivation itself
   cannot drift.  v1–v3 are untouched by the substream switch — no workload
   they cover draws from a per-node source.
+* ``v5/equivalence_golden.json`` — the workload-family streams PR 10 opened:
+  the degree-preserving rewiring swap stream (exact edge lists of rewired
+  scale-free and flower graphs), the random-walk engine's per-walker
+  substreams (exact step counts to the hub), and the dissemination
+  schedulers (round/transmission/reception fingerprints per scheduler,
+  fault-free and under the loss preset, aborts included), plus the e12/e13
+  quick sweeps through the registry path.  These streams were introduced
+  whole with PR 10 and touch none of the draws v1–v4 pin — those eras
+  stay byte-identical.
 
 Regenerate the files (only do this when an RNG-stream or algorithm change is
 intended — a pure performance PR must show an empty diff here):
@@ -50,6 +59,7 @@ GOLDEN_V1 = GOLDEN_DIR / "v1" / "equivalence_golden.json"
 GOLDEN_V2 = GOLDEN_DIR / "v2" / "equivalence_golden.json"
 GOLDEN_V3 = GOLDEN_DIR / "v3" / "equivalence_golden.json"
 GOLDEN_V4 = GOLDEN_DIR / "v4" / "equivalence_golden.json"
+GOLDEN_V5 = GOLDEN_DIR / "v5" / "equivalence_golden.json"
 
 
 def _compute_deterministic_state():
@@ -268,6 +278,97 @@ def _compute_substream_state():
     return state
 
 
+def _compute_workload_state():
+    """Fixed-seed fingerprints of the PR 10 workload-family streams.
+
+    Three independent stream families, none of which existed before PR 10:
+    the rewiring swap stream, the per-walker walk substreams, and the
+    dissemination scheduler streams (plus the adversity draws dissemination
+    consumes).  Each is pinned at its raw layer *and* through the registry
+    path (the e12/e13 quick sweeps), so both the engines and their
+    experiment wiring are covered.
+    """
+    from repro.experiments.runner import run_experiment
+    from repro.protocols.dissemination import SCHEDULERS, disseminate
+    from repro.sim.adversity import adversity_state
+    from repro.sim.errors import AdversityAbort
+    from repro.sim.walks import mean_first_passage_time
+    from repro.topology.generators import (
+        ad_hoc_affectance_graph,
+        barabasi_albert_graph,
+        degree_preserving_rewire,
+        flower_graph,
+    )
+
+    state = {}
+
+    # the rewiring swap stream: exact edge lists on fixed seeds pin the draw
+    # order, the rejection rule, and the windowed connectivity rollback
+    for name, base in (
+        ("scale_free/96", barabasi_albert_graph(96, attachment=2, seed=3)),
+        ("flower_22/g3", flower_graph(2, 2, 3)),
+    ):
+        rewired = degree_preserving_rewire(base, seed=42)
+        state[f"rewire/{name}/seed42"] = {
+            "edges": sorted(
+                [min(edge.u, edge.v), max(edge.u, edge.v)]
+                for edge in rewired.edges()
+            ),
+        }
+
+    # the walk engine: exact per-walker step counts (start draws + every
+    # neighbour choice) on both flower families
+    for u, v in ((1, 3), (2, 2)):
+        graph = flower_graph(u, v, 2)
+        summary = mean_first_passage_time(
+            graph, walkers=16, seed=("golden", u, v)
+        )
+        state[f"walks/flower_{u}{v}/g2"] = {
+            "target": summary.target,
+            "steps": list(summary.steps),
+            "capped": summary.capped,
+        }
+
+    # the dissemination schedulers on one ad-hoc instance: fault-free runs
+    # pin the decay coin stream and the (deterministic) family packing;
+    # loss-preset runs additionally pin the adversity draws and the abort
+    # machinery, counters included
+    graph, affectance = ad_hoc_affectance_graph(
+        48, seed=11, return_affectance=True
+    )
+    for scheduler in SCHEDULERS:
+        result = disseminate(graph, affectance, scheduler=scheduler, seed=5)
+        state[f"dissemination/ad_hoc/48/{scheduler}"] = {
+            "rounds": result.rounds,
+            "transmissions": result.transmissions,
+            "receptions": result.receptions,
+        }
+        adv = adversity_state("loss", "golden-dissemination", 48, scheduler)
+        entry = {}
+        try:
+            lossy = disseminate(
+                graph, affectance, scheduler=scheduler, seed=5, adversity=adv
+            )
+            entry["status"] = "ok"
+            entry["rounds"] = lossy.rounds
+            entry["receptions"] = lossy.receptions
+        except AdversityAbort as abort:
+            entry["status"] = "abort"
+            entry["rounds"] = abort.rounds
+            entry["pending"] = abort.pending
+        entry["counters"] = adv.counters()
+        state[f"dissemination/ad_hoc/48/{scheduler}/loss"] = entry
+
+    # the registry path end to end: the quick sweeps of both experiments
+    state["walks/e12/quick"] = {
+        "rows": run_experiment("e12", preset="quick").rows
+    }
+    state["dissemination/e13/quick"] = {
+        "rows": run_experiment("e13", preset="quick").rows
+    }
+    return state
+
+
 def _normalize(value):
     """Round-trip through JSON so tuples/lists and int/float compare equal."""
     return json.loads(json.dumps(value))
@@ -322,6 +423,16 @@ def current_v4():
     return _normalize(_compute_substream_state())
 
 
+@pytest.fixture(scope="module")
+def golden_v5():
+    return _load(GOLDEN_V5)
+
+
+@pytest.fixture(scope="module")
+def current_v5():
+    return _normalize(_compute_workload_state())
+
+
 def test_golden_v1_covers_same_workloads(golden_v1, current_v1):
     assert set(golden_v1) == set(current_v1)
 
@@ -336,6 +447,10 @@ def test_golden_v3_covers_same_workloads(golden_v3, current_v3):
 
 def test_golden_v4_covers_same_workloads(golden_v4, current_v4):
     assert set(golden_v4) == set(current_v4)
+
+
+def test_golden_v5_covers_same_workloads(golden_v5, current_v5):
+    assert set(golden_v5) == set(current_v5)
 
 
 @pytest.mark.parametrize(
@@ -402,6 +517,14 @@ def test_output_matches_substream_golden(golden_v4, current_v4):
         )
 
 
+def test_output_matches_workload_golden(golden_v5, current_v5):
+    for key in golden_v5:
+        assert current_v5[key] == golden_v5[key], (
+            f"{key} diverged from the v5 (workload-family) stream era; if "
+            "the stream change is intentional, regenerate tests/data/goldens/"
+        )
+
+
 @pytest.mark.parametrize(
     "fixture,path",
     [
@@ -409,8 +532,9 @@ def test_output_matches_substream_golden(golden_v4, current_v4):
         ("current_v2", GOLDEN_V2),
         ("current_v3", GOLDEN_V3),
         ("current_v4", GOLDEN_V4),
+        ("current_v5", GOLDEN_V5),
     ],
-    ids=["v1", "v2", "v3", "v4"],
+    ids=["v1", "v2", "v3", "v4", "v5"],
 )
 def test_goldens_regenerate_byte_identically(fixture, path, request):
     """Re-serializing the current state must reproduce the committed bytes.
@@ -434,6 +558,7 @@ if __name__ == "__main__":
         (GOLDEN_V2, _compute_stream_state()),
         (GOLDEN_V3, _compute_adversity_state()),
         (GOLDEN_V4, _compute_substream_state()),
+        (GOLDEN_V5, _compute_workload_state()),
     ):
         path.parent.mkdir(parents=True, exist_ok=True)
         path.write_text(

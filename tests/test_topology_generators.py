@@ -214,3 +214,45 @@ class TestAdHocAffectance:
             ad_hoc_affectance_graph(0)
         with pytest.raises(ValueError):
             ad_hoc_affectance_graph(10, power_spread=0.5)
+
+
+class TestAdHocAffectanceExposure:
+    def test_flag_does_not_change_the_graph(self):
+        # the affectance values are computed post hoc from stored positions
+        # and ranges — requesting them must not shift a single RNG draw, so
+        # the graph is identical with and without the flag (this is what
+        # keeps the v1 golden era, which pins these edge lists, untouched)
+        plain = ad_hoc_affectance_graph(128, seed=7)
+        exposed, affectance = ad_hoc_affectance_graph(
+            128, seed=7, return_affectance=True
+        )
+        assert plain.edges() == exposed.edges()
+        assert isinstance(affectance, dict)
+
+    def test_affectance_covers_exactly_the_links(self):
+        graph, affectance = ad_hoc_affectance_graph(
+            96, seed=5, return_affectance=True
+        )
+        expected_keys = {
+            (edge.u, edge.v) if edge.u < edge.v else (edge.v, edge.u)
+            for edge in graph.edges()
+        }
+        assert set(affectance) == expected_keys
+
+    def test_in_range_links_have_affectance_at_most_one(self):
+        # α = distance / min(range_u, range_v): ≤ 1 for genuine radio links,
+        # > 1 only on the stitched connectivity bridges
+        graph, affectance = ad_hoc_affectance_graph(
+            200, seed=4, ensure_connected=False, return_affectance=True
+        )
+        assert affectance
+        assert all(0.0 < alpha <= 1.0 for alpha in affectance.values())
+
+    def test_stitched_bridges_exceed_one(self):
+        # with a tiny range, connectivity stitching must add out-of-range
+        # bridges, and their affectance reflects that
+        graph, affectance = ad_hoc_affectance_graph(
+            40, seed=2, base_range=1e-6, return_affectance=True
+        )
+        assert graph.num_edges() > 0
+        assert all(alpha > 1.0 for alpha in affectance.values())
